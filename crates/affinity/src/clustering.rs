@@ -1,0 +1,184 @@
+//! Shared output vocabulary: what every detection method returns.
+//!
+//! Affinity-based methods (ALID, IID, SEA, AP, DS) emit *dominant
+//! clusters* — member sets with a graph density `π(x)` — and leave noise
+//! items unassigned. Partitioning methods (k-means, spectral clustering)
+//! assign every item; their partitions are wrapped in the same type so
+//! the AVG-F evaluation treats all methods uniformly (Section 5's
+//! protocol).
+
+/// One detected cluster: its member indices, the simplex weights the
+/// dynamics converged to (uniform for partitioning methods), and the
+/// internal density `π(x) = xᵀAx`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectedCluster {
+    /// Global data-item indices, ascending.
+    pub members: Vec<u32>,
+    /// Per-member weights, parallel to `members`; sums to one.
+    pub weights: Vec<f64>,
+    /// Graph density `π(x)` of the converged subgraph. Partitioning
+    /// methods report the average intra-cluster affinity under uniform
+    /// weights, the same quantity for `x = uniform`.
+    pub density: f64,
+}
+
+impl DetectedCluster {
+    /// Cluster with uniform weights (used by partitioning baselines).
+    pub fn uniform(mut members: Vec<u32>, density: f64) -> Self {
+        members.sort_unstable();
+        let w = 1.0 / members.len().max(1) as f64;
+        let weights = vec![w; members.len()];
+        Self { members, weights, density }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether item `i` belongs to this cluster (binary search).
+    pub fn contains(&self, i: u32) -> bool {
+        self.members.binary_search(&i).is_ok()
+    }
+}
+
+/// The result of running a detection method on `n` items.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Clustering {
+    /// Total number of data items the method saw.
+    pub n: usize,
+    /// Detected clusters, in detection order.
+    pub clusters: Vec<DetectedCluster>,
+}
+
+impl Clustering {
+    /// An empty clustering over `n` items.
+    pub fn new(n: usize) -> Self {
+        Self { n, clusters: Vec::new() }
+    }
+
+    /// Number of detected clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether no clusters were detected.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Keeps only clusters with `density >= min_density` and at least
+    /// `min_size` members — the paper's final selection step ("clusters
+    /// with large values of π(x), e.g. π(x) ≥ 0.75", Section 4.4).
+    pub fn dominant(&self, min_density: f64, min_size: usize) -> Clustering {
+        Clustering {
+            n: self.n,
+            clusters: self
+                .clusters
+                .iter()
+                .filter(|c| c.density >= min_density && c.len() >= min_size)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Per-item labels: `Some(cluster_index)` for members (ties broken by
+    /// the densest containing cluster, the PALID reducer rule), `None`
+    /// for unassigned noise.
+    pub fn labels(&self) -> Vec<Option<usize>> {
+        let mut labels: Vec<Option<usize>> = vec![None; self.n];
+        for (ci, c) in self.clusters.iter().enumerate() {
+            for &m in &c.members {
+                let slot = &mut labels[m as usize];
+                match *slot {
+                    None => *slot = Some(ci),
+                    Some(prev) if self.clusters[prev].density < c.density => *slot = Some(ci),
+                    _ => {}
+                }
+            }
+        }
+        labels
+    }
+
+    /// Total number of clustered items (union of members).
+    pub fn covered(&self) -> usize {
+        self.labels().iter().flatten().count()
+    }
+
+    /// Sorts clusters by descending density (stable w.r.t. detection
+    /// order for ties).
+    pub fn sort_by_density(&mut self) {
+        self.clusters.sort_by(|a, b| b.density.total_cmp(&a.density));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(members: Vec<u32>, density: f64) -> DetectedCluster {
+        DetectedCluster::uniform(members, density)
+    }
+
+    #[test]
+    fn uniform_weights_sum_to_one() {
+        let cl = c(vec![3, 1, 2], 0.9);
+        assert_eq!(cl.members, vec![1, 2, 3]);
+        let s: f64 = cl.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_uses_sorted_members() {
+        let cl = c(vec![5, 1, 9], 0.5);
+        assert!(cl.contains(9));
+        assert!(!cl.contains(2));
+    }
+
+    #[test]
+    fn dominant_filters_on_density_and_size() {
+        let mut cls = Clustering::new(10);
+        cls.clusters.push(c(vec![0, 1, 2], 0.9));
+        cls.clusters.push(c(vec![3], 0.95)); // too small
+        cls.clusters.push(c(vec![4, 5], 0.3)); // too sparse
+        let dom = cls.dominant(0.75, 2);
+        assert_eq!(dom.len(), 1);
+        assert_eq!(dom.clusters[0].members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn labels_resolve_overlap_by_density() {
+        // The PALID reducer rule (Fig. 5): overlapping item 4 goes to the
+        // denser cluster.
+        let mut cls = Clustering::new(6);
+        cls.clusters.push(c(vec![3, 4], 0.8));
+        cls.clusters.push(c(vec![4, 5], 0.6));
+        let labels = cls.labels();
+        assert_eq!(labels[4], Some(0));
+        assert_eq!(labels[5], Some(1));
+        assert_eq!(labels[0], None);
+        assert_eq!(cls.covered(), 3);
+    }
+
+    #[test]
+    fn labels_keep_first_on_equal_density() {
+        let mut cls = Clustering::new(2);
+        cls.clusters.push(c(vec![0], 0.5));
+        cls.clusters.push(c(vec![0], 0.5));
+        assert_eq!(cls.labels()[0], Some(0));
+    }
+
+    #[test]
+    fn sort_by_density_descending() {
+        let mut cls = Clustering::new(4);
+        cls.clusters.push(c(vec![0], 0.2));
+        cls.clusters.push(c(vec![1], 0.9));
+        cls.sort_by_density();
+        assert!(cls.clusters[0].density > cls.clusters[1].density);
+    }
+}

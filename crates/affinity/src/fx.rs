@@ -1,0 +1,132 @@
+//! A small, fast, non-cryptographic hasher (the rustc `FxHash` algorithm).
+//!
+//! LSH bucket maps and the column caches of [`crate::local`] are keyed by
+//! integers; SipHash (the std default) dominates profiles there. This is
+//! the standard multiply-rotate-xor mix used by rustc, self-contained so
+//! the workspace stays within its approved dependency set. HashDoS
+//! resistance is irrelevant for these internal, non-adversarial keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-Fx mixing hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Mixes a slice of 64-bit words into a single key (used by LSH to fold a
+/// signature of `mu` quantised projections into a bucket key).
+pub fn mix_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FxHasher::default();
+    for w in words {
+        h.write_u64(w);
+    }
+    // A final avalanche (splitmix64 finaliser) so that low bits are usable
+    // as table indices.
+    let mut z = h.finish().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let a = mix_words([1, 2, 3]);
+        let b = mix_words([1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_inputs_rarely_collide() {
+        let mut seen = FxHashSet::default();
+        for i in 0..10_000u64 {
+            seen.insert(mix_words([i, i * 7 + 1]));
+        }
+        // All distinct for this structured input; a weak mixer would fold
+        // consecutive integers onto each other.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn order_matters() {
+        assert_ne!(mix_words([1, 2]), mix_words([2, 1]));
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

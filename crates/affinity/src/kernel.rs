@@ -1,0 +1,243 @@
+//! The Lp metric and the Laplacian kernel of Eq. 1.
+//!
+//! The paper defines the affinity between two data items as
+//! `a_ij = exp(-k * ||v_i - v_j||_p)` with `p >= 1` and scaling factor
+//! `k > 0`; self-affinities are zero. The whole evaluation uses `p = 2`
+//! (Euclidean), but the ROI correctness argument (Proposition 1) only
+//! needs the triangle inequality, so any `p >= 1` is supported.
+
+use crate::cost::CostModel;
+use crate::vector::Dataset;
+
+/// An Lp norm with `p >= 1`. `L1` and `L2` take fast paths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LpNorm {
+    /// Manhattan distance.
+    L1,
+    /// Euclidean distance (the paper's choice).
+    L2,
+    /// General Minkowski distance with the given exponent (`p >= 1`).
+    P(f64),
+}
+
+impl LpNorm {
+    /// Constructs the norm for exponent `p`, choosing the fast path when
+    /// `p` is 1 or 2.
+    ///
+    /// # Panics
+    /// Panics if `p < 1` (the triangle inequality — and with it the ROI
+    /// guarantee of Proposition 1 — fails for `p < 1`).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "Lp norm requires p >= 1, got {p}");
+        if p == 1.0 {
+            LpNorm::L1
+        } else if p == 2.0 {
+            LpNorm::L2
+        } else {
+            LpNorm::P(p)
+        }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        match *self {
+            LpNorm::L1 => 1.0,
+            LpNorm::L2 => 2.0,
+            LpNorm::P(p) => p,
+        }
+    }
+
+    /// `||a - b||_p`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the slices have different lengths.
+    #[inline]
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        match *self {
+            LpNorm::L1 => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            LpNorm::L2 => {
+                let mut acc = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    let d = x - y;
+                    acc += d * d;
+                }
+                acc.sqrt()
+            }
+            LpNorm::P(p) => {
+                let acc: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(p)).sum();
+                acc.powf(1.0 / p)
+            }
+        }
+    }
+
+    /// `||a||_p`.
+    pub fn length(&self, a: &[f64]) -> f64 {
+        match *self {
+            LpNorm::L1 => a.iter().map(|x| x.abs()).sum(),
+            LpNorm::L2 => a.iter().map(|x| x * x).sum::<f64>().sqrt(),
+            LpNorm::P(p) => a.iter().map(|x| x.abs().powf(p)).sum::<f64>().powf(1.0 / p),
+        }
+    }
+}
+
+/// The Laplacian kernel `exp(-k * dist)` of Eq. 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaplacianKernel {
+    /// Positive scaling factor `k`.
+    pub k: f64,
+    /// The metric `|| . ||_p`.
+    pub norm: LpNorm,
+}
+
+impl LaplacianKernel {
+    /// Euclidean Laplacian kernel with scaling factor `k` — the
+    /// configuration used throughout the paper's evaluation.
+    ///
+    /// # Panics
+    /// Panics if `k <= 0` or `k` is not finite.
+    pub fn l2(k: f64) -> Self {
+        Self::new(k, LpNorm::L2)
+    }
+
+    /// Laplacian kernel with an explicit metric.
+    ///
+    /// # Panics
+    /// Panics if `k <= 0` or `k` is not finite.
+    pub fn new(k: f64, norm: LpNorm) -> Self {
+        assert!(k.is_finite() && k > 0.0, "kernel scaling factor must be positive, got {k}");
+        Self { k, norm }
+    }
+
+    /// Kernel value between two raw vectors (no self-affinity handling).
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        (-self.k * self.norm.distance(a, b)).exp()
+    }
+
+    /// Affinity `a_ij` per Eq. 1: zero on the diagonal, kernel value
+    /// elsewhere. Records one kernel evaluation in `cost` for off-diagonal
+    /// pairs.
+    #[inline]
+    pub fn affinity(&self, ds: &Dataset, i: usize, j: usize, cost: &CostModel) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        cost.record_kernel_evals(1);
+        self.eval(ds.get(i), ds.get(j))
+    }
+
+    /// The affinity that corresponds to a given distance.
+    #[inline]
+    pub fn affinity_at(&self, dist: f64) -> f64 {
+        (-self.k * dist).exp()
+    }
+
+    /// The distance at which the kernel decays to the given affinity:
+    /// the inverse of [`Self::affinity_at`]. Useful for calibrating `k`
+    /// from a target affinity at a known distance.
+    pub fn distance_at(&self, affinity: f64) -> f64 {
+        assert!(affinity > 0.0 && affinity <= 1.0, "affinity must be in (0, 1]");
+        -affinity.ln() / self.k
+    }
+
+    /// Picks `k` such that `exp(-k * dist) == target`. This is how the
+    /// per-data-set kernels in `alid-data` are calibrated: choose the
+    /// typical intra-cluster distance and the affinity it should map to.
+    ///
+    /// # Panics
+    /// Panics unless `dist > 0` and `0 < target < 1`.
+    pub fn calibrate(dist: f64, target: f64, norm: LpNorm) -> Self {
+        assert!(dist > 0.0, "calibration distance must be positive");
+        assert!(target > 0.0 && target < 1.0, "target affinity must lie in (0,1)");
+        Self::new(-target.ln() / dist, norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn l2_distance_matches_hand_computation() {
+        let n = LpNorm::L2;
+        assert!((n.distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn l1_distance_matches_hand_computation() {
+        let n = LpNorm::L1;
+        assert!((n.distance(&[1.0, -1.0], &[-2.0, 1.0]) - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn general_p_reduces_to_l2() {
+        let a = [0.3, -1.2, 4.0];
+        let b = [2.0, 0.5, -0.25];
+        let d2 = LpNorm::L2.distance(&a, &b);
+        let dp = LpNorm::P(2.0).distance(&a, &b);
+        assert!((d2 - dp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_dispatches_to_fast_paths() {
+        assert_eq!(LpNorm::new(1.0), LpNorm::L1);
+        assert_eq!(LpNorm::new(2.0), LpNorm::L2);
+        assert_eq!(LpNorm::new(3.0), LpNorm::P(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn rejects_p_below_one() {
+        let _ = LpNorm::new(0.5);
+    }
+
+    #[test]
+    fn kernel_is_one_at_zero_distance_and_decays() {
+        let k = LaplacianKernel::l2(2.0);
+        let a = [1.0, 1.0];
+        assert!((k.eval(&a, &a) - 1.0).abs() < EPS);
+        let far = k.eval(&a, &[10.0, 10.0]);
+        let near = k.eval(&a, &[1.1, 1.0]);
+        assert!(far < near && near < 1.0);
+    }
+
+    #[test]
+    fn affinity_zero_on_diagonal() {
+        let ds = Dataset::from_flat(1, vec![0.0, 1.0]);
+        let k = LaplacianKernel::l2(1.0);
+        let cost = CostModel::new();
+        assert_eq!(k.affinity(&ds, 0, 0, &cost), 0.0);
+        assert!(k.affinity(&ds, 0, 1, &cost) > 0.0);
+        assert_eq!(cost.snapshot().kernel_evals, 1);
+    }
+
+    #[test]
+    fn calibrate_hits_the_target() {
+        let kern = LaplacianKernel::calibrate(0.5, 0.85, LpNorm::L2);
+        assert!((kern.affinity_at(0.5) - 0.85).abs() < 1e-12);
+        assert!((kern.distance_at(0.85) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn kernel_rejects_non_positive_k() {
+        let _ = LaplacianKernel::l2(0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_all_supported_norms() {
+        // Proposition 1 relies on it; spot-check the three code paths.
+        let a = [0.0, 0.0, 1.0];
+        let b = [1.0, 2.0, -1.0];
+        let c = [-0.5, 1.0, 0.0];
+        for norm in [LpNorm::L1, LpNorm::L2, LpNorm::P(3.0)] {
+            let ab = norm.distance(&a, &b);
+            let bc = norm.distance(&b, &c);
+            let ac = norm.distance(&a, &c);
+            assert!(ac <= ab + bc + 1e-12, "{norm:?} violates the triangle inequality");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The lazily-computed local column group `A_beta_alpha` of Fig. 3.
+//!
+//! LID (Algorithm 1) never touches the full matrix: within a local range
+//! `β` it only needs the columns `A_{β i}` of vertices `i` that the
+//! dynamics actually select, plus on-the-fly products `A_{ψ α} x_α` when
+//! CIVS extends the range (Eq. 17). This structure owns that column
+//! cache, reports every kernel evaluation and every stored entry to the
+//! [`CostModel`], and releases its storage when dropped — which is what
+//! gives ALID its `O(a*(a*+δ))` space bound (Section 4.5).
+
+use std::sync::Arc;
+
+use crate::cost::CostModel;
+use crate::fx::FxHashMap;
+use crate::kernel::LaplacianKernel;
+use crate::vector::Dataset;
+
+/// Column cache over a local index range `β` of the global affinity
+/// graph.
+#[derive(Debug)]
+pub struct LocalAffinity<'a> {
+    ds: &'a Dataset,
+    kernel: LaplacianKernel,
+    cost: Arc<CostModel>,
+    /// Global indices of the local range, in insertion order.
+    beta: Vec<u32>,
+    /// Global index -> position in `beta`.
+    pos: FxHashMap<u32, u32>,
+    /// Cached columns `A_{β i}`, keyed by *global* vertex id `i`. Each
+    /// column is parallel to `beta`.
+    columns: FxHashMap<u32, Box<[f64]>>,
+    /// Floats currently cached (for cost release on drop).
+    stored: u64,
+}
+
+impl<'a> LocalAffinity<'a> {
+    /// Creates the view for local range `beta` (global indices, must be
+    /// distinct).
+    ///
+    /// # Panics
+    /// Panics if `beta` contains duplicates or indices out of range.
+    pub fn new(
+        ds: &'a Dataset,
+        kernel: LaplacianKernel,
+        cost: Arc<CostModel>,
+        beta: Vec<u32>,
+    ) -> Self {
+        let mut pos = FxHashMap::default();
+        pos.reserve(beta.len());
+        for (p, &g) in beta.iter().enumerate() {
+            assert!((g as usize) < ds.len(), "vertex {g} out of range {}", ds.len());
+            let dup = pos.insert(g, p as u32);
+            assert!(dup.is_none(), "duplicate vertex {g} in local range");
+        }
+        Self { ds, kernel, cost, beta, pos, columns: FxHashMap::default(), stored: 0 }
+    }
+
+    /// The local range (global indices).
+    #[inline]
+    pub fn beta(&self) -> &[u32] {
+        &self.beta
+    }
+
+    /// Size `b = |β|` of the local range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.beta.len()
+    }
+
+    /// Whether the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.beta.is_empty()
+    }
+
+    /// Global id of local position `p`.
+    #[inline]
+    pub fn global(&self, p: usize) -> u32 {
+        self.beta[p]
+    }
+
+    /// Local position of global id `g`, if it belongs to `β`.
+    #[inline]
+    pub fn local(&self, g: u32) -> Option<u32> {
+        self.pos.get(&g).copied()
+    }
+
+    /// The kernel in use.
+    #[inline]
+    pub fn kernel(&self) -> &LaplacianKernel {
+        &self.kernel
+    }
+
+    /// The backing data set.
+    #[inline]
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// The shared cost model.
+    pub fn cost(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    /// Number of columns currently cached.
+    pub fn cached_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column `A_{β g}` (affinity of global vertex `g` to every
+    /// vertex of `β`), computing and caching it on first use.
+    ///
+    /// # Panics
+    /// Panics if `g` is out of the data-set range (columns for vertices
+    /// outside `β` are legal — CIVS probes them — but they must exist).
+    pub fn column(&mut self, g: u32) -> &[f64] {
+        assert!((g as usize) < self.ds.len(), "vertex {g} out of range");
+        if !self.columns.contains_key(&g) {
+            let vg = self.ds.get(g as usize);
+            let col: Box<[f64]> = self
+                .beta
+                .iter()
+                .map(|&b| if b == g { 0.0 } else { self.kernel.eval(self.ds.get(b as usize), vg) })
+                .collect();
+            let evals = col.len() as u64 - u64::from(self.pos.contains_key(&g));
+            self.cost.record_kernel_evals(evals);
+            self.cost.alloc_entries(col.len() as u64);
+            self.stored += col.len() as u64;
+            self.columns.insert(g, col);
+        }
+        &self.columns[&g]
+    }
+
+    /// Computes `A_{rows, alpha} · w` directly, without caching — the
+    /// `(A_{ψ α} x̂_α)` rows of the CIVS update (Eq. 17). `rows` and
+    /// `alpha` are global indices; `w` is parallel to `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `alpha.len() != w.len()`.
+    pub fn product_rows(&self, rows: &[u32], alpha: &[u32], w: &[f64]) -> Vec<f64> {
+        assert_eq!(alpha.len(), w.len(), "support/weight length mismatch");
+        let mut out = Vec::with_capacity(rows.len());
+        let mut evals = 0u64;
+        for &r in rows {
+            let vr = self.ds.get(r as usize);
+            let mut acc = 0.0;
+            for (&a, &wa) in alpha.iter().zip(w) {
+                if a == r {
+                    continue;
+                }
+                acc += wa * self.kernel.eval(self.ds.get(a as usize), vr);
+                evals += 1;
+            }
+            out.push(acc);
+        }
+        self.cost.record_kernel_evals(evals);
+        out
+    }
+
+    /// Density `π(x) = xᵀ A_{ββ} x` for a weight vector over `β`
+    /// (computed from scratch; the dynamics normally track it
+    /// incrementally). Exact — computes only the support block.
+    pub fn density(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.beta.len());
+        let sup: Vec<usize> = (0..x.len()).filter(|&i| x[i] > 0.0).collect();
+        let mut acc = 0.0;
+        let mut evals = 0u64;
+        for (a, &i) in sup.iter().enumerate() {
+            let vi = self.ds.get(self.beta[i] as usize);
+            for &j in &sup[a + 1..] {
+                acc += x[i] * x[j] * self.kernel.eval(vi, self.ds.get(self.beta[j] as usize));
+                evals += 1;
+            }
+        }
+        self.cost.record_kernel_evals(evals);
+        2.0 * acc
+    }
+}
+
+impl Drop for LocalAffinity<'_> {
+    fn drop(&mut self) {
+        self.cost.free_entries(self.stored);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseAffinity;
+    use crate::kernel::LpNorm;
+
+    fn fixture() -> (Dataset, LaplacianKernel) {
+        let ds = Dataset::from_flat(1, vec![0.0, 1.0, 2.0, 5.0]);
+        (ds, LaplacianKernel::new(0.7, LpNorm::L2))
+    }
+
+    #[test]
+    fn column_matches_dense_matrix() {
+        let (ds, k) = fixture();
+        let dense = DenseAffinity::build(&ds, &k, CostModel::shared());
+        let mut local =
+            LocalAffinity::new(&ds, k, CostModel::shared(), vec![0, 2, 3]);
+        let col = local.column(2).to_vec();
+        assert_eq!(col.len(), 3);
+        assert!((col[0] - dense.get(0, 2)).abs() < 1e-12);
+        assert_eq!(col[1], 0.0); // self-affinity
+        assert!((col[2] - dense.get(3, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_outside_beta_has_no_zero_diagonal() {
+        let (ds, k) = fixture();
+        let mut local = LocalAffinity::new(&ds, k, CostModel::shared(), vec![0, 1]);
+        let col = local.column(3).to_vec();
+        assert!(col.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn columns_are_cached() {
+        let (ds, k) = fixture();
+        let cost = CostModel::shared();
+        let mut local = LocalAffinity::new(&ds, k, Arc::clone(&cost), vec![0, 1, 2]);
+        local.column(1);
+        let evals_once = cost.snapshot().kernel_evals;
+        local.column(1);
+        assert_eq!(cost.snapshot().kernel_evals, evals_once);
+        assert_eq!(local.cached_columns(), 1);
+    }
+
+    #[test]
+    fn cost_entries_released_on_drop() {
+        let (ds, k) = fixture();
+        let cost = CostModel::shared();
+        {
+            let mut local = LocalAffinity::new(&ds, k, Arc::clone(&cost), vec![0, 1, 2]);
+            local.column(0);
+            local.column(3);
+            assert_eq!(cost.snapshot().entries_current, 6);
+        }
+        assert_eq!(cost.snapshot().entries_current, 0);
+        assert_eq!(cost.snapshot().entries_peak, 6);
+    }
+
+    #[test]
+    fn product_rows_matches_dense() {
+        let (ds, k) = fixture();
+        let dense = DenseAffinity::build(&ds, &k, CostModel::shared());
+        let local = LocalAffinity::new(&ds, k, CostModel::shared(), vec![0, 1]);
+        let alpha = [0u32, 1];
+        let w = [0.4, 0.6];
+        let got = local.product_rows(&[2, 3], &alpha, &w);
+        let want2 = 0.4 * dense.get(2, 0) + 0.6 * dense.get(2, 1);
+        let want3 = 0.4 * dense.get(3, 0) + 0.6 * dense.get(3, 1);
+        assert!((got[0] - want2).abs() < 1e-12);
+        assert!((got[1] - want3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_rows_skips_self_pairs() {
+        let (ds, k) = fixture();
+        let local = LocalAffinity::new(&ds, k, CostModel::shared(), vec![0, 1]);
+        // Row 0 with alpha containing 0: the self pair contributes zero.
+        let got = local.product_rows(&[0], &[0, 1], &[0.5, 0.5]);
+        let expect = 0.5 * k.eval(ds.get(1), ds.get(0));
+        assert!((got[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_matches_dense_quadratic_form() {
+        let (ds, k) = fixture();
+        let dense = DenseAffinity::build(&ds, &k, CostModel::shared());
+        let local = LocalAffinity::new(&ds, k, CostModel::shared(), vec![0, 1, 2, 3]);
+        let x = vec![0.1, 0.2, 0.3, 0.4];
+        assert!((local.density(&x) - dense.quadratic_form(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn rejects_duplicate_range() {
+        let (ds, k) = fixture();
+        let _ = LocalAffinity::new(&ds, k, CostModel::shared(), vec![0, 0]);
+    }
+
+    #[test]
+    fn local_position_lookup() {
+        let (ds, k) = fixture();
+        let local = LocalAffinity::new(&ds, k, CostModel::shared(), vec![3, 1]);
+        assert_eq!(local.local(3), Some(0));
+        assert_eq!(local.local(1), Some(1));
+        assert_eq!(local.local(0), None);
+        assert_eq!(local.global(0), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the affinity substrate: the metric axioms,
+//! kernel bounds, simplex closure of the invasion operators, and the
+//! agreement between the dense, sparse and lazy-local matrix views.
+
+use alid_affinity::cost::CostModel;
+use alid_affinity::dense::DenseAffinity;
+use alid_affinity::kernel::{LaplacianKernel, LpNorm};
+use alid_affinity::local::LocalAffinity;
+use alid_affinity::simplex;
+use alid_affinity::sparse::SparseBuilder;
+use alid_affinity::vector::Dataset;
+use proptest::prelude::*;
+
+fn vec3() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 3)
+}
+
+fn small_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(-10.0f64..10.0, 2 * 3..=2 * 8)
+        .prop_map(|flat| {
+            let n = flat.len() / 2;
+            Dataset::from_flat(2, flat[..n * 2].to_vec())
+        })
+}
+
+fn simplex_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, n).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        if s <= 0.0 {
+            let u = 1.0 / v.len() as f64;
+            v.fill(u);
+        } else {
+            for x in v.iter_mut() {
+                *x /= s;
+            }
+        }
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn lp_norms_satisfy_metric_axioms(a in vec3(), b in vec3(), c in vec3(), p in 1.0f64..4.0) {
+        let norm = LpNorm::new(p);
+        let dab = norm.distance(&a, &b);
+        let dba = norm.distance(&b, &a);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-9 * (1.0 + dab));
+        prop_assert!(norm.distance(&a, &a) < 1e-12);
+        let dac = norm.distance(&a, &c);
+        let dcb = norm.distance(&c, &b);
+        prop_assert!(dab <= dac + dcb + 1e-9 * (1.0 + dab));
+    }
+
+    #[test]
+    fn kernel_values_lie_in_unit_interval(a in vec3(), b in vec3(), k in 0.01f64..10.0) {
+        let kern = LaplacianKernel::l2(k);
+        let v = kern.eval(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn kernel_is_monotone_in_distance(d1 in 0.0f64..10.0, d2 in 0.0f64..10.0, k in 0.1f64..5.0) {
+        let kern = LaplacianKernel::l2(k);
+        if d1 < d2 {
+            prop_assert!(kern.affinity_at(d1) >= kern.affinity_at(d2));
+        }
+    }
+
+    #[test]
+    fn invasion_preserves_simplex(x in simplex_vec(6), i in 0usize..6, eps in 0.0f64..=1.0) {
+        let mut z = x.clone();
+        simplex::invade_vertex(&mut z, i, eps);
+        prop_assert!(simplex::is_on_simplex(&z, 1e-9));
+    }
+
+    #[test]
+    fn covertex_invasion_preserves_simplex(x in simplex_vec(6), eps in 0.0f64..=1.0) {
+        // Pick the largest component strictly inside (0,1), if any.
+        let (i, &xi) = x
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty vector");
+        prop_assume!(xi > 1e-6 && xi < 1.0 - 1e-6);
+        let mut z = x.clone();
+        simplex::invade_covertex(&mut z, i, eps);
+        prop_assert!(simplex::is_on_simplex(&z, 1e-9));
+        prop_assert!(z[i] <= xi + 1e-12, "co-vertex invasion must not grow x_i");
+    }
+
+    #[test]
+    fn dense_sparse_local_views_agree(ds in small_dataset(), k in 0.1f64..2.0) {
+        let kern = LaplacianKernel::l2(k);
+        let n = ds.len();
+        let dense = DenseAffinity::build(&ds, &kern, CostModel::shared());
+        let mut builder = SparseBuilder::new(n);
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                builder.add_edge(i, j);
+            }
+        }
+        let sparse = builder.build(&ds, &kern, CostModel::shared());
+        let beta: Vec<u32> = (0..n as u32).collect();
+        let mut local = LocalAffinity::new(&ds, kern, CostModel::shared(), beta);
+        for j in 0..n {
+            let col = local.column(j as u32).to_vec();
+            for (i, &cv) in col.iter().enumerate() {
+                prop_assert!((dense.get(i, j) - sparse.get(i, j)).abs() < 1e-12);
+                prop_assert!((dense.get(i, j) - cv).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_form_is_bounded_by_max_affinity(ds in small_dataset(), k in 0.1f64..2.0) {
+        let kern = LaplacianKernel::l2(k);
+        let n = ds.len();
+        let dense = DenseAffinity::build(&ds, &kern, CostModel::shared());
+        let x = vec![1.0 / n as f64; n];
+        let pi = dense.quadratic_form(&x);
+        // Affinities are in [0,1) off-diagonal, so pi(x) in [0,1).
+        prop_assert!((0.0..1.0).contains(&pi));
+    }
+
+    #[test]
+    fn density_tracks_product_consistency(ds in small_dataset(), k in 0.1f64..2.0) {
+        // g = A_beta_alpha x_alpha computed two ways must agree: lazy
+        // columns vs product_rows.
+        let kern = LaplacianKernel::l2(k);
+        let n = ds.len();
+        let beta: Vec<u32> = (0..n as u32).collect();
+        let mut local = LocalAffinity::new(&ds, kern, CostModel::shared(), beta.clone());
+        let alpha: Vec<u32> = (0..n as u32 / 2 + 1).collect();
+        let w = vec![1.0 / alpha.len() as f64; alpha.len()];
+        let direct = local.product_rows(&beta, &alpha, &w);
+        let mut viacols = vec![0.0; n];
+        for (ai, &a) in alpha.iter().enumerate() {
+            let col = local.column(a).to_vec();
+            for (o, c) in viacols.iter_mut().zip(&col) {
+                *o += w[ai] * c;
+            }
+        }
+        for (d, v) in direct.iter().zip(&viacols) {
+            prop_assert!((d - v).abs() < 1e-12);
+        }
+    }
+}

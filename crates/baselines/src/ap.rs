@@ -1,0 +1,331 @@
+//! Affinity Propagation (Frey & Dueck, Science 2007).
+//!
+//! AP exchanges responsibility/availability messages until a stable set
+//! of exemplars emerges; every item is then assigned to its best
+//! exemplar. It detects an unknown number of clusters and resists noise,
+//! but passing messages over all edges is expensive — the ALID paper
+//! singles it out as the slowest baseline once the matrix gets dense
+//! (Fig. 6(c)). This implementation runs on any [`Graph`]: dense
+//! matrices exchange `O(n^2)` messages per sweep, LSH-sparsified ones
+//! `O(|E|)`.
+
+use alid_affinity::clustering::{Clustering, DetectedCluster};
+use alid_affinity::cost::CostModel;
+use alid_affinity::fx::FxHashMap;
+
+use crate::common::Graph;
+
+/// AP tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ApParams {
+    /// Damping factor `λ` (0.5–0.9; higher damps oscillations).
+    pub damping: f64,
+    /// Maximum message sweeps.
+    pub max_iters: usize,
+    /// Sweeps the exemplar set must stay unchanged to declare
+    /// convergence.
+    pub convits: usize,
+    /// Exemplar preference `s(k,k)`; `None` uses the median stored
+    /// similarity (the standard default).
+    pub preference: Option<f64>,
+}
+
+impl Default for ApParams {
+    fn default() -> Self {
+        // Frey & Dueck's reference settings; heavier damping (0.9) can
+        // freeze oscillation into split exemplars on tight cliques.
+        Self { damping: 0.5, max_iters: 1000, convits: 50, preference: None }
+    }
+}
+
+/// Edge list in CSR-ish form for message passing (includes the self
+/// edges that carry the preferences).
+struct Edges {
+    /// (i, k, s_ik) triples, grouped by i.
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    sim: Vec<f64>,
+    /// Responsibilities / availabilities, parallel to the triples.
+    r: Vec<f64>,
+    a: Vec<f64>,
+    /// Edge ranges per source row.
+    row_ptr: Vec<usize>,
+    /// Edge ids grouped by destination (for the availability update).
+    by_dst: Vec<Vec<u32>>,
+    /// Self-edge id per vertex.
+    self_edge: Vec<u32>,
+}
+
+fn build_edges<G: Graph>(graph: &G, preference: f64, cost: &CostModel) -> Edges {
+    let n = graph.n();
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let mut sim = Vec::new();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0);
+    for i in 0..n {
+        graph.for_row(i, &mut |j, v| {
+            src.push(i as u32);
+            dst.push(j as u32);
+            sim.push(v);
+        });
+        // Self edge (preference).
+        src.push(i as u32);
+        dst.push(i as u32);
+        sim.push(preference);
+        row_ptr.push(src.len());
+    }
+    let m = src.len();
+    let mut by_dst: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut self_edge = vec![0u32; n];
+    for e in 0..m {
+        by_dst[dst[e] as usize].push(e as u32);
+        if src[e] == dst[e] {
+            self_edge[src[e] as usize] = e as u32;
+        }
+    }
+    // Message storage is part of AP's memory footprint: 2 floats/edge.
+    cost.alloc_entries(2 * m as u64);
+    Edges { src, dst, sim, r: vec![0.0; m], a: vec![0.0; m], row_ptr, by_dst, self_edge }
+}
+
+/// Runs affinity propagation and returns the clustering (one cluster per
+/// exemplar; cluster density = average intra-cluster affinity, so the
+/// usual dominant filter applies downstream).
+pub fn ap_detect_all<G: Graph>(graph: &G, params: &ApParams, cost: &CostModel) -> Clustering {
+    let n = graph.n();
+    if n == 0 {
+        return Clustering::new(0);
+    }
+    let preference = params.preference.unwrap_or_else(|| median_similarity(graph));
+    let mut e = build_edges(graph, preference, cost);
+    let m = e.src.len();
+    let lam = params.damping;
+    let mut exemplars_prev: Vec<bool> = vec![false; n];
+    let mut stable = 0usize;
+    for _sweep in 0..params.max_iters {
+        // ---- Responsibilities --------------------------------------
+        // r(i,k) <- s(i,k) - max_{k' != k} (a(i,k') + s(i,k')).
+        for i in 0..n {
+            let lo = e.row_ptr[i];
+            let hi = e.row_ptr[i + 1];
+            // Track the best and second-best a+s over the row.
+            let mut best = f64::NEG_INFINITY;
+            let mut second = f64::NEG_INFINITY;
+            let mut best_edge = usize::MAX;
+            for idx in lo..hi {
+                let v = e.a[idx] + e.sim[idx];
+                if v > best {
+                    second = best;
+                    best = v;
+                    best_edge = idx;
+                } else if v > second {
+                    second = v;
+                }
+            }
+            for idx in lo..hi {
+                let competitor = if idx == best_edge { second } else { best };
+                let newr = e.sim[idx] - competitor;
+                e.r[idx] = lam * e.r[idx] + (1.0 - lam) * newr;
+            }
+        }
+        // ---- Availabilities ----------------------------------------
+        // a(i,k) <- min(0, r(k,k) + sum_{i' not in {i,k}} max(0, r(i',k)))
+        // a(k,k) <- sum_{i' != k} max(0, r(i',k)).
+        for k in 0..n {
+            let selfe = e.self_edge[k] as usize;
+            let rkk = e.r[selfe];
+            let mut pos_sum = 0.0;
+            for &eid in &e.by_dst[k] {
+                let eid = eid as usize;
+                if eid != selfe {
+                    pos_sum += e.r[eid].max(0.0);
+                }
+            }
+            for &eid in &e.by_dst[k] {
+                let eid = eid as usize;
+                let newa = if eid == selfe {
+                    pos_sum
+                } else {
+                    let without_i = pos_sum - e.r[eid].max(0.0);
+                    (rkk + without_i).min(0.0)
+                };
+                e.a[eid] = lam * e.a[eid] + (1.0 - lam) * newa;
+            }
+        }
+        // ---- Exemplar decisions ------------------------------------
+        let mut exemplars = vec![false; n];
+        for (k, flag) in exemplars.iter_mut().enumerate() {
+            let selfe = e.self_edge[k] as usize;
+            *flag = e.r[selfe] + e.a[selfe] > 0.0;
+        }
+        if exemplars == exemplars_prev {
+            stable += 1;
+            if stable >= params.convits && exemplars.iter().any(|&x| x) {
+                break;
+            }
+        } else {
+            stable = 0;
+            exemplars_prev = exemplars;
+        }
+    }
+    // ---- Assignment -------------------------------------------------
+    let exemplars: Vec<usize> = (0..n)
+        .filter(|&k| {
+            let selfe = e.self_edge[k] as usize;
+            e.r[selfe] + e.a[selfe] > 0.0
+        })
+        .collect();
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    for &k in &exemplars {
+        assignment[k] = Some(k);
+    }
+    if !exemplars.is_empty() {
+        for i in 0..n {
+            if assignment[i].is_some() {
+                continue;
+            }
+            // Best exemplar among i's stored edges.
+            let lo = e.row_ptr[i];
+            let hi = e.row_ptr[i + 1];
+            let mut best: Option<(f64, usize)> = None;
+            for idx in lo..hi {
+                let k = e.dst[idx] as usize;
+                if k != i && assignment[k] == Some(k) {
+                    let s = e.sim[idx];
+                    if best.is_none_or(|(b, _)| s > b) {
+                        best = Some((s, k));
+                    }
+                }
+            }
+            // Items with no edge to any exemplar stay their own cluster
+            // (typical for isolated noise on sparse graphs).
+            assignment[i] = Some(best.map_or(i, |(_, k)| k));
+        }
+    } else {
+        // Degenerate run (no exemplar emerged): every item is its own
+        // exemplar, which downstream density filtering discards.
+        for (i, a) in assignment.iter_mut().enumerate() {
+            *a = Some(i);
+        }
+    }
+    cost.free_entries(2 * m as u64);
+    let mut groups: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+    for (i, a) in assignment.iter().enumerate() {
+        groups.entry(a.expect("assigned above")).or_default().push(i as u32);
+    }
+    let mut keys: Vec<usize> = groups.keys().copied().collect();
+    keys.sort_unstable();
+    let mut clustering = Clustering::new(n);
+    for k in keys {
+        let members = groups.remove(&k).expect("key present");
+        let density = graph.uniform_density(&members);
+        clustering.clusters.push(DetectedCluster::uniform(members, density));
+    }
+    clustering
+}
+
+/// Median stored off-diagonal similarity (the canonical preference).
+fn median_similarity<G: Graph>(graph: &G) -> f64 {
+    let n = graph.n();
+    let mut sims = Vec::new();
+    for i in 0..n {
+        graph.for_row(i, &mut |_, v| sims.push(v));
+    }
+    if sims.is_empty() {
+        return 0.0;
+    }
+    let mid = sims.len() / 2;
+    *sims
+        .select_nth_unstable_by(mid, |a, b| a.total_cmp(b))
+        .1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::cost::CostModel;
+    use alid_affinity::dense::DenseAffinity;
+    use alid_affinity::kernel::LaplacianKernel;
+    use alid_affinity::vector::Dataset;
+
+    fn graph(points: Vec<f64>) -> DenseAffinity {
+        let ds = Dataset::from_flat(1, points);
+        DenseAffinity::build(&ds, &LaplacianKernel::l2(1.0), CostModel::shared())
+    }
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let g = graph(vec![0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
+        let clustering = ap_detect_all(&g, &ApParams::default(), &CostModel::new());
+        // AP partitions everything; the two tight triples must appear.
+        let sets: Vec<&[u32]> =
+            clustering.clusters.iter().map(|c| c.members.as_slice()).collect();
+        assert!(sets.contains(&&[0u32, 1, 2][..]), "missing {{0,1,2}} in {sets:?}");
+        assert!(sets.contains(&&[3u32, 4, 5][..]), "missing {{3,4,5}} in {sets:?}");
+    }
+
+    #[test]
+    fn every_item_is_assigned_exactly_once() {
+        let g = graph(vec![0.0, 0.5, 1.0, 5.0, 5.5, 20.0, -7.0]);
+        let clustering = ap_detect_all(&g, &ApParams::default(), &CostModel::new());
+        let mut seen = vec![false; 7];
+        for c in &clustering.clusters {
+            for &m in &c.members {
+                assert!(!seen[m as usize], "duplicate assignment of {m}");
+                seen[m as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "some item unassigned");
+    }
+
+    #[test]
+    fn low_preference_yields_fewer_clusters() {
+        let pts = vec![0.0, 0.2, 0.4, 3.0, 3.2, 3.4, 6.0, 6.2];
+        let g = graph(pts);
+        let few = ap_detect_all(
+            &g,
+            &ApParams { preference: Some(0.01), ..Default::default() },
+            &CostModel::new(),
+        );
+        let many = ap_detect_all(
+            &g,
+            &ApParams { preference: Some(0.95), ..Default::default() },
+            &CostModel::new(),
+        );
+        assert!(few.len() <= many.len(), "{} > {}", few.len(), many.len());
+    }
+
+    #[test]
+    fn noise_forms_loose_clusters_filtered_by_density() {
+        let g = graph(vec![0.0, 0.05, 0.1, 0.15, 30.0, -25.0, 80.0]);
+        // AP assigns *every* item to its best exemplar; a preference
+        // above the far-noise affinities lets isolated noise points
+        // self-exemplar instead of glomming onto the tight quad.
+        let params = ApParams { preference: Some(0.01), ..Default::default() };
+        let clustering = ap_detect_all(&g, &params, &CostModel::new());
+        let dominant = clustering.dominant(0.6, 3);
+        assert_eq!(dominant.len(), 1);
+        assert_eq!(dominant.clusters[0].members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn message_memory_is_accounted_and_released() {
+        let g = graph(vec![0.0, 1.0, 2.0]);
+        let cost = CostModel::new();
+        let _ = ap_detect_all(&g, &ApParams::default(), &cost);
+        let snap = cost.snapshot();
+        assert_eq!(snap.entries_current, 0);
+        // 3x3 dense rows minus diagonal plus self edges = 9 edges, 2
+        // floats each.
+        assert_eq!(snap.entries_peak, 18);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let ds = Dataset::from_flat(1, vec![]);
+        let g = DenseAffinity::build(&ds, &LaplacianKernel::l2(1.0), CostModel::shared());
+        let clustering = ap_detect_all(&g, &ApParams::default(), &CostModel::new());
+        assert!(clustering.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! The IID baseline — Infection Immunization Dynamics on the *full*
+//! affinity matrix (Rota Bulò, Pelillo & Bomze, CVIU 2011).
+//!
+//! Per iteration IID is `O(n)` — the selection scan and the product
+//! update both touch one column — but it needs the whole matrix
+//! materialised up front, which is the `O(n^2)` wall the ALID paper
+//! knocks down. The peeling protocol mirrors Section 4.4: converge from
+//! the barycenter of the remaining items, record the support as a
+//! cluster, peel it, repeat.
+
+use alid_affinity::clustering::{Clustering, DetectedCluster};
+use alid_affinity::simplex;
+
+use crate::common::{Graph, HaltPolicy};
+
+/// IID tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct IidParams {
+    /// Iteration cap per detection. Converging from the barycenter
+    /// zeroes weak vertices roughly one per iteration, so the cap should
+    /// comfortably exceed `n`.
+    pub max_iters: usize,
+    /// Relative immunity tolerance.
+    pub tol: f64,
+    /// When the peeling loop may stop early.
+    pub halt: HaltPolicy,
+}
+
+impl Default for IidParams {
+    fn default() -> Self {
+        Self { max_iters: 200_000, tol: 1e-9, halt: HaltPolicy::PeelAll }
+    }
+}
+
+/// Outcome of one full-graph IID convergence.
+#[derive(Clone, Copy, Debug)]
+pub struct IidOutcome {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final density.
+    pub density: f64,
+    /// Whether the infective set emptied before the cap.
+    pub converged: bool,
+}
+
+/// Runs IID to convergence over the alive subset. `x` must be a simplex
+/// vector supported on alive items and `gvec = A x` (both full length);
+/// they are updated in place. `col` is an `n`-sized scratch buffer.
+pub fn iid_converge<G: Graph>(
+    graph: &G,
+    alive: &[bool],
+    x: &mut [f64],
+    gvec: &mut [f64],
+    col: &mut [f64],
+    params: &IidParams,
+) -> IidOutcome {
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < params.max_iters {
+        let pi = simplex::dot(x, gvec);
+        let scale = params.tol * (1.0 + pi.abs());
+        // Select M(x) over the alive range (Eq. 6 of the ALID paper).
+        let mut best_infect: Option<(usize, f64)> = None;
+        let mut best_weak: Option<(usize, f64)> = None;
+        for i in 0..x.len() {
+            if !alive[i] {
+                continue;
+            }
+            let d = gvec[i] - pi;
+            if d > scale {
+                if best_infect.is_none_or(|(_, b)| d > b) {
+                    best_infect = Some((i, d));
+                }
+            } else if d < -scale && x[i] > simplex::SUPPORT_EPS
+                && best_weak.is_none_or(|(_, b)| -d > b) {
+                    best_weak = Some((i, -d));
+                }
+        }
+        let choice = match (best_infect, best_weak) {
+            (None, None) => {
+                converged = true;
+                break;
+            }
+            (Some(inf), None) => Ok(inf),
+            (None, Some(weak)) => Err(weak),
+            (Some(inf), Some(weak)) => {
+                if inf.1 >= weak.1 {
+                    Ok(inf)
+                } else {
+                    Err(weak)
+                }
+            }
+        };
+        match choice {
+            Ok((i, d)) => {
+                // Infection by vertex s_i.
+                let denom = -2.0 * gvec[i] + pi;
+                let eps = if denom < 0.0 { (-d / denom).min(1.0) } else { 1.0 };
+                graph.column_into(i, col);
+                for (g, &c) in gvec.iter_mut().zip(col.iter()) {
+                    *g = (1.0 - eps) * *g + eps * c;
+                }
+                simplex::invade_vertex(x, i, eps);
+            }
+            Err((i, neg_d)) => {
+                // Immunization by the co-vertex s_i(x).
+                let xi = x[i];
+                let mu = xi / (xi - 1.0);
+                let num = mu * (-neg_d);
+                let den = mu * mu * (-2.0 * gvec[i] + pi);
+                let eps = if den < 0.0 { (-num / den).min(1.0) } else { 1.0 };
+                graph.column_into(i, col);
+                let step = mu * eps;
+                for (g, &c) in gvec.iter_mut().zip(col.iter()) {
+                    *g += step * (c - *g);
+                }
+                simplex::invade_covertex(x, i, eps);
+            }
+        }
+        iterations += 1;
+    }
+    simplex::renormalize(x);
+    IidOutcome { iterations, density: simplex::dot(x, gvec), converged }
+}
+
+/// Detects all clusters by barycenter restarts and peeling.
+pub fn iid_detect_all<G: Graph>(graph: &G, params: &IidParams) -> Clustering {
+    let n = graph.n();
+    let mut clustering = Clustering::new(n);
+    if n == 0 {
+        return clustering;
+    }
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    // Row sums over alive columns, maintained incrementally so each
+    // barycenter restart costs O(n) instead of a fresh O(n^2) mat-vec.
+    let mut alive_rowsum = vec![0.0; n];
+    for (i, slot) in alive_rowsum.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        graph.for_row(i, &mut |_, v| acc += v);
+        *slot = acc;
+    }
+    let mut x = vec![0.0; n];
+    let mut gvec = vec![0.0; n];
+    let mut col = vec![0.0; n];
+    let mut tracker = params.halt.tracker();
+    while alive_count > 0 {
+        let w = 1.0 / alive_count as f64;
+        for i in 0..n {
+            x[i] = if alive[i] { w } else { 0.0 };
+            gvec[i] = if alive[i] { alive_rowsum[i] * w } else { 0.0 };
+        }
+        let out = iid_converge(graph, &alive, &mut x, &mut gvec, &mut col, params);
+        let members: Vec<u32> = (0..n)
+            .filter(|&i| alive[i] && x[i] > simplex::SUPPORT_EPS)
+            .map(|i| i as u32)
+            .collect();
+        // Progress guarantee even if the dynamics collapsed numerically.
+        let members = if members.is_empty() {
+            vec![(0..n).find(|&i| alive[i]).expect("alive_count > 0") as u32]
+        } else {
+            members
+        };
+        let weights: Vec<f64> = {
+            let raw: Vec<f64> = members.iter().map(|&m| x[m as usize]).collect();
+            let s: f64 = raw.iter().sum();
+            if s > 0.0 {
+                raw.into_iter().map(|v| v / s).collect()
+            } else {
+                vec![1.0 / members.len() as f64; members.len()]
+            }
+        };
+        for &m in &members {
+            alive[m as usize] = false;
+            alive_count -= 1;
+            graph.for_row(m as usize, &mut |j, v| alive_rowsum[j] -= v);
+        }
+        let density = out.density;
+        clustering.clusters.push(DetectedCluster { members, weights, density });
+        if tracker.observe(density) {
+            break;
+        }
+    }
+    clustering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::cost::CostModel;
+    use alid_affinity::dense::DenseAffinity;
+    use alid_affinity::kernel::LaplacianKernel;
+    use alid_affinity::vector::Dataset;
+
+    fn two_clusters() -> DenseAffinity {
+        let mut flat = Vec::new();
+        for i in 0..5 {
+            flat.push(i as f64 * 0.05);
+        }
+        for i in 0..4 {
+            flat.push(10.0 + i as f64 * 0.05);
+        }
+        flat.extend([40.0, -30.0]); // noise
+        let ds = Dataset::from_flat(1, flat);
+        DenseAffinity::build(&ds, &LaplacianKernel::l2(1.0), CostModel::shared())
+    }
+
+    #[test]
+    fn finds_both_clusters_then_noise() {
+        let g = two_clusters();
+        let clustering = iid_detect_all(&g, &IidParams::default());
+        // The 4-clique's uniform density is ~0.69 ((m-1)/m cap).
+        let dominant = clustering.dominant(0.65, 3);
+        assert_eq!(dominant.len(), 2);
+        assert_eq!(dominant.clusters[0].members, vec![0, 1, 2, 3, 4]);
+        assert_eq!(dominant.clusters[1].members, vec![5, 6, 7, 8]);
+        // Everything peeled exactly once.
+        let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn densest_cluster_is_detected_first() {
+        let g = two_clusters();
+        let clustering = iid_detect_all(&g, &IidParams::default());
+        // The 5-clique has higher pi than the 4-clique ((m-1)/m factor).
+        assert!(clustering.clusters[0].density >= clustering.clusters[1].density);
+        assert_eq!(clustering.clusters[0].members.len(), 5);
+    }
+
+    #[test]
+    fn converge_reaches_immunity() {
+        let g = two_clusters();
+        let n = g.n();
+        let alive = vec![true; n];
+        let mut x = vec![1.0 / n as f64; n];
+        let mut gvec = vec![0.0; n];
+        let support: Vec<usize> = (0..n).collect();
+        g.matvec_support(&x, &support, &mut gvec);
+        let mut col = vec![0.0; n];
+        let out =
+            iid_converge(&g, &alive, &mut x, &mut gvec, &mut col, &IidParams::default());
+        assert!(out.converged);
+        let pi = out.density;
+        for (i, &g) in gvec.iter().enumerate() {
+            assert!(g - pi <= 1e-6 * (1.0 + pi), "vertex {i} still infective");
+        }
+    }
+
+    #[test]
+    fn incremental_gvec_matches_direct_product() {
+        let g = two_clusters();
+        let n = g.n();
+        let alive = vec![true; n];
+        let mut x = vec![1.0 / n as f64; n];
+        let mut gvec = vec![0.0; n];
+        let support: Vec<usize> = (0..n).collect();
+        g.matvec_support(&x, &support, &mut gvec);
+        let mut col = vec![0.0; n];
+        let p = IidParams { max_iters: 25, ..Default::default() };
+        let _ = iid_converge(&g, &alive, &mut x, &mut gvec, &mut col, &p);
+        let sup: Vec<usize> = (0..n).filter(|&i| x[i] > 0.0).collect();
+        let mut fresh = vec![0.0; n];
+        g.matvec_support(&x, &sup, &mut fresh);
+        for i in 0..n {
+            assert!((gvec[i] - fresh[i]).abs() < 1e-8, "gvec[{i}] drifted");
+        }
+    }
+
+    #[test]
+    fn halt_policy_cuts_the_noise_tail() {
+        let g = two_clusters();
+        let p = IidParams {
+            halt: HaltPolicy::StopBelowDensity { threshold: 0.5, patience: 0 },
+            ..Default::default()
+        };
+        let clustering = iid_detect_all(&g, &p);
+        // Two dense detections, then the first sub-threshold one stops
+        // the loop.
+        assert!(clustering.len() <= 4);
+        let full = iid_detect_all(&g, &IidParams::default());
+        assert!(full.len() >= clustering.len());
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_clustering() {
+        let ds = Dataset::from_flat(1, vec![]);
+        let g = DenseAffinity::build(&ds, &LaplacianKernel::l2(1.0), CostModel::shared());
+        let clustering = iid_detect_all(&g, &IidParams::default());
+        assert!(clustering.is_empty());
+    }
+}

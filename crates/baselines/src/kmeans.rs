@@ -1,0 +1,267 @@
+//! k-means (Lloyd 1982) with k-means++ seeding — the canonical
+//! partitioning baseline of the noise-resistance study (Appendix C).
+//!
+//! Partitioning methods need the cluster count up front and force every
+//! item — noise included — into some cluster, which is exactly the
+//! failure mode Fig. 11 demonstrates. Following Liu et al., the harness
+//! passes `K = true clusters + 1`, counting noise as one extra cluster.
+
+use alid_affinity::clustering::{Clustering, DetectedCluster};
+use alid_affinity::kernel::LpNorm;
+use alid_affinity::vector::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// k-means tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct KmeansParams {
+    /// Cluster count `K`.
+    pub k: usize,
+    /// Lloyd iteration cap per restart.
+    pub max_iters: usize,
+    /// Restarts (best inertia wins).
+    pub n_init: usize,
+    /// Relative centroid-movement tolerance.
+    pub tol: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KmeansParams {
+    /// Defaults for a given `K`.
+    pub fn with_k(k: usize) -> Self {
+        assert!(k >= 1, "need at least one cluster");
+        Self { k, max_iters: 100, n_init: 4, tol: 1e-6, seed: 0x6d5 }
+    }
+}
+
+/// One k-means run's result.
+#[derive(Clone, Debug)]
+pub struct KmeansFit {
+    /// Per-item cluster index.
+    pub labels: Vec<usize>,
+    /// `k x dim` centroids, row-major.
+    pub centroids: Vec<f64>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+/// Runs k-means++ / Lloyd with restarts and returns the best fit.
+///
+/// # Panics
+/// Panics if `k > n` or the data set is empty.
+pub fn kmeans_fit(ds: &Dataset, params: &KmeansParams) -> KmeansFit {
+    let n = ds.len();
+    assert!(n > 0, "empty data set");
+    assert!(params.k <= n, "k = {} exceeds n = {n}", params.k);
+    let mut best: Option<KmeansFit> = None;
+    for restart in 0..params.n_init.max(1) {
+        let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(restart as u64));
+        let fit = lloyd(ds, params, &mut rng);
+        if best.as_ref().is_none_or(|b| fit.inertia < b.inertia) {
+            best = Some(fit);
+        }
+    }
+    best.expect("at least one restart")
+}
+
+/// Converts a fit into the shared [`Clustering`] vocabulary. Densities
+/// are left at 1.0: the Fig. 11 protocol evaluates partitioning methods
+/// on all their clusters without a dominance filter.
+pub fn kmeans_detect_all(ds: &Dataset, params: &KmeansParams) -> Clustering {
+    let fit = kmeans_fit(ds, params);
+    let mut clustering = Clustering::new(ds.len());
+    for c in 0..params.k {
+        let members: Vec<u32> = fit
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(i, _)| i as u32)
+            .collect();
+        if !members.is_empty() {
+            clustering.clusters.push(DetectedCluster::uniform(members, 1.0));
+        }
+    }
+    clustering
+}
+
+fn lloyd(ds: &Dataset, params: &KmeansParams, rng: &mut StdRng) -> KmeansFit {
+    let n = ds.len();
+    let dim = ds.dim();
+    let k = params.k;
+    let norm = LpNorm::L2;
+    // ---- k-means++ seeding ------------------------------------------
+    let mut centroids = vec![0.0; k * dim];
+    let first = rng.gen_range(0..n);
+    centroids[..dim].copy_from_slice(ds.get(first));
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = norm.distance(ds.get(i), &centroids[..dim]);
+            d * d
+        })
+        .collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids[c * dim..(c + 1) * dim].copy_from_slice(ds.get(pick));
+        for (i, d) in d2.iter_mut().enumerate() {
+            let nd = norm.distance(ds.get(i), &centroids[c * dim..(c + 1) * dim]);
+            *d = d.min(nd * nd);
+        }
+    }
+    // ---- Lloyd iterations -------------------------------------------
+    let mut labels = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    for _iter in 0..params.max_iters {
+        // Assign.
+        let mut new_inertia = 0.0;
+        for (i, label) in labels.iter_mut().enumerate() {
+            let v = ds.get(i);
+            let mut best = (f64::INFINITY, 0usize);
+            for c in 0..k {
+                let d = norm.distance(v, &centroids[c * dim..(c + 1) * dim]);
+                let d2 = d * d;
+                if d2 < best.0 {
+                    best = (d2, c);
+                }
+            }
+            *label = best.1;
+            new_inertia += best.0;
+        }
+        // Update.
+        let mut sums = vec![0.0; k * dim];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in labels.iter().enumerate() {
+            counts[c] += 1;
+            for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(ds.get(i)) {
+                *s += v;
+            }
+        }
+        let mut moved = 0.0f64;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the worst-fit point.
+                let worst = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = norm.distance(ds.get(a), &centroids[labels[a] * dim..labels[a] * dim + dim]);
+                        let db = norm.distance(ds.get(b), &centroids[labels[b] * dim..labels[b] * dim + dim]);
+                        da.total_cmp(&db)
+                    })
+                    .expect("n > 0");
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(ds.get(worst));
+                moved = f64::INFINITY;
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            for (d, s) in (0..dim).zip(sums[c * dim..(c + 1) * dim].iter()) {
+                let newv = s * inv;
+                moved = moved.max((centroids[c * dim + d] - newv).abs());
+                centroids[c * dim + d] = newv;
+            }
+        }
+        let done = moved <= params.tol * (1.0 + inertia.abs().min(1e300))
+            || (inertia.is_finite() && (inertia - new_inertia).abs() <= params.tol * inertia.max(1.0));
+        inertia = new_inertia;
+        if done {
+            break;
+        }
+    }
+    // Final assignment pass: the loop may exit right after a centroid
+    // update, leaving labels one step stale; callers rely on "every item
+    // is at its nearest centroid".
+    let mut final_inertia = 0.0;
+    for (i, label) in labels.iter_mut().enumerate() {
+        let v = ds.get(i);
+        let mut best = (f64::INFINITY, 0usize);
+        for c in 0..k {
+            let d = norm.distance(v, &centroids[c * dim..(c + 1) * dim]);
+            let d2 = d * d;
+            if d2 < best.0 {
+                best = (d2, c);
+            }
+        }
+        *label = best.1;
+        final_inertia += best.0;
+    }
+    KmeansFit { labels, centroids, inertia: final_inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut ds = Dataset::new(2);
+        for i in 0..10 {
+            ds.push(&[i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..10 {
+            ds.push(&[10.0 + i as f64 * 0.01, 5.0]);
+        }
+        ds
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let ds = blobs();
+        let fit = kmeans_fit(&ds, &KmeansParams::with_k(2));
+        // All of blob A shares a label, all of blob B the other.
+        let a = fit.labels[0];
+        assert!(fit.labels[..10].iter().all(|&l| l == a));
+        let b = fit.labels[10];
+        assert!(fit.labels[10..].iter().all(|&l| l == b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let ds = blobs();
+        let one = kmeans_fit(&ds, &KmeansParams::with_k(1)).inertia;
+        let two = kmeans_fit(&ds, &KmeansParams::with_k(2)).inertia;
+        assert!(two < one);
+    }
+
+    #[test]
+    fn detect_all_covers_everything() {
+        let ds = blobs();
+        let clustering = kmeans_detect_all(&ds, &KmeansParams::with_k(3));
+        let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let ds = Dataset::from_flat(1, vec![0.0, 5.0, 10.0]);
+        let fit = kmeans_fit(&ds, &KmeansParams::with_k(3));
+        assert!((fit.inertia).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = blobs();
+        let a = kmeans_fit(&ds, &KmeansParams::with_k(2));
+        let b = kmeans_fit(&ds, &KmeansParams::with_k(2));
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_k_above_n() {
+        let ds = Dataset::from_flat(1, vec![0.0]);
+        let _ = kmeans_fit(&ds, &KmeansParams::with_k(2));
+    }
+}

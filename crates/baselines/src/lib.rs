@@ -1,0 +1,38 @@
+//! Every comparator from the ALID paper's evaluation, implemented from
+//! the original publications.
+//!
+//! Affinity-based methods (run on a [`common::Graph`], dense or
+//! LSH-sparsified):
+//!
+//! * [`iid`] — Infection Immunization Dynamics on the full matrix
+//!   (Rota Bulò et al. 2011), `O(n)` per iteration but `O(n^2)` matrix;
+//! * [`rd`] — replicator dynamics / Dominant Sets (Pavan & Pelillo 2007);
+//! * [`sea`] — Shrinking and Expansion Algorithm (Liu et al. 2013);
+//! * [`ap`] — Affinity Propagation (Frey & Dueck 2007).
+//!
+//! Partitioning / density methods (Appendix C, Fig. 11):
+//!
+//! * [`kmeans`] — Lloyd + k-means++;
+//! * [`spectral`] — SC-FL (Ng et al. 2002) and SC-NYS (Fowlkes et al.
+//!   2004, Nyström);
+//! * [`meanshift`] — Gaussian mean shift (Comaniciu & Meer 2002).
+
+
+#![warn(missing_docs)]
+pub mod ap;
+pub mod common;
+pub mod iid;
+pub mod kmeans;
+pub mod meanshift;
+pub mod rd;
+pub mod sea;
+pub mod spectral;
+
+pub use ap::{ap_detect_all, ApParams};
+pub use common::{Graph, HaltPolicy};
+pub use iid::{iid_detect_all, IidParams};
+pub use kmeans::{kmeans_detect_all, KmeansParams};
+pub use meanshift::{meanshift_detect_all, MeanShiftParams};
+pub use rd::{ds_detect_all, RdParams};
+pub use sea::{sea_detect_all, SeaParams};
+pub use spectral::{sc_full_detect_all, sc_nystrom_detect_all, SpectralParams};

@@ -1,0 +1,164 @@
+//! Mean shift (Comaniciu & Meer, TPAMI 2002) — the density-seeking
+//! baseline of the noise-resistance study (Appendix C).
+//!
+//! Every point ascends the Gaussian kernel-density estimate by iterating
+//! the mean-shift update; points whose ascents end at the same mode form
+//! a cluster. The paper highlights MS's Achilles heel: a single global
+//! bandwidth cannot fit clusters of different scales, which is exactly
+//! what Fig. 11(b) shows on the image features.
+
+use alid_affinity::clustering::{Clustering, DetectedCluster};
+use alid_affinity::kernel::LpNorm;
+use alid_affinity::vector::Dataset;
+
+/// Mean-shift tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct MeanShiftParams {
+    /// Gaussian kernel bandwidth `h`.
+    pub bandwidth: f64,
+    /// Ascent iteration cap per point.
+    pub max_iters: usize,
+    /// Ascent stops when the shift length drops below `tol * h`.
+    pub tol: f64,
+    /// Modes within `merge_radius * h` collapse into one cluster.
+    pub merge_radius: f64,
+}
+
+impl MeanShiftParams {
+    /// Defaults for a given bandwidth.
+    pub fn with_bandwidth(h: f64) -> Self {
+        assert!(h > 0.0, "bandwidth must be positive");
+        Self { bandwidth: h, max_iters: 200, tol: 1e-3, merge_radius: 0.5 }
+    }
+}
+
+/// Runs mean shift over the whole data set and returns the clustering
+/// (every item assigned to its mode's cluster; densities left at 1.0,
+/// matching the Fig. 11 protocol for non-affinity methods).
+pub fn meanshift_detect_all(ds: &Dataset, params: &MeanShiftParams) -> Clustering {
+    let n = ds.len();
+    let dim = ds.dim();
+    let norm = LpNorm::L2;
+    let h = params.bandwidth;
+    let inv_2h2 = 1.0 / (2.0 * h * h);
+    let mut modes: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut current = vec![0.0; dim];
+    let mut next = vec![0.0; dim];
+    for i in 0..n {
+        current.copy_from_slice(ds.get(i));
+        for _ in 0..params.max_iters {
+            // Weighted mean of all points under the Gaussian kernel.
+            next.fill(0.0);
+            let mut wsum = 0.0;
+            for j in 0..n {
+                let vj = ds.get(j);
+                let d = norm.distance(&current, vj);
+                let w = (-d * d * inv_2h2).exp();
+                if w > 1e-12 {
+                    wsum += w;
+                    for (o, &v) in next.iter_mut().zip(vj) {
+                        *o += w * v;
+                    }
+                }
+            }
+            if wsum <= 0.0 {
+                break; // isolated point: it is its own mode
+            }
+            for o in next.iter_mut() {
+                *o /= wsum;
+            }
+            let shift = norm.distance(&current, &next);
+            current.copy_from_slice(&next);
+            if shift < params.tol * h {
+                break;
+            }
+        }
+        modes.push(current.clone());
+    }
+    // Merge modes within merge_radius * h (greedy single-link).
+    let merge_d = params.merge_radius * h;
+    let mut representative: Vec<usize> = Vec::new(); // item index of each cluster's mode
+    let mut assignment = vec![0usize; n];
+    for (i, mode) in modes.iter().enumerate() {
+        let found = representative
+            .iter()
+            .position(|&r| norm.distance(mode, &modes[r]) <= merge_d);
+        match found {
+            Some(c) => assignment[i] = c,
+            None => {
+                representative.push(i);
+                assignment[i] = representative.len() - 1;
+            }
+        }
+    }
+    let mut clustering = Clustering::new(n);
+    for c in 0..representative.len() {
+        let members: Vec<u32> = (0..n)
+            .filter(|&i| assignment[i] == c)
+            .map(|i| i as u32)
+            .collect();
+        clustering.clusters.push(DetectedCluster::uniform(members, 1.0));
+    }
+    clustering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut ds = Dataset::new(1);
+        for i in 0..8 {
+            ds.push(&[i as f64 * 0.05]);
+        }
+        for i in 0..8 {
+            ds.push(&[10.0 + i as f64 * 0.05]);
+        }
+        ds
+    }
+
+    #[test]
+    fn finds_two_modes_with_a_fitting_bandwidth() {
+        let ds = blobs();
+        let clustering = meanshift_detect_all(&ds, &MeanShiftParams::with_bandwidth(0.5));
+        assert_eq!(clustering.len(), 2);
+        assert_eq!(clustering.clusters[0].members, (0..8).collect::<Vec<u32>>());
+        assert_eq!(clustering.clusters[1].members, (8..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn oversized_bandwidth_merges_everything() {
+        let ds = blobs();
+        let clustering = meanshift_detect_all(&ds, &MeanShiftParams::with_bandwidth(50.0));
+        assert_eq!(clustering.len(), 1);
+        assert_eq!(clustering.clusters[0].len(), 16);
+    }
+
+    #[test]
+    fn tiny_bandwidth_shatters_clusters() {
+        let ds = blobs();
+        let few = meanshift_detect_all(&ds, &MeanShiftParams::with_bandwidth(0.5)).len();
+        let many = meanshift_detect_all(&ds, &MeanShiftParams::with_bandwidth(0.005)).len();
+        assert!(many > few, "bandwidth sensitivity: {many} <= {few}");
+    }
+
+    #[test]
+    fn every_item_lands_in_exactly_one_cluster() {
+        let ds = blobs();
+        let clustering = meanshift_detect_all(&ds, &MeanShiftParams::with_bandwidth(1.0));
+        let mut seen = vec![false; ds.len()];
+        for c in &clustering.clusters {
+            for &m in &c.members {
+                assert!(!seen[m as usize]);
+                seen[m as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn rejects_non_positive_bandwidth() {
+        let _ = MeanShiftParams::with_bandwidth(0.0);
+    }
+}

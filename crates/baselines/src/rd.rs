@@ -1,0 +1,204 @@
+//! Replicator dynamics and the Dominant Sets method (Pavan & Pelillo,
+//! TPAMI 2007).
+//!
+//! RD evolves `x_i <- x_i * (Ax)_i / (xᵀAx)` on the simplex; its fixed
+//! points are the dense subgraphs of the StQP (Motzkin–Straus). DS
+//! detects all dominant clusters by converging from the barycenter,
+//! extracting the support, peeling and repeating. RD is also the inner
+//! engine of SEA's shrink phase. Each iteration costs a
+//! support-restricted mat-vec, `O(n * |support|)` dense.
+
+use alid_affinity::clustering::{Clustering, DetectedCluster};
+use alid_affinity::simplex;
+
+use crate::common::{converged, Graph, HaltPolicy};
+
+/// RD tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct RdParams {
+    /// Iteration cap per convergence.
+    pub max_iters: usize,
+    /// Convergence tolerance on `||x_{t+1} - x_t||_inf`.
+    pub tol: f64,
+    /// Weights below this are zeroed after convergence (RD only reaches
+    /// the boundary asymptotically).
+    pub support_cutoff: f64,
+    /// When peeling may stop.
+    pub halt: HaltPolicy,
+}
+
+impl Default for RdParams {
+    fn default() -> Self {
+        Self { max_iters: 5_000, tol: 1e-10, support_cutoff: 1e-7, halt: HaltPolicy::PeelAll }
+    }
+}
+
+/// Runs replicator dynamics from `x` (in place) restricted to its
+/// support, returning `(iterations, density)`.
+pub fn rd_converge<G: Graph>(graph: &G, x: &mut [f64], params: &RdParams) -> (usize, f64) {
+    let n = graph.n();
+    debug_assert_eq!(x.len(), n);
+    let mut ax = vec![0.0; n];
+    let mut prev = x.to_vec();
+    let mut iterations = 0;
+    for _ in 0..params.max_iters {
+        let support: Vec<usize> = (0..n).filter(|&i| x[i] > 0.0).collect();
+        graph.matvec_support(x, &support, &mut ax);
+        let pi = simplex::dot(x, &ax);
+        if pi <= 0.0 {
+            // Disconnected support (e.g. a single vertex): RD is
+            // stationary at density zero.
+            break;
+        }
+        let inv = 1.0 / pi;
+        for &i in &support {
+            x[i] *= ax[i] * inv;
+        }
+        iterations += 1;
+        if converged(x, &prev, params.tol) {
+            break;
+        }
+        prev.copy_from_slice(x);
+    }
+    // Trim near-zero weights and renormalise.
+    for v in x.iter_mut() {
+        if *v < params.support_cutoff {
+            *v = 0.0;
+        }
+    }
+    simplex::renormalize(x);
+    let support: Vec<usize> = (0..n).filter(|&i| x[i] > 0.0).collect();
+    graph.matvec_support(x, &support, &mut ax);
+    (iterations, simplex::dot(x, &ax))
+}
+
+/// The Dominant Sets method: barycenter restarts + peeling.
+pub fn ds_detect_all<G: Graph>(graph: &G, params: &RdParams) -> Clustering {
+    let n = graph.n();
+    let mut clustering = Clustering::new(n);
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    let mut tracker = params.halt.tracker();
+    let mut x = vec![0.0; n];
+    while alive_count > 0 {
+        let w = 1.0 / alive_count as f64;
+        for i in 0..n {
+            x[i] = if alive[i] { w } else { 0.0 };
+        }
+        let (_iters, density) = rd_converge(graph, &mut x, params);
+        let members: Vec<u32> = (0..n)
+            .filter(|&i| alive[i] && x[i] > 0.0)
+            .map(|i| i as u32)
+            .collect();
+        let members = if members.is_empty() {
+            vec![(0..n).find(|&i| alive[i]).expect("alive_count > 0") as u32]
+        } else {
+            members
+        };
+        let weights: Vec<f64> = {
+            let raw: Vec<f64> = members.iter().map(|&m| x[m as usize]).collect();
+            let s: f64 = raw.iter().sum();
+            if s > 0.0 {
+                raw.into_iter().map(|v| v / s).collect()
+            } else {
+                vec![1.0 / members.len() as f64; members.len()]
+            }
+        };
+        for &m in &members {
+            alive[m as usize] = false;
+            alive_count -= 1;
+        }
+        clustering.clusters.push(DetectedCluster { members, weights, density });
+        if tracker.observe(density) {
+            break;
+        }
+    }
+    clustering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::cost::CostModel;
+    use alid_affinity::dense::DenseAffinity;
+    use alid_affinity::kernel::LaplacianKernel;
+    use alid_affinity::vector::Dataset;
+
+    fn graph(points: Vec<f64>) -> DenseAffinity {
+        let ds = Dataset::from_flat(1, points);
+        DenseAffinity::build(&ds, &LaplacianKernel::l2(1.0), CostModel::shared())
+    }
+
+    #[test]
+    fn rd_density_never_decreases() {
+        let g = graph(vec![0.0, 0.1, 0.2, 5.0, 5.1, 20.0]);
+        let n = g.n();
+        let mut x = vec![1.0 / n as f64; n];
+        let mut ax = vec![0.0; n];
+        let support: Vec<usize> = (0..n).collect();
+        let mut last = {
+            g.matvec_support(&x, &support, &mut ax);
+            simplex::dot(&x, &ax)
+        };
+        // Run RD one step at a time and check monotonicity (fundamental
+        // theorem of natural selection for symmetric games).
+        for _ in 0..200 {
+            let p = RdParams { max_iters: 1, tol: 0.0, ..Default::default() };
+            let (_, pi) = rd_converge(&g, &mut x, &p);
+            assert!(pi >= last - 1e-10, "π decreased: {pi} < {last}");
+            last = pi;
+        }
+    }
+
+    #[test]
+    fn rd_converges_to_the_tight_cluster() {
+        let g = graph(vec![0.0, 0.1, 0.2, 8.0, 30.0]);
+        let n = g.n();
+        let mut x = vec![1.0 / n as f64; n];
+        let (_, density) = rd_converge(&g, &mut x, &RdParams::default());
+        let support = simplex::support(&x);
+        assert_eq!(support, vec![0, 1, 2]);
+        assert!(density > 0.5);
+    }
+
+    #[test]
+    fn rd_stays_on_simplex() {
+        let g = graph(vec![0.0, 0.3, 0.6, 2.0, 2.2]);
+        let n = g.n();
+        let mut x = vec![1.0 / n as f64; n];
+        let p = RdParams { max_iters: 50, ..Default::default() };
+        let _ = rd_converge(&g, &mut x, &p);
+        assert!(simplex::is_on_simplex(&x, 1e-9));
+    }
+
+    #[test]
+    fn ds_peels_all_items() {
+        let g = graph(vec![0.0, 0.05, 0.1, 7.0, 7.05, 7.1, 42.0]);
+        let clustering = ds_detect_all(&g, &RdParams::default());
+        let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 7);
+        let dominant = clustering.dominant(0.5, 3);
+        assert_eq!(dominant.len(), 2);
+    }
+
+    #[test]
+    fn ds_and_iid_find_the_same_dominant_clusters() {
+        use crate::iid::{iid_detect_all, IidParams};
+        let g = graph(vec![0.0, 0.05, 0.1, 7.0, 7.05, 7.1, 42.0, -33.0]);
+        let ds_result = ds_detect_all(&g, &RdParams::default()).dominant(0.5, 2);
+        let iid_result = iid_detect_all(&g, &IidParams::default()).dominant(0.5, 2);
+        assert_eq!(ds_result.len(), iid_result.len());
+        for (a, b) in ds_result.clusters.iter().zip(&iid_result.clusters) {
+            assert_eq!(a.members, b.members);
+            assert!((a.density - b.density).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn singleton_graph_density_zero() {
+        let g = graph(vec![1.5]);
+        let mut x = vec![1.0];
+        let (_, density) = rd_converge(&g, &mut x, &RdParams::default());
+        assert_eq!(density, 0.0);
+    }
+}

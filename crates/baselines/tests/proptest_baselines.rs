@@ -1,0 +1,128 @@
+//! Property-based tests of the baseline dynamics on random instances:
+//! monotonicity/fixed-point laws that must hold regardless of geometry.
+
+use alid_affinity::cost::CostModel;
+use alid_affinity::dense::DenseAffinity;
+use alid_affinity::kernel::LaplacianKernel;
+use alid_affinity::simplex;
+use alid_affinity::vector::Dataset;
+use alid_baselines::common::Graph;
+use alid_baselines::iid::{iid_converge, iid_detect_all, IidParams};
+use alid_baselines::kmeans::{kmeans_fit, KmeansParams};
+use alid_baselines::rd::{rd_converge, RdParams};
+use proptest::prelude::*;
+
+fn points() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(0.0f64..6.0, 2 * 4..=2 * 10).prop_map(|flat| {
+        let n = flat.len() / 2;
+        Dataset::from_flat(2, flat[..2 * n].to_vec())
+    })
+}
+
+fn graph(ds: &Dataset, k: f64) -> DenseAffinity {
+    DenseAffinity::build(ds, &LaplacianKernel::l2(k), CostModel::shared())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// RD's fundamental theorem: π never decreases along the trajectory.
+    #[test]
+    fn rd_is_monotone(ds in points(), k in 0.2f64..2.0) {
+        let g = graph(&ds, k);
+        let n = g.n();
+        let mut x = vec![1.0 / n as f64; n];
+        let mut last = Graph::quadratic_form(&g, &x);
+        for _ in 0..50 {
+            let p = RdParams { max_iters: 1, tol: 0.0, ..Default::default() };
+            let (_, pi) = rd_converge(&g, &mut x, &p);
+            prop_assert!(pi >= last - 1e-9, "π dropped: {pi} < {last}");
+            last = pi;
+            prop_assert!(simplex::is_on_simplex(&x, 1e-8));
+        }
+    }
+
+    /// IID's converged state is immune against every vertex, and its x
+    /// stays on the simplex.
+    #[test]
+    fn iid_reaches_immunity(ds in points(), k in 0.2f64..2.0) {
+        let g = graph(&ds, k);
+        let n = g.n();
+        let alive = vec![true; n];
+        let mut x = vec![1.0 / n as f64; n];
+        let mut gvec = vec![0.0; n];
+        let support: Vec<usize> = (0..n).collect();
+        Graph::matvec_support(&g, &x, &support, &mut gvec);
+        let mut col = vec![0.0; n];
+        let out = iid_converge(&g, &alive, &mut x, &mut gvec, &mut col, &IidParams::default());
+        prop_assume!(out.converged);
+        // Verify against the full matrix (not the incremental gvec).
+        let mut ax = vec![0.0; n];
+        let sup: Vec<usize> = (0..n).filter(|&i| x[i] > 0.0).collect();
+        Graph::matvec_support(&g, &x, &sup, &mut ax);
+        let pi = Graph::quadratic_form(&g, &x);
+        for (i, &a) in ax.iter().enumerate() {
+            prop_assert!(a - pi <= 1e-6 * (1.0 + pi), "vertex {i} infective after convergence");
+        }
+        prop_assert!(simplex::is_on_simplex(&x, 1e-8));
+    }
+
+    /// Peeling partitions the items: every item in exactly one cluster.
+    #[test]
+    fn iid_peeling_partitions(ds in points(), k in 0.2f64..2.0) {
+        let g = graph(&ds, k);
+        let clustering = iid_detect_all(&g, &IidParams::default());
+        let mut seen = vec![false; g.n()];
+        for c in &clustering.clusters {
+            for &m in &c.members {
+                prop_assert!(!seen[m as usize], "item {m} peeled twice");
+                seen[m as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "item never peeled");
+    }
+
+    /// Densities reported by peeling are the quadratic form of the
+    /// reported weights.
+    #[test]
+    fn iid_densities_are_consistent(ds in points(), k in 0.2f64..2.0) {
+        let g = graph(&ds, k);
+        let clustering = iid_detect_all(&g, &IidParams::default());
+        for c in &clustering.clusters {
+            let mut x = vec![0.0; g.n()];
+            for (&m, &w) in c.members.iter().zip(&c.weights) {
+                x[m as usize] = w;
+            }
+            let pi = Graph::quadratic_form(&g, &x);
+            prop_assert!(
+                (pi - c.density).abs() < 1e-6 * (1.0 + pi),
+                "density {} vs quadratic form {pi}",
+                c.density
+            );
+        }
+    }
+
+    /// k-means: inertia of the returned fit never beats a random
+    /// assignment's... the other way: the fit's inertia is minimal among
+    /// single Lloyd descents we can cheaply generate — weaker check:
+    /// every item is assigned to its *nearest* returned centroid.
+    #[test]
+    fn kmeans_assignments_are_nearest_centroid(ds in points(), k in 1usize..4) {
+        let k = k.min(ds.len());
+        let fit = kmeans_fit(&ds, &KmeansParams::with_k(k));
+        let dim = ds.dim();
+        for i in 0..ds.len() {
+            let v = ds.get(i);
+            let d = |c: usize| -> f64 {
+                v.iter()
+                    .zip(&fit.centroids[c * dim..(c + 1) * dim])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum()
+            };
+            let assigned = d(fit.labels[i]);
+            for c in 0..k {
+                prop_assert!(assigned <= d(c) + 1e-9, "item {i} not at nearest centroid");
+            }
+        }
+    }
+}

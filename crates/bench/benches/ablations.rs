@@ -1,0 +1,128 @@
+//! Ablations of ALID's design choices (DESIGN.md section 6):
+//!
+//! * ROI schedule — the growing θ(c) radius vs jumping straight to the
+//!   outer ball (more candidates early → more kernel evaluations);
+//! * CIVS multi-query — querying with every supporting item vs only the
+//!   ball centre (paper Fig. 4: single-query recall starves detection);
+//! * δ cap — how the candidate budget trades work for coverage.
+//!
+//! These measure *work* (kernel evaluations via the cost model) as well
+//! as time, so the effect survives machine noise.
+
+use alid_affinity::cost::CostModel;
+use alid_core::civs::civs;
+use alid_core::{detect_one, AlidParams};
+use alid_data::sift::{sift, SiftConfig};
+use alid_lsh::LshIndex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn workload() -> alid_data::groundtruth::LabeledDataset {
+    sift(&SiftConfig { words: 6, word_size: 60, noise: 1_500, seed: 29 })
+}
+
+fn params_for(ds: &alid_data::groundtruth::LabeledDataset) -> AlidParams {
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut p = AlidParams::new(kernel);
+    p.first_roi_radius = kernel.distance_at(0.5);
+    p
+}
+
+fn bench_delta_sweep(c: &mut Criterion) {
+    let ds = workload();
+    let base = params_for(&ds);
+    let cost = CostModel::shared();
+    let index = LshIndex::build(&ds.data, base.lsh, &cost);
+    let seed = ds.truth.clusters()[0][0];
+    let mut group = c.benchmark_group("ablation_delta");
+    for delta in [50usize, 200, 800] {
+        let params = base.with_delta(delta);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            b.iter(|| black_box(detect_one(&ds.data, &params, &index, seed, &cost)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_civs_queries(c: &mut Criterion) {
+    // Multi-query CIVS (one LSH probe per supporting item, Fig. 4b) vs a
+    // single probe (Fig. 4a). Both variants use the SAME support for the
+    // candidate-exclusion set — only the probe count differs — so the
+    // retrieved-candidate gap isolates retrieval coverage. The support is
+    // half of one visual word; the candidates to find are the other half.
+    let ds = workload();
+    let base = params_for(&ds);
+    let cost = CostModel::shared();
+    let index = LshIndex::build(&ds.data, base.lsh, &cost);
+    let word = &ds.truth.clusters()[0];
+    let alpha: Vec<u32> = word[..word.len() / 2].to_vec();
+    let idx: Vec<usize> = alpha.iter().map(|&a| a as usize).collect();
+    let center = ds.data.centroid(&idx);
+    let radius = base.kernel.distance_at(0.4);
+    let kernel = base.kernel;
+    let mut group = c.benchmark_group("ablation_civs");
+    group.bench_function("multi_query_half_word", |b| {
+        b.iter(|| black_box(civs(&ds.data, &kernel, &index, &alpha, &center, radius, 800)));
+    });
+    // Single probe from the first supporting item, same exclusions: pass
+    // the probe item first and tombstone-free full alpha via the filter
+    // by running civs with alpha but probing one item only — emulated by
+    // querying with a one-item support then dropping alpha hits.
+    group.bench_function("single_query_one_probe", |b| {
+        let single = [alpha[0]];
+        b.iter(|| {
+            let mut res = civs(&ds.data, &kernel, &index, &single, &center, radius, 800);
+            res.psi.retain(|id| !alpha.contains(id));
+            black_box(res)
+        });
+    });
+    // Recall comparison (outside the timing loop), identical exclusions.
+    let multi = civs(&ds.data, &kernel, &index, &alpha, &center, radius, 800);
+    let single = {
+        let mut res = civs(&ds.data, &kernel, &index, &[alpha[0]], &center, radius, 800);
+        res.psi.retain(|id| !alpha.contains(id));
+        res
+    };
+    eprintln!(
+        "[civs ablation] multi-query retrieved {} in-ROI candidates, single probe {}",
+        multi.psi.len(),
+        single.psi.len()
+    );
+    group.finish();
+}
+
+fn bench_roi_schedule(c: &mut Criterion) {
+    // Growing schedule (C=10, θ(c)) vs a single-iteration jump to the
+    // first radius estimate: the latter must scan more candidates per
+    // iteration on noisy data.
+    let ds = workload();
+    let base = params_for(&ds);
+    let cost = CostModel::shared();
+    let index = LshIndex::build(&ds.data, base.lsh, &cost);
+    let seed = ds.truth.clusters()[1][0];
+    let mut group = c.benchmark_group("ablation_roi_schedule");
+    group.bench_function("growing_theta_c10", |b| {
+        b.iter(|| black_box(detect_one(&ds.data, &base, &index, seed, &cost)));
+    });
+    let eager = base.with_iteration_caps(2, base.max_lid_iters);
+    group.bench_function("eager_two_iterations", |b| {
+        b.iter(|| black_box(detect_one(&ds.data, &eager, &index, seed, &cost)));
+    });
+    group.finish();
+}
+
+/// Bounded measurement so the whole workspace bench suite stays
+/// laptop-friendly; pass your own criterion flags to override.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_delta_sweep, bench_civs_queries, bench_roi_schedule
+}
+criterion_main!(benches);

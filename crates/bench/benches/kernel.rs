@@ -1,0 +1,97 @@
+//! Microbenchmarks of the metric/kernel substrate: the innermost hot
+//! loop of every method in the workspace.
+
+use alid_affinity::cost::CostModel;
+use alid_affinity::dense::DenseAffinity;
+use alid_affinity::kernel::{LaplacianKernel, LpNorm};
+use alid_affinity::vector::Dataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn make_vectors(dim: usize, n: usize) -> Dataset {
+    let mut ds = Dataset::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for i in 0..n {
+        for (d, r) in row.iter_mut().enumerate() {
+            *r = ((i * 31 + d * 7) as f64 * 0.013).sin();
+        }
+        ds.push(&row);
+    }
+    ds
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for dim in [32usize, 128, 350] {
+        let ds = make_vectors(dim, 2);
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("l2", dim), &dim, |b, _| {
+            let norm = LpNorm::L2;
+            b.iter(|| black_box(norm.distance(ds.get(0), ds.get(1))));
+        });
+        group.bench_with_input(BenchmarkId::new("l1", dim), &dim, |b, _| {
+            let norm = LpNorm::L1;
+            b.iter(|| black_box(norm.distance(ds.get(0), ds.get(1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_eval");
+    for dim in [128usize, 350] {
+        let ds = make_vectors(dim, 2);
+        let kernel = LaplacianKernel::l2(0.7);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| black_box(kernel.eval(ds.get(0), ds.get(1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matrix_build");
+    group.sample_size(10);
+    for n in [200usize, 500] {
+        let ds = make_vectors(64, n);
+        let kernel = LaplacianKernel::l2(0.7);
+        group.throughput(Throughput::Elements((n * n) as u64 / 2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(DenseAffinity::build(&ds, &kernel, CostModel::shared()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let n = 1000;
+    let ds = make_vectors(64, n);
+    let kernel = LaplacianKernel::l2(0.7);
+    let a = DenseAffinity::build(&ds, &kernel, CostModel::shared());
+    let x = vec![1.0 / n as f64; n];
+    let mut out = vec![0.0; n];
+    c.bench_function("dense_matvec_1000", |b| {
+        b.iter(|| {
+            a.matvec(black_box(&x), black_box(&mut out));
+        })
+    });
+}
+
+/// Bounded measurement so the whole workspace bench suite stays
+/// laptop-friendly; pass your own criterion flags to override.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_distance, bench_kernel_eval, bench_dense_build, bench_matvec
+}
+criterion_main!(benches);

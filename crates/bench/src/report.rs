@@ -1,0 +1,80 @@
+//! Aligned console tables plus JSON mirrors under `experiments/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Prints a titled, column-aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "\n== {title} ==");
+    let head: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    let _ = writeln!(out, "{}", head.join("  "));
+    let _ = writeln!(out, "{}", "-".repeat(head.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+}
+
+/// Serialises `value` to `experiments/<name>.json` (best effort — the
+/// tables on stdout are the primary artifact).
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = Path::new("experiments");
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            let _ = fs::write(&path, s);
+            eprintln!("[saved {}]", path.display());
+        }
+        Err(e) => eprintln!("[json error for {name}: {e}]"),
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.001 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_covers_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(f64::NAN), "-");
+        assert_eq!(fmt(1.5), "1.500");
+        assert!(fmt(123456.0).contains('e'));
+        assert!(fmt(0.00001).contains('e'));
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_widths() {
+        print_table(
+            "t",
+            &["a", "long-header"],
+            &[vec!["xxxxxxxxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+        );
+    }
+}

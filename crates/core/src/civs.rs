@@ -1,0 +1,157 @@
+//! Candidate Infective Vertex Search — Step 3 of ALID (Section 4.3).
+//!
+//! Retrieving everything inside the ROI is a fixed-radius near-neighbour
+//! problem. A single LSH query at the ball centre covers only one
+//! locality-sensitive region and can miss much of the ROI (Fig. 4a), so
+//! CIVS queries with *every supporting data item* of `x̂` and unions the
+//! results (Fig. 4b) — this multi-query recall is what the convergence
+//! proof (Proposition 2 in the appendix) leans on. The hits are filtered
+//! to the ROI ball, the `δ` nearest to the centre are kept, and the local
+//! range is rebuilt as `β ← α ∪ ψ` with the product vector carried over
+//! per Eq. 17.
+
+use alid_affinity::fx::FxHashSet;
+use alid_affinity::kernel::LaplacianKernel;
+use alid_affinity::vector::Dataset;
+use alid_lsh::LshIndex;
+
+/// Result of one CIVS retrieval.
+#[derive(Clone, Debug, Default)]
+pub struct CivsResult {
+    /// New candidate vertices `ψ` (global ids), ascending by distance to
+    /// the ROI centre, `|ψ| <= δ`.
+    pub psi: Vec<u32>,
+    /// Raw LSH hits before ROI filtering (diagnostics/ablation).
+    pub raw_hits: usize,
+}
+
+/// Retrieves at most `delta` alive data items inside the ROI ball
+/// `(center, radius)` that are not already in the support `alpha`,
+/// querying the index once per supporting item.
+pub fn civs(
+    ds: &Dataset,
+    kernel: &LaplacianKernel,
+    index: &LshIndex,
+    alpha: &[u32],
+    center: &[f64],
+    radius: f64,
+    delta: usize,
+) -> CivsResult {
+    let queries = alpha.iter().map(|&a| ds.get(a as usize));
+    let hits = index.multi_query(queries);
+    let raw_hits = hits.len();
+    let alpha_set: FxHashSet<u32> = alpha.iter().copied().collect();
+    // (distance to centre, id) for in-ROI novelties.
+    let mut in_roi: Vec<(f64, u32)> = hits
+        .into_iter()
+        .filter(|id| !alpha_set.contains(id))
+        .filter_map(|id| {
+            let d = kernel.norm.distance(ds.get(id as usize), center);
+            (d <= radius).then_some((d, id))
+        })
+        .collect();
+    in_roi.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    in_roi.truncate(delta);
+    CivsResult { psi: in_roi.into_iter().map(|(_, id)| id).collect(), raw_hits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::cost::CostModel;
+    use alid_lsh::LshParams;
+
+    /// A line of points 0.0, 0.1, ..., 4.9 in 1-d.
+    fn line() -> Dataset {
+        Dataset::from_flat(1, (0..50).map(|i| i as f64 * 0.1).collect())
+    }
+
+    fn index(ds: &Dataset) -> LshIndex {
+        LshIndex::build(ds, LshParams::new(16, 3, 2.0, 99), &CostModel::shared())
+    }
+
+    #[test]
+    fn retrieves_only_within_radius() {
+        let ds = line();
+        let idx = index(&ds);
+        let kernel = LaplacianKernel::l2(1.0);
+        let alpha = [0u32];
+        let center = vec![0.0];
+        let res = civs(&ds, &kernel, &idx, &alpha, &center, 0.45, 100);
+        for &id in &res.psi {
+            assert!(ds.get(id as usize)[0] <= 0.45 + 1e-12);
+        }
+        assert!(!res.psi.contains(&0), "support members are excluded");
+        assert!(!res.psi.is_empty(), "near neighbours must be found");
+    }
+
+    #[test]
+    fn respects_delta_cap_and_keeps_nearest() {
+        let ds = line();
+        let idx = index(&ds);
+        let kernel = LaplacianKernel::l2(1.0);
+        let res = civs(&ds, &kernel, &idx, &[0], &[0.0], 3.0, 5);
+        assert_eq!(res.psi.len(), 5);
+        // The five nearest non-support items are 1..=5.
+        let mut got = res.psi.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn results_ordered_by_distance_to_center() {
+        let ds = line();
+        let idx = index(&ds);
+        let kernel = LaplacianKernel::l2(1.0);
+        let res = civs(&ds, &kernel, &idx, &[10], &[1.0], 1.0, 50);
+        let mut last = -1.0;
+        for &id in &res.psi {
+            let d = (ds.get(id as usize)[0] - 1.0).abs();
+            assert!(d >= last - 1e-12, "ψ must be ascending by distance");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn multi_query_beats_single_query_coverage() {
+        // A crescent of support items: querying from every support item
+        // covers parts of the ROI a single centre query can miss. With a
+        // generous radius the multi-query result must be a superset.
+        let ds = line();
+        let idx = index(&ds);
+        let kernel = LaplacianKernel::l2(1.0);
+        let alpha_many = [0u32, 10, 20, 30];
+        let center = vec![1.5];
+        let wide = civs(&ds, &kernel, &idx, &alpha_many, &center, 2.0, 500);
+        let narrow = civs(&ds, &kernel, &idx, &[15], &center, 2.0, 500);
+        let wide_set: FxHashSet<u32> = wide.psi.iter().copied().collect();
+        // Every hit of the single query that is not itself in alpha_many
+        // must also be found by the multi query.
+        for id in narrow.psi {
+            if !alpha_many.contains(&id) {
+                assert!(wide_set.contains(&id), "multi-query lost item {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn tombstoned_items_never_returned() {
+        let ds = line();
+        let mut idx = index(&ds);
+        idx.remove(1);
+        idx.remove(2);
+        let kernel = LaplacianKernel::l2(1.0);
+        let res = civs(&ds, &kernel, &idx, &[0], &[0.0], 1.0, 100);
+        assert!(!res.psi.contains(&1));
+        assert!(!res.psi.contains(&2));
+    }
+
+    #[test]
+    fn empty_when_radius_is_tiny() {
+        let ds = line();
+        let idx = index(&ds);
+        let kernel = LaplacianKernel::l2(1.0);
+        let res = civs(&ds, &kernel, &idx, &[0], &[0.0], 1e-6, 100);
+        assert!(res.psi.is_empty());
+    }
+}

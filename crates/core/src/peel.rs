@@ -1,0 +1,194 @@
+//! The peeling driver — detect, peel off, repeat (Section 4.4).
+//!
+//! To find *all* dominant clusters, ALID adopts the same protocol as DS
+//! and IID: detect one cluster, remove ("peel off") its members, and
+//! reiterate on the remaining data until everything is peeled. Peeled
+//! items are tombstoned in the LSH index, so subsequent detections
+//! simply cannot retrieve them. The caller applies the final density
+//! filter ([`alid_affinity::Clustering::dominant`]).
+
+use std::sync::Arc;
+
+use alid_affinity::clustering::Clustering;
+use alid_affinity::cost::CostModel;
+use alid_affinity::vector::Dataset;
+use alid_lsh::LshIndex;
+
+use crate::alid::detect_one;
+use crate::config::AlidParams;
+
+/// Owns the LSH index and the alive set for one full detection pass.
+pub struct Peeler<'a> {
+    ds: &'a Dataset,
+    params: AlidParams,
+    cost: Arc<CostModel>,
+    index: LshIndex,
+    next_seed: u32,
+}
+
+impl<'a> Peeler<'a> {
+    /// Builds the LSH index over `ds` and prepares a full pass.
+    pub fn new(ds: &'a Dataset, params: AlidParams, cost: Arc<CostModel>) -> Self {
+        let index = LshIndex::build(ds, params.lsh, &cost);
+        Self { ds, params, cost, index, next_seed: 0 }
+    }
+
+    /// The tunables in use.
+    pub fn params(&self) -> &AlidParams {
+        &self.params
+    }
+
+    /// Items not yet peeled.
+    pub fn remaining(&self) -> usize {
+        self.index.alive_count()
+    }
+
+    /// Detects the next cluster (seeded at the lowest-index alive item)
+    /// and peels its members. Returns `None` once everything is peeled.
+    pub fn next_cluster(&mut self) -> Option<alid_affinity::clustering::DetectedCluster> {
+        let seed = self.next_alive()?;
+        let out = detect_one(self.ds, &self.params, &self.index, seed, &self.cost);
+        // Peel the support plus the seed itself (the dynamics may have
+        // immunized the seed away; it must still leave the pool or the
+        // pass would loop forever).
+        self.index.remove(seed);
+        for &m in &out.cluster.members {
+            self.index.remove(m);
+        }
+        Some(out.cluster)
+    }
+
+    /// Runs the pass to exhaustion and returns every detected cluster
+    /// (dominant and noise alike — filter with
+    /// [`Clustering::dominant`]).
+    pub fn detect_all(mut self) -> Clustering {
+        let mut clustering = Clustering::new(self.ds.len());
+        while let Some(cluster) = self.next_cluster() {
+            clustering.clusters.push(cluster);
+        }
+        clustering
+    }
+
+    /// Like [`Self::detect_all`] but stops after `max_clusters`
+    /// detections (useful when only the top clusters matter).
+    pub fn detect_up_to(mut self, max_clusters: usize) -> Clustering {
+        let mut clustering = Clustering::new(self.ds.len());
+        while clustering.clusters.len() < max_clusters {
+            match self.next_cluster() {
+                Some(c) => clustering.clusters.push(c),
+                None => break,
+            }
+        }
+        clustering
+    }
+
+    fn next_alive(&mut self) -> Option<u32> {
+        let n = self.ds.len() as u32;
+        while self.next_seed < n {
+            let s = self.next_seed;
+            if self.index.is_alive(s) {
+                return Some(s);
+            }
+            self.next_seed += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_lsh::LshParams;
+
+    /// Three clusters of different tightness plus noise.
+    fn fixture() -> Dataset {
+        let mut flat = Vec::new();
+        for i in 0..6 {
+            flat.push(i as f64 * 0.04); // A: very tight, 6 items
+        }
+        for i in 0..5 {
+            flat.push(20.0 + i as f64 * 0.05); // B: tight, 5 items
+        }
+        for i in 0..4 {
+            flat.push(40.0 + i as f64 * 1.5); // C: loose, 4 items
+        }
+        flat.extend([100.0, -55.0, 71.3, 88.8]); // noise
+        Dataset::from_flat(1, flat)
+    }
+
+    fn params(ds: &Dataset) -> AlidParams {
+        AlidParams::calibrated(ds, 0.2, 0.9)
+            .with_lsh(LshParams::new(12, 8, 1.0, 123))
+            .with_delta(16)
+    }
+
+    #[test]
+    fn peels_everything_exactly_once() {
+        let ds = fixture();
+        let clustering = Peeler::new(&ds, params(&ds), CostModel::shared()).detect_all();
+        // Every item appears in exactly one cluster.
+        let mut seen = vec![0usize; ds.len()];
+        for c in &clustering.clusters {
+            for &m in &c.members {
+                seen[m as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s <= 1), "an item was detected twice");
+        // Noise items may end up as singletons but never vanish more
+        // than once; the union of clusters plus never-supported seeds
+        // covers everything. At minimum the two tight clusters are
+        // intact:
+        let dominant = clustering.dominant(0.75, 3);
+        assert_eq!(dominant.len(), 2, "clusters A and B are dominant");
+        assert_eq!(dominant.clusters[0].members, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(dominant.clusters[1].members, vec![6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn loose_cluster_has_lower_density() {
+        let ds = fixture();
+        let clustering = Peeler::new(&ds, params(&ds), CostModel::shared()).detect_all();
+        let find = |member: u32| {
+            clustering
+                .clusters
+                .iter()
+                .find(|c| c.members.contains(&member))
+                .expect("member clustered")
+        };
+        let tight = find(0);
+        let loose = find(11);
+        assert!(tight.density > loose.density);
+    }
+
+    #[test]
+    fn detect_up_to_limits_work() {
+        let ds = fixture();
+        let clustering =
+            Peeler::new(&ds, params(&ds), CostModel::shared()).detect_up_to(1);
+        assert_eq!(clustering.len(), 1);
+    }
+
+    #[test]
+    fn remaining_shrinks_monotonically() {
+        let ds = fixture();
+        let mut peeler = Peeler::new(&ds, params(&ds), CostModel::shared());
+        let mut last = peeler.remaining();
+        assert_eq!(last, ds.len());
+        while let Some(_c) = peeler.next_cluster() {
+            let now = peeler.remaining();
+            assert!(now < last, "peeling must make progress");
+            last = now;
+        }
+        assert_eq!(peeler.remaining(), 0);
+    }
+
+    #[test]
+    fn memory_is_released_between_clusters() {
+        let ds = fixture();
+        let cost = CostModel::shared();
+        let _ = Peeler::new(&ds, params(&ds), Arc::clone(&cost)).detect_all();
+        assert_eq!(cost.snapshot().entries_current, 0);
+        // Peak is far below the full matrix (19^2 = 361).
+        assert!(cost.snapshot().entries_peak < 200);
+    }
+}

@@ -1,0 +1,205 @@
+//! Region-of-Interest estimation — Step 2 of ALID (Section 4.2).
+//!
+//! From the local dense subgraph `x̂` a *double-deck hyperball*
+//! `H(D, R_in, R_out)` is built (Eq. 15):
+//!
+//! ```text
+//! D     = Σ_{i∈α} x̂_i v_i
+//! λ_in  = Σ_{i∈α} x̂_i e^{-k‖v_i - D‖},   R_in  = ln(λ_in  / π(x̂)) / k
+//! λ_out = Σ_{i∈α} x̂_i e^{+k‖v_i - D‖},   R_out = ln(λ_out / π(x̂)) / k
+//! ```
+//!
+//! Proposition 1 (proved via the triangle inequality on the Laplacian
+//! kernel) guarantees that every data item strictly inside the inner
+//! ball is infective against `x̂`, and every item strictly outside the
+//! outer ball is immune. The ROI radius therefore starts at `R_in` and
+//! grows to `R_out` with the shifted logistic schedule
+//! `θ(c) = 1 / (1 + e^{4 - c/2})` (Eq. 16), so early iterations scan few
+//! candidates while convergence to the *global* dense subgraph stays
+//! guaranteed.
+
+use alid_affinity::kernel::LaplacianKernel;
+use alid_affinity::vector::Dataset;
+
+/// The double-deck hyperball of Eq. 15.
+#[derive(Clone, Debug)]
+pub struct Roi {
+    /// Ball centre `D` (the weighted centroid of the support).
+    pub center: Vec<f64>,
+    /// Inner radius: everything nearer is provably infective.
+    pub r_in: f64,
+    /// Outer radius: everything farther is provably immune.
+    pub r_out: f64,
+}
+
+/// The growth schedule `θ(c) = 1 / (1 + e^{4 - c/2})` of Eq. 16.
+pub fn theta(c: usize) -> f64 {
+    1.0 / (1.0 + (4.0 - c as f64 / 2.0).exp())
+}
+
+impl Roi {
+    /// Estimates the ROI from the support of a local dense subgraph.
+    ///
+    /// `alpha` holds global indices, `weights` the matching simplex
+    /// weights of `x̂`, `density` is `π(x̂) > 0`. Radii are clamped to
+    /// `[0, ∞)`; `R_out >= R_in` always holds since `λ_out >= λ_in`.
+    ///
+    /// # Panics
+    /// Panics if `alpha`/`weights` lengths differ, `alpha` is empty or
+    /// `density <= 0` (iteration 1 must use
+    /// [`crate::AlidParams::first_roi_radius`] instead — Algorithm 2's
+    /// special case).
+    pub fn estimate(
+        ds: &Dataset,
+        kernel: &LaplacianKernel,
+        alpha: &[u32],
+        weights: &[f64],
+        density: f64,
+    ) -> Self {
+        assert_eq!(alpha.len(), weights.len(), "support/weight length mismatch");
+        assert!(!alpha.is_empty(), "support must be non-empty");
+        assert!(density > 0.0, "ROI needs π(x̂) > 0; use first_roi_radius at c = 1");
+        let idx: Vec<usize> = alpha.iter().map(|&a| a as usize).collect();
+        let center = ds.weighted_centroid(&idx, weights);
+        let k = kernel.k;
+        let mut lambda_in = 0.0;
+        let mut lambda_out = 0.0;
+        for (&i, &w) in idx.iter().zip(weights) {
+            let d = kernel.norm.distance(ds.get(i), &center);
+            lambda_in += w * (-k * d).exp();
+            lambda_out += w * (k * d).exp();
+        }
+        let r_in = ((lambda_in / density).ln() / k).max(0.0);
+        let r_out = ((lambda_out / density).ln() / k).max(r_in);
+        Self { center, r_in, r_out }
+    }
+
+    /// ROI radius at ALID iteration `c` per Eq. 16.
+    pub fn radius_at(&self, c: usize) -> f64 {
+        self.r_in + theta(c) * (self.r_out - self.r_in)
+    }
+
+    /// Whether point `v` lies inside the ball of radius `radius`.
+    pub fn contains(&self, kernel: &LaplacianKernel, v: &[f64], radius: f64) -> bool {
+        kernel.norm.distance(v, &self.center) <= radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::cost::CostModel;
+    use alid_affinity::dense::DenseAffinity;
+    use alid_affinity::local::LocalAffinity;
+    use alid_affinity::simplex;
+
+    use crate::lid::{lid_converge, LidState};
+
+    fn converged_subgraph(
+        ds: &Dataset,
+        kernel: LaplacianKernel,
+    ) -> (Vec<u32>, Vec<f64>, f64) {
+        let beta: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut aff = LocalAffinity::new(ds, kernel, CostModel::shared(), beta.clone());
+        let mut st = LidState::from_vertex(&mut aff, 0);
+        let out = lid_converge(&mut aff, &mut st, 5000, 1e-12);
+        let sup = simplex::support(&st.x);
+        let alpha: Vec<u32> = sup.iter().map(|&p| beta[p]).collect();
+        let weights: Vec<f64> = sup.iter().map(|&p| st.x[p]).collect();
+        (alpha, weights, out.density)
+    }
+
+    #[test]
+    fn theta_is_a_growing_schedule_saturating_at_one() {
+        assert!(theta(1) < 0.05, "early iterations stay near the inner ball");
+        assert!(theta(1) < theta(5));
+        assert!(theta(5) < theta(10));
+        assert!(theta(30) > 0.999, "late iterations coincide with the outer ball");
+    }
+
+    #[test]
+    fn radius_interpolates_between_decks() {
+        let roi = Roi { center: vec![0.0], r_in: 1.0, r_out: 3.0 };
+        assert!(roi.radius_at(1) >= 1.0);
+        assert!(roi.radius_at(1) < roi.radius_at(8));
+        assert!(roi.radius_at(40) <= 3.0 + 1e-12);
+        assert!((roi.radius_at(40) - 3.0).abs() < 1e-3);
+    }
+
+    /// Proposition 1, property 1: items strictly inside the inner ball
+    /// are infective (`π(s_j − x̂, x̂) > 0`).
+    #[test]
+    fn inner_ball_contains_only_infective_vertices() {
+        // Cluster around 0 plus probes at many distances.
+        let mut flat = vec![0.0, 0.02, 0.04, 0.06];
+        for t in 1..60 {
+            flat.push(t as f64 * 0.05);
+        }
+        let ds = Dataset::from_flat(1, flat);
+        let kernel = LaplacianKernel::l2(1.0);
+        // Converge on the core only (restrict β to the tight cluster).
+        let beta: Vec<u32> = vec![0, 1, 2, 3];
+        let mut aff = LocalAffinity::new(&ds, kernel, CostModel::shared(), beta.clone());
+        let mut st = LidState::from_vertex(&mut aff, 0);
+        let out = lid_converge(&mut aff, &mut st, 5000, 1e-12);
+        let sup = simplex::support(&st.x);
+        let alpha: Vec<u32> = sup.iter().map(|&p| beta[p]).collect();
+        let weights: Vec<f64> = sup.iter().map(|&p| st.x[p]).collect();
+        let roi = Roi::estimate(&ds, &kernel, &alpha, &weights, out.density);
+
+        let dense = DenseAffinity::build(&ds, &kernel, CostModel::shared());
+        // π(s_j − x̂, x̂) in the *global* graph = (A x̂)_j − π(x̂).
+        let mut xg = vec![0.0; ds.len()];
+        for (&a, &w) in alpha.iter().zip(&weights) {
+            xg[a as usize] = w;
+        }
+        let mut ax = vec![0.0; ds.len()];
+        dense.matvec(&xg, &mut ax);
+        let pi = dense.quadratic_form(&xg);
+        for (j, &axj) in ax.iter().enumerate() {
+            let dist = kernel.norm.distance(ds.get(j), &roi.center);
+            if dist < roi.r_in - 1e-9 {
+                assert!(
+                    axj - pi > -1e-9,
+                    "item {j} inside the inner ball must be infective (π(s_j−x̂,x̂)={})",
+                    axj - pi
+                );
+            }
+            if dist > roi.r_out + 1e-9 {
+                assert!(
+                    axj - pi < 1e-9,
+                    "item {j} outside the outer ball must be immune (π(s_j−x̂,x̂)={})",
+                    axj - pi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_centers_on_the_weighted_centroid() {
+        let ds = Dataset::from_flat(1, vec![0.0, 1.0, 8.0]);
+        let kernel = LaplacianKernel::l2(1.0);
+        let (alpha, weights, density) = converged_subgraph(&ds, kernel);
+        let roi = Roi::estimate(&ds, &kernel, &alpha, &weights, density);
+        let idx: Vec<usize> = alpha.iter().map(|&a| a as usize).collect();
+        let want = ds.weighted_centroid(&idx, &weights);
+        assert!((roi.center[0] - want[0]).abs() < 1e-12);
+        assert!(roi.r_out >= roi.r_in);
+    }
+
+    #[test]
+    fn contains_matches_metric() {
+        let kernel = LaplacianKernel::l2(1.0);
+        let roi = Roi { center: vec![0.0, 0.0], r_in: 0.0, r_out: 0.0 };
+        assert!(roi.contains(&kernel, &[0.3, 0.4], 0.5 + 1e-12));
+        assert!(!roi.contains(&kernel, &[0.3, 0.4], 0.5 - 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "π(x̂) > 0")]
+    fn estimate_rejects_zero_density() {
+        let ds = Dataset::from_flat(1, vec![0.0]);
+        let kernel = LaplacianKernel::l2(1.0);
+        let _ = Roi::estimate(&ds, &kernel, &[0], &[1.0], 0.0);
+    }
+}

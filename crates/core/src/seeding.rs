@@ -1,0 +1,136 @@
+//! Seed sampling for PALID (Section 4.6).
+//!
+//! Data items of one dominant cluster are highly similar, so they tend
+//! to land in the same LSH buckets; large buckets therefore betray where
+//! dominant clusters live. PALID samples its initial vertices uniformly
+//! from every bucket holding more than five items, at a 20% rate.
+
+use alid_affinity::fx::FxHashSet;
+use alid_lsh::LshIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples seeds from every bucket with at least `min_bucket` alive
+/// members, taking `ceil(rate * |bucket|)` items per bucket uniformly
+/// without replacement. The result is deduplicated and sorted (the task
+/// list order of Fig. 5). Returns an empty vector when no bucket
+/// qualifies — callers should fall back to scanning all items.
+///
+/// # Panics
+/// Panics unless `0 < rate <= 1`.
+pub fn sample_seeds(index: &LshIndex, min_bucket: usize, rate: f64, seed: u64) -> Vec<u32> {
+    assert!(rate > 0.0 && rate <= 1.0, "sample rate must be in (0, 1], got {rate}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: FxHashSet<u32> = FxHashSet::default();
+    for mut bucket in index.large_buckets(min_bucket) {
+        let take = ((bucket.len() as f64 * rate).ceil() as usize).clamp(1, bucket.len());
+        // Partial Fisher–Yates: the first `take` slots become the sample.
+        for t in 0..take {
+            let j = rng.gen_range(t..bucket.len());
+            bucket.swap(t, j);
+            chosen.insert(bucket[t]);
+        }
+    }
+    let mut seeds: Vec<u32> = chosen.into_iter().collect();
+    seeds.sort_unstable();
+    seeds
+}
+
+/// The paper's configuration: buckets with more than 5 items, 20% rate.
+pub fn sample_seeds_paper(index: &LshIndex, seed: u64) -> Vec<u32> {
+    sample_seeds(index, 6, 0.2, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::cost::CostModel;
+    use alid_affinity::vector::Dataset;
+    use alid_lsh::LshParams;
+
+    /// Two dense blobs of 30 items each plus 10 scattered noise points.
+    fn fixture() -> Dataset {
+        let mut ds = Dataset::new(2);
+        for i in 0..30 {
+            ds.push(&[i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..30 {
+            ds.push(&[100.0 + i as f64 * 0.01, 5.0]);
+        }
+        for i in 0..10 {
+            let f = i as f64;
+            ds.push(&[f * 37.0 - 200.0, f * 51.0 + 40.0]);
+        }
+        ds
+    }
+
+    fn index(ds: &Dataset) -> LshIndex {
+        LshIndex::build(ds, LshParams::new(8, 6, 1.0, 5), &CostModel::shared())
+    }
+
+    #[test]
+    fn seeds_come_from_dense_regions() {
+        let ds = fixture();
+        let idx = index(&ds);
+        let seeds = sample_seeds_paper(&idx, 7);
+        assert!(!seeds.is_empty());
+        // Noise points (ids 60..70) live in singleton buckets and should
+        // rarely be sampled; require that the bulk of seeds are cluster
+        // members.
+        let cluster_seeds = seeds.iter().filter(|&&s| s < 60).count();
+        assert!(
+            cluster_seeds * 10 >= seeds.len() * 9,
+            "expected >=90% cluster seeds, got {cluster_seeds}/{}",
+            seeds.len()
+        );
+        // Both blobs are represented.
+        assert!(seeds.iter().any(|&s| s < 30));
+        assert!(seeds.iter().any(|&s| (30..60).contains(&s)));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let ds = fixture();
+        let idx = index(&ds);
+        assert_eq!(sample_seeds_paper(&idx, 1), sample_seeds_paper(&idx, 1));
+    }
+
+    #[test]
+    fn rate_one_takes_whole_buckets() {
+        let ds = fixture();
+        let idx = index(&ds);
+        let all = sample_seeds(&idx, 6, 1.0, 3);
+        let some = sample_seeds(&idx, 6, 0.1, 3);
+        assert!(all.len() >= some.len());
+    }
+
+    #[test]
+    fn results_are_sorted_and_unique() {
+        let ds = fixture();
+        let idx = index(&ds);
+        let seeds = sample_seeds_paper(&idx, 9);
+        let mut copy = seeds.clone();
+        copy.sort_unstable();
+        copy.dedup();
+        assert_eq!(seeds, copy);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn rejects_bad_rate() {
+        let ds = fixture();
+        let idx = index(&ds);
+        let _ = sample_seeds(&idx, 6, 0.0, 0);
+    }
+
+    #[test]
+    fn tombstoned_items_are_not_sampled() {
+        let ds = fixture();
+        let mut idx = index(&ds);
+        for id in 0..30 {
+            idx.remove(id);
+        }
+        let seeds = sample_seeds_paper(&idx, 11);
+        assert!(seeds.iter().all(|&s| s >= 30), "dead items must not seed");
+    }
+}

@@ -1,0 +1,360 @@
+//! Online ALID — the extension the paper announces as future work
+//! (Section 6: "we will further extend ALID towards the online version
+//! to efficiently process streaming data sources").
+//!
+//! The streaming driver keeps the batch algorithm's building blocks and
+//! adds an ingest path:
+//!
+//! * every arriving item is appended to the data set and hashed into
+//!   the (incrementally growing) LSH index;
+//! * if the item is *infective* against some existing dominant cluster
+//!   — `π(s_new, x_c) >= π(x_c)`, the same criterion the batch dynamics
+//!   use (Section 3) — it is attached to the densest such cluster and
+//!   the cluster's density is updated incrementally;
+//! * otherwise it is buffered, and every `batch` arrivals the buffer is
+//!   swept by the regular detection loop (assigned items tombstoned, so
+//!   detections run on the unexplained residue only), promoting any new
+//!   dominant cluster that has formed.
+//!
+//! Attachment keeps clusters on *uniform* weights (an m-clique's
+//! converged weights are near-uniform; exactness is restored whenever a
+//! sweep re-detects), which allows O(|c|) incremental density updates:
+//! with `S = Σ_j a(new, j)` over current members,
+//! `π_{m+1} = (π_m · m² + 2S) / (m+1)²`.
+
+use std::sync::Arc;
+
+use alid_affinity::clustering::{Clustering, DetectedCluster};
+use alid_affinity::cost::CostModel;
+use alid_affinity::vector::Dataset;
+use alid_lsh::LshIndex;
+
+use crate::alid::detect_one;
+use crate::config::AlidParams;
+
+/// What happened to one ingested item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamUpdate {
+    /// Joined an existing dominant cluster (index into
+    /// [`StreamingAlid::clusters`]).
+    Attached(usize),
+    /// Buffered as unexplained; a later sweep may promote it.
+    Buffered,
+    /// The ingest triggered a sweep that promoted this many new
+    /// dominant clusters (the item itself may be in one of them).
+    SweptNewClusters(usize),
+}
+
+/// Incremental dominant-cluster maintenance over a stream.
+pub struct StreamingAlid {
+    params: AlidParams,
+    cost: Arc<CostModel>,
+    data: Dataset,
+    index: LshIndex,
+    clusters: Vec<DetectedCluster>,
+    /// Per-cluster pairwise-affinity sums (for O(|c|) density updates).
+    pair_sums: Vec<f64>,
+    assigned: Vec<Option<usize>>,
+    pending: Vec<u32>,
+    batch: usize,
+    since_sweep: usize,
+}
+
+impl StreamingAlid {
+    /// An empty stream processor. `batch` is the sweep period (how many
+    /// arrivals between detection passes over the buffer).
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`.
+    pub fn new(dim: usize, params: AlidParams, batch: usize, cost: Arc<CostModel>) -> Self {
+        assert!(batch > 0, "sweep period must be positive");
+        let data = Dataset::new(dim);
+        let index = LshIndex::build(&data, params.lsh, &cost);
+        Self {
+            params,
+            cost,
+            data,
+            index,
+            clusters: Vec::new(),
+            pair_sums: Vec::new(),
+            assigned: Vec::new(),
+            pending: Vec::new(),
+            batch,
+            since_sweep: 0,
+        }
+    }
+
+    /// Items seen so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no item has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The current dominant clusters.
+    pub fn clusters(&self) -> &[DetectedCluster] {
+        &self.clusters
+    }
+
+    /// Per-item assignment (`None` = currently unexplained).
+    pub fn assignments(&self) -> &[Option<usize>] {
+        &self.assigned
+    }
+
+    /// Currently buffered (unexplained) items.
+    pub fn pending(&self) -> &[u32] {
+        &self.pending
+    }
+
+    /// The current state as a [`Clustering`] over all items seen.
+    pub fn snapshot(&self) -> Clustering {
+        Clustering { n: self.data.len(), clusters: self.clusters.clone() }
+    }
+
+    /// Ingests one item.
+    pub fn push(&mut self, v: &[f64]) -> StreamUpdate {
+        let id = self.index.insert(v);
+        self.data.push(v);
+        self.assigned.push(None);
+        self.since_sweep += 1;
+        if let Some(c) = self.try_attach(id) {
+            self.assigned[id as usize] = Some(c);
+            return StreamUpdate::Attached(c);
+        }
+        self.pending.push(id);
+        if self.since_sweep >= self.batch {
+            let promoted = self.sweep();
+            if promoted > 0 {
+                return StreamUpdate::SweptNewClusters(promoted);
+            }
+        }
+        StreamUpdate::Buffered
+    }
+
+    /// The infective-attachment test: the densest existing cluster whose
+    /// density the newcomer would not dilute (`π(s_new, x_c) >= π(x_c)`
+    /// under uniform weights). Candidate clusters come from the item's
+    /// LSH collisions, so the test is local.
+    fn try_attach(&mut self, id: u32) -> Option<usize> {
+        let v = self.data.get(id as usize);
+        let hits = self.index.query(v);
+        let mut candidates: Vec<usize> = hits
+            .iter()
+            .filter_map(|&h| self.assigned.get(h as usize).copied().flatten())
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let kernel = self.params.kernel;
+        let mut best: Option<(f64, usize, f64)> = None; // (density, cluster, S)
+        for c in candidates {
+            let cluster = &self.clusters[c];
+            let m = cluster.members.len() as f64;
+            let s: f64 = cluster
+                .members
+                .iter()
+                .map(|&j| kernel.eval(self.data.get(j as usize), v))
+                .sum();
+            self.cost.record_kernel_evals(cluster.members.len() as u64);
+            // π(s_new, x_c) with uniform weights = S / m.
+            if s / m >= cluster.density
+                && best.is_none_or(|(d, _, _)| cluster.density > d)
+            {
+                best = Some((cluster.density, c, s));
+            }
+        }
+        let (_, c, s) = best?;
+        let cluster = &mut self.clusters[c];
+        let m = cluster.members.len() as f64;
+        self.pair_sums[c] += s;
+        cluster.members.push(id);
+        cluster.members.sort_unstable();
+        let m1 = m + 1.0;
+        cluster.weights = vec![1.0 / m1; cluster.members.len()];
+        cluster.density = 2.0 * self.pair_sums[c] / (m1 * m1);
+        Some(c)
+    }
+
+    /// Runs the detection loop over the unexplained buffer, promoting
+    /// new dominant clusters. Returns how many were promoted.
+    pub fn sweep(&mut self) -> usize {
+        self.since_sweep = 0;
+        if self.pending.is_empty() {
+            return 0;
+        }
+        // Restrict detection to the residue: tombstone assigned items.
+        for (i, a) in self.assigned.iter().enumerate() {
+            if a.is_some() {
+                self.index.remove(i as u32);
+            }
+        }
+        let mut promoted = 0;
+        let mut still_pending: Vec<u32> = Vec::new();
+        let mut queue: Vec<u32> = std::mem::take(&mut self.pending);
+        while let Some(seed) = queue.first().copied() {
+            let out = detect_one(&self.data, &self.params, &self.index, seed, &self.cost);
+            let members = out.cluster.members.clone();
+            let density = out.cluster.density;
+            // Peel within this sweep either way.
+            for &m in &members {
+                self.index.remove(m);
+            }
+            self.index.remove(seed);
+            let is_dominant = density >= self.params.density_threshold
+                && members.len() >= self.params.min_cluster_size;
+            if is_dominant {
+                let slot = self.clusters.len();
+                for &m in &members {
+                    self.assigned[m as usize] = Some(slot);
+                }
+                // Pairwise sum from the density identity under the
+                // converged weights ~ uniform: Σpairs = π m² / 2.
+                let m = members.len() as f64;
+                self.pair_sums.push(density * m * m / 2.0);
+                self.clusters.push(out.cluster);
+                promoted += 1;
+            } else {
+                still_pending.extend(members.iter().copied());
+                if !members.contains(&seed) {
+                    still_pending.push(seed);
+                }
+            }
+            queue.retain(|q| !members.contains(q) && *q != seed);
+        }
+        still_pending.sort_unstable();
+        still_pending.dedup();
+        self.pending = still_pending;
+        // Everything alive again for future attachment queries.
+        self.index.restore_all();
+        promoted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::kernel::LaplacianKernel;
+
+    fn params() -> AlidParams {
+        let kernel = LaplacianKernel::l2(1.0);
+        let mut p = AlidParams::new(kernel);
+        p.first_roi_radius = kernel.distance_at(0.5);
+        p.density_threshold = 0.7;
+        p.min_cluster_size = 3;
+        p.lsh.seed = 5;
+        p
+    }
+
+    fn stream() -> StreamingAlid {
+        StreamingAlid::new(1, params(), 8, CostModel::shared())
+    }
+
+    #[test]
+    fn cluster_emerges_from_the_buffer() {
+        let mut s = stream();
+        let mut promoted = 0;
+        for i in 0..8 {
+            match s.push(&[i as f64 * 0.05]) {
+                StreamUpdate::SweptNewClusters(k) => promoted += k,
+                StreamUpdate::Buffered => {}
+                StreamUpdate::Attached(_) => panic!("nothing to attach to yet"),
+            }
+        }
+        assert_eq!(promoted, 1, "the tight run must be promoted at the sweep");
+        assert_eq!(s.clusters().len(), 1);
+        assert_eq!(s.clusters()[0].members.len(), 8);
+    }
+
+    #[test]
+    fn later_arrivals_attach_incrementally() {
+        let mut s = stream();
+        for i in 0..8 {
+            s.push(&[i as f64 * 0.05]);
+        }
+        assert_eq!(s.clusters().len(), 1);
+        let before = s.clusters()[0].density;
+        // A new item inside the cluster's span attaches immediately.
+        let upd = s.push(&[0.12]);
+        assert_eq!(upd, StreamUpdate::Attached(0));
+        assert_eq!(s.clusters()[0].members.len(), 9);
+        let after = s.clusters()[0].density;
+        assert!((after - before).abs() < 0.2, "density update stays sane");
+    }
+
+    #[test]
+    fn incremental_density_matches_direct_recompute() {
+        let mut s = stream();
+        for i in 0..8 {
+            s.push(&[i as f64 * 0.05]);
+        }
+        s.push(&[0.2]);
+        let c = &s.clusters()[0];
+        // Direct uniform-weight density over the member set.
+        let kernel = params().kernel;
+        let m = c.members.len();
+        let mut acc = 0.0;
+        for (a, &i) in c.members.iter().enumerate() {
+            for &j in &c.members[a + 1..] {
+                acc += kernel.eval(s.data.get(i as usize), s.data.get(j as usize));
+            }
+        }
+        let direct = 2.0 * acc / (m as f64 * m as f64);
+        assert!(
+            (c.density - direct).abs() < 0.02,
+            "incremental {} vs direct {direct}",
+            c.density
+        );
+    }
+
+    #[test]
+    fn noise_stays_pending_and_never_attaches() {
+        let mut s = stream();
+        for i in 0..8 {
+            s.push(&[i as f64 * 0.05]);
+        }
+        let upd = s.push(&[500.0]);
+        assert_eq!(upd, StreamUpdate::Buffered);
+        assert!(s.pending().contains(&8));
+        assert_eq!(s.assignments()[8], None);
+    }
+
+    #[test]
+    fn two_interleaved_streams_form_two_clusters() {
+        let mut s = stream();
+        for i in 0..10 {
+            s.push(&[i as f64 * 0.04]); // cluster A
+            s.push(&[30.0 + i as f64 * 0.04]); // cluster B
+        }
+        // Force a final sweep for any tail buffer.
+        s.sweep();
+        let dominant = s.snapshot().dominant(0.7, 3);
+        assert_eq!(dominant.len(), 2, "both interleaved clusters detected");
+        let sizes: Vec<usize> = dominant.clusters.iter().map(|c| c.len()).collect();
+        assert!(sizes.iter().all(|&z| z >= 8), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn snapshot_covers_all_items() {
+        let mut s = stream();
+        for i in 0..20 {
+            s.push(&[(i % 5) as f64 * 0.04 + (i / 5) as f64 * 25.0]);
+        }
+        s.sweep();
+        let snap = s.snapshot();
+        assert_eq!(snap.n, 20);
+        // Assignments and cluster membership agree.
+        for (i, a) in s.assignments().iter().enumerate() {
+            if let Some(c) = a {
+                assert!(s.clusters()[*c].members.contains(&(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep period")]
+    fn zero_batch_rejected() {
+        let _ = StreamingAlid::new(1, params(), 0, CostModel::shared());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the game dynamics and the ROI guarantee on
+//! randomly generated instances.
+
+use alid_affinity::cost::CostModel;
+use alid_affinity::dense::DenseAffinity;
+use alid_affinity::kernel::LaplacianKernel;
+use alid_affinity::local::LocalAffinity;
+use alid_affinity::simplex;
+use alid_affinity::vector::Dataset;
+use alid_core::lid::{lid_converge, lid_step, LidState};
+use alid_core::roi::Roi;
+use proptest::prelude::*;
+
+/// Random 2-d point sets of 4..=12 points in a [0, 5]^2 box.
+fn points() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(0.0f64..5.0, 2 * 4..=2 * 12).prop_map(|flat| {
+        let n = flat.len() / 2;
+        Dataset::from_flat(2, flat[..2 * n].to_vec())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2: every LID step strictly increases π (up to the
+    /// numerical tolerance used for selection).
+    #[test]
+    fn lid_density_is_monotone(ds in points(), k in 0.2f64..2.0, start in 0usize..4) {
+        let kernel = LaplacianKernel::l2(k);
+        let beta: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut aff = LocalAffinity::new(&ds, kernel, CostModel::shared(), beta);
+        let start = start % ds.len();
+        let mut state = LidState::from_vertex(&mut aff, start);
+        let mut last = state.density();
+        for _ in 0..100 {
+            match lid_step(&mut aff, &mut state, 1e-10) {
+                Some(pi) => {
+                    prop_assert!(pi >= last - 1e-9, "π decreased: {pi} < {last}");
+                    last = pi;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// LID's converged state is a KKT point of the StQP: no vertex in
+    /// the range is infective (Theorem 1).
+    #[test]
+    fn lid_converges_to_kkt_point(ds in points(), k in 0.2f64..2.0) {
+        let kernel = LaplacianKernel::l2(k);
+        let beta: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut aff = LocalAffinity::new(&ds, kernel, CostModel::shared(), beta);
+        let mut state = LidState::from_vertex(&mut aff, 0);
+        let out = lid_converge(&mut aff, &mut state, 20_000, 1e-10);
+        prop_assume!(out.converged);
+        let pi = out.density;
+        // Verify against the *full* matrix, not the incremental g.
+        let dense = DenseAffinity::build(&ds, &kernel, CostModel::shared());
+        let mut ax = vec![0.0; ds.len()];
+        dense.matvec(&state.x, &mut ax);
+        for (i, &a) in ax.iter().enumerate() {
+            prop_assert!(
+                a - pi <= 1e-6 * (1.0 + pi),
+                "vertex {i} still infective: (Ax)_i = {a}, π = {pi}"
+            );
+            if state.x[i] > 1e-9 {
+                // Support members sit exactly at the density (KKT
+                // complementarity).
+                prop_assert!(
+                    (a - pi).abs() <= 1e-6 * (1.0 + pi),
+                    "support vertex {i} off the density: {a} vs {pi}"
+                );
+            }
+        }
+        prop_assert!(simplex::is_on_simplex(&state.x, 1e-9));
+    }
+
+    /// Proposition 1 on random instances: items inside the inner ball
+    /// are infective, items outside the outer ball are immune.
+    #[test]
+    fn roi_double_deck_guarantee(ds in points(), k in 0.2f64..2.0) {
+        let kernel = LaplacianKernel::l2(k);
+        let beta: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut aff = LocalAffinity::new(&ds, kernel, CostModel::shared(), beta.clone());
+        let mut state = LidState::from_vertex(&mut aff, 0);
+        let out = lid_converge(&mut aff, &mut state, 20_000, 1e-12);
+        prop_assume!(out.converged && out.density > 1e-6);
+        let sup = state.support();
+        let alpha: Vec<u32> = sup.iter().map(|&p| beta[p]).collect();
+        let weights: Vec<f64> = sup.iter().map(|&p| state.x[p]).collect();
+        let roi = Roi::estimate(&ds, &kernel, &alpha, &weights, out.density);
+        prop_assert!(roi.r_out >= roi.r_in);
+
+        let dense = DenseAffinity::build(&ds, &kernel, CostModel::shared());
+        let mut x_full = vec![0.0; ds.len()];
+        for (&a, &w) in alpha.iter().zip(&weights) {
+            x_full[a as usize] = w;
+        }
+        let mut ax = vec![0.0; ds.len()];
+        dense.matvec(&x_full, &mut ax);
+        let pi = dense.quadratic_form(&x_full);
+        for (j, &axj) in ax.iter().enumerate() {
+            let dist = kernel.norm.distance(ds.get(j), &roi.center);
+            if dist < roi.r_in - 1e-9 {
+                prop_assert!(axj - pi > -1e-7, "inner-ball item {j} not infective");
+            }
+            if dist > roi.r_out + 1e-9 {
+                prop_assert!(axj - pi < 1e-7, "outer-ball item {j} not immune");
+            }
+        }
+    }
+
+    /// The incremental product vector g never drifts from the direct
+    /// product A_{β,sup} x_sup.
+    #[test]
+    fn lid_product_vector_stays_exact(ds in points(), k in 0.2f64..2.0) {
+        let kernel = LaplacianKernel::l2(k);
+        let beta: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut aff = LocalAffinity::new(&ds, kernel, CostModel::shared(), beta);
+        let mut state = LidState::from_vertex(&mut aff, 0);
+        let _ = lid_converge(&mut aff, &mut state, 500, 1e-10);
+        let dense = DenseAffinity::build(&ds, &kernel, CostModel::shared());
+        let mut want = vec![0.0; ds.len()];
+        dense.matvec(&state.x, &mut want);
+        for (g, w) in state.g.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-7, "g drifted: {g} vs {w}");
+        }
+    }
+}

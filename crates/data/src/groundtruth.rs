@@ -1,0 +1,206 @@
+//! Ground truth bookkeeping shared by every simulator.
+
+use alid_affinity::kernel::{LaplacianKernel, LpNorm};
+use alid_affinity::vector::Dataset;
+
+/// The true dominant clusters of a labelled data set. Items outside
+/// every cluster are background noise.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GroundTruth {
+    n: usize,
+    clusters: Vec<Vec<u32>>,
+}
+
+impl GroundTruth {
+    /// Builds from per-cluster member lists; members are sorted.
+    ///
+    /// # Panics
+    /// Panics if a member index is out of range or appears in two
+    /// clusters.
+    pub fn new(n: usize, mut clusters: Vec<Vec<u32>>) -> Self {
+        let mut seen = vec![false; n];
+        for members in clusters.iter_mut() {
+            members.sort_unstable();
+            for &m in members.iter() {
+                assert!((m as usize) < n, "member {m} out of range {n}");
+                assert!(!seen[m as usize], "member {m} in two ground-truth clusters");
+                seen[m as usize] = true;
+            }
+        }
+        Self { n, clusters }
+    }
+
+    /// Total items in the data set.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The true clusters (members ascending).
+    pub fn clusters(&self) -> &[Vec<u32>] {
+        &self.clusters
+    }
+
+    /// Number of true clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Items belonging to some cluster.
+    pub fn positive_count(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+
+    /// Items belonging to no cluster.
+    pub fn noise_count(&self) -> usize {
+        self.n - self.positive_count()
+    }
+
+    /// The noise degree `#noise / #ground-truth` of Appendix C (Eq. 35).
+    pub fn noise_degree(&self) -> f64 {
+        self.noise_count() as f64 / self.positive_count().max(1) as f64
+    }
+
+    /// Per-item labels (`None` = noise).
+    pub fn labels(&self) -> Vec<Option<usize>> {
+        let mut labels = vec![None; self.n];
+        for (c, members) in self.clusters.iter().enumerate() {
+            for &m in members {
+                labels[m as usize] = Some(c);
+            }
+        }
+        labels
+    }
+
+    /// Size of the largest cluster — the paper's `a*`.
+    pub fn a_star(&self) -> usize {
+        self.clusters.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Remaps item ids through `perm` (old id -> new id), e.g. after the
+    /// simulators shuffle item order.
+    pub fn permuted(&self, perm: &[u32]) -> GroundTruth {
+        assert_eq!(perm.len(), self.n, "permutation length mismatch");
+        let clusters = self
+            .clusters
+            .iter()
+            .map(|members| {
+                let mut m: Vec<u32> = members.iter().map(|&i| perm[i as usize]).collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        GroundTruth { n: self.n, clusters }
+    }
+}
+
+/// Shuffles item order (so cluster members are not contiguous — index
+/// order must not leak ground truth to seed-order-sensitive methods) and
+/// remaps the cluster member lists accordingly.
+pub fn assemble_shuffled(
+    data: Dataset,
+    clusters: Vec<Vec<u32>>,
+    rng: &mut rand::rngs::StdRng,
+) -> (Dataset, GroundTruth) {
+    let n = data.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    crate::rng::shuffle(rng, &mut perm);
+    let mut old_to_new = vec![0u32; n];
+    for (new_pos, &old_id) in perm.iter().enumerate() {
+        old_to_new[old_id as usize] = new_pos as u32;
+    }
+    let idx: Vec<usize> = perm.iter().map(|&i| i as usize).collect();
+    let shuffled = data.subset(&idx);
+    let truth = GroundTruth::new(n, clusters).permuted(&old_to_new);
+    (shuffled, truth)
+}
+
+/// A data set bundled with its ground truth and the scale hint used to
+/// calibrate the Laplacian kernel.
+#[derive(Clone, Debug)]
+pub struct LabeledDataset {
+    /// Human-readable name ("nart-sim", "sub-ndi-sim", ...).
+    pub name: String,
+    /// The feature vectors.
+    pub data: Dataset,
+    /// The true dominant clusters.
+    pub truth: GroundTruth,
+    /// A typical intra-cluster distance, for
+    /// `AlidParams::calibrated(ds, scale, target)` and friends.
+    pub scale: f64,
+    /// A typical distance between unrelated (noise) items. On unbounded
+    /// feature spaces this is far above `scale`; on bounded ones (unit
+    /// sphere SIFT) it caps how far apart noise can get, and the kernel
+    /// must be calibrated against it too.
+    pub noise_scale: f64,
+}
+
+impl LabeledDataset {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the data set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A Laplacian kernel calibrated for this data set: intra-cluster
+    /// distances map to `target_affinity`, but `k` is raised if needed
+    /// so that typical noise distances map to at most `noise_floor`
+    /// (otherwise bounded feature spaces — the unit sphere — leave noise
+    /// affinities high enough to form spurious mid-density structure).
+    ///
+    /// # Panics
+    /// Panics unless `0 < noise_floor < target_affinity < 1`.
+    pub fn suggested_kernel(&self, target_affinity: f64, noise_floor: f64) -> LaplacianKernel {
+        assert!(
+            0.0 < noise_floor && noise_floor < target_affinity && target_affinity < 1.0,
+            "need 0 < noise_floor < target_affinity < 1"
+        );
+        let k_intra = -target_affinity.ln() / self.scale;
+        let k_noise = -noise_floor.ln() / self.noise_scale;
+        LaplacianKernel::new(k_intra.max(k_noise), LpNorm::L2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_degree() {
+        let gt = GroundTruth::new(10, vec![vec![0, 1, 2], vec![5, 4]]);
+        assert_eq!(gt.positive_count(), 5);
+        assert_eq!(gt.noise_count(), 5);
+        assert_eq!(gt.cluster_count(), 2);
+        assert!((gt.noise_degree() - 1.0).abs() < 1e-12);
+        assert_eq!(gt.a_star(), 3);
+    }
+
+    #[test]
+    fn members_are_sorted() {
+        let gt = GroundTruth::new(6, vec![vec![3, 1, 5]]);
+        assert_eq!(gt.clusters()[0], vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn labels_mark_noise_as_none() {
+        let gt = GroundTruth::new(4, vec![vec![2]]);
+        assert_eq!(gt.labels(), vec![None, None, Some(0), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two ground-truth clusters")]
+    fn overlapping_clusters_rejected() {
+        let _ = GroundTruth::new(4, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn permutation_remaps_members() {
+        let gt = GroundTruth::new(4, vec![vec![0, 1]]);
+        // perm: 0->3, 1->2, 2->1, 3->0
+        let p = gt.permuted(&[3, 2, 1, 0]);
+        assert_eq!(p.clusters()[0], vec![2, 3]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Workload generators and evaluation metrics for the ALID reproduction.
+//!
+//! The paper evaluates on two crawled real-world data sets (NART news
+//! articles, NDI near-duplicate images), three synthetic regimes and a
+//! 50-million SIFT corpus. The raw crawls are not redistributable, so
+//! this crate ships *simulators* that reproduce the geometry the
+//! algorithms actually see — tight clusters with the paper's exact
+//! cardinalities embedded in diffuse background noise — plus the paper's
+//! evaluation protocol (AVG-F over true dominant clusters). DESIGN.md
+//! documents each substitution and why it preserves the measured
+//! behaviour.
+//!
+//! * [`synthetic`] — 20 partially-overlapping Gaussians + uniform noise
+//!   in the three `a*` regimes of Table 1 (`a* = ωn`, `a* = n^η`,
+//!   `a* <= P`);
+//! * [`nart`] — 13 "hot event" topic clusters among daily-news noise
+//!   (350-d LDA-like Dirichlet vectors, 734 positive / 4 567 noise);
+//! * [`ndi`] — 57 near-duplicate image clusters (256-d GIST-like
+//!   vectors, 11 951 positive / 97 864 noise) and the Sub-NDI subset
+//!   (6 clusters, 1 420 / 8 520);
+//! * [`sift`] — L2-normalised 128-d "visual word" clusters on the unit
+//!   sphere, size-scalable to stand in for SIFT-50M;
+//! * [`metrics`] — the AVG-F score of Section 5 plus precision/recall;
+//! * [`rng`] — the sampling primitives (normal, gamma, Dirichlet,
+//!   sphere) implemented on top of plain `rand`.
+
+
+#![warn(missing_docs)]
+pub mod groundtruth;
+pub mod io;
+pub mod metrics;
+pub mod nart;
+pub mod ndi;
+pub mod rng;
+pub mod sift;
+pub mod stream;
+pub mod synthetic;
+
+pub use groundtruth::{GroundTruth, LabeledDataset};
+pub use metrics::{avg_f1, precision_recall};

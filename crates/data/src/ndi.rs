@@ -1,0 +1,176 @@
+//! NDI simulator — the near-duplicate-image data set of Section 5.
+//!
+//! The paper's NDI corpus holds 109 815 images crawled from Google
+//! Images: 57 labelled groups of near-duplicates (11 951 images) in
+//! 97 864 images of diverse content, each represented by a
+//! 256-dimensional GIST descriptor. Sub-NDI (Section 5.1) is the subset
+//! with 6 clusters, 1 420 ground-truth and 8 520 noise images.
+//!
+//! Near-duplicates share global texture, so their GIST vectors are tiny
+//! perturbations of a common prototype; unrelated images are essentially
+//! independent draws over descriptor space. The simulator reproduces
+//! exactly that: cluster = prototype + small Gaussian jitter (clamped to
+//! the GIST range `[0, 1]`), noise = independent uniform descriptors.
+
+use alid_affinity::vector::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::groundtruth::{assemble_shuffled, LabeledDataset};
+use crate::rng::normal;
+
+/// GIST descriptor dimensionality.
+pub const NDI_DIM: usize = 256;
+/// Clusters / positives / noise of the full NDI at scale 1.
+pub const NDI_CLUSTERS: usize = 57;
+/// Ground-truth images at scale 1.
+pub const NDI_POSITIVE: usize = 11_951;
+/// Noise images at scale 1.
+pub const NDI_NOISE: usize = 97_864;
+/// Sub-NDI cardinalities (Section 5.1).
+pub const SUB_NDI_CLUSTERS: usize = 6;
+/// Sub-NDI ground-truth images.
+pub const SUB_NDI_POSITIVE: usize = 1_420;
+/// Sub-NDI noise images.
+pub const SUB_NDI_NOISE: usize = 8_520;
+
+/// Per-coordinate jitter of near-duplicate descriptors.
+const JITTER: f64 = 0.02;
+
+/// Generates an NDI-like corpus with explicit cardinalities.
+pub fn ndi_with(
+    clusters: usize,
+    positive: usize,
+    noise: usize,
+    seed: u64,
+) -> LabeledDataset {
+    assert!(clusters >= 1 && positive >= 2 * clusters, "need >= 2 images per cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::with_capacity(NDI_DIM, positive + noise);
+    let mut members_of = Vec::with_capacity(clusters);
+    let base = positive / clusters;
+    let mut remainder = positive - base * clusters;
+    let mut row = vec![0.0; NDI_DIM];
+    for _c in 0..clusters {
+        let size = base + usize::from(remainder > 0);
+        remainder = remainder.saturating_sub(1);
+        // Prototype GIST: uniform in [0,1]^256.
+        let proto: Vec<f64> = (0..NDI_DIM).map(|_| rng.gen::<f64>()).collect();
+        let mut members = Vec::with_capacity(size);
+        for _ in 0..size {
+            for (r, &p) in row.iter_mut().zip(&proto) {
+                *r = (p + normal(&mut rng, 0.0, JITTER)).clamp(0.0, 1.0);
+            }
+            members.push(data.len() as u32);
+            data.push(&row);
+        }
+        members_of.push(members);
+    }
+    for _ in 0..noise {
+        for r in row.iter_mut() {
+            *r = rng.gen::<f64>();
+        }
+        data.push(&row);
+    }
+    let (data, truth) = assemble_shuffled(data, members_of, &mut rng);
+    // Intra-cluster distance ~ sqrt(2 * 256) * JITTER.
+    let scale = (2.0 * NDI_DIM as f64).sqrt() * JITTER;
+    // Two independent uniform [0,1]^256 descriptors: E||a-b||^2 = d/6.
+    let noise_scale = (NDI_DIM as f64 / 6.0).sqrt();
+    LabeledDataset {
+        name: format!("ndi-sim-c{clusters}-p{positive}-n{noise}"),
+        data,
+        truth,
+        scale,
+        noise_scale,
+    }
+}
+
+/// The full NDI at a fractional `scale` (1.0 = 109 815 images).
+pub fn ndi(scale: f64, seed: u64) -> LabeledDataset {
+    assert!(scale > 0.0, "scale must be positive");
+    let clusters = ((NDI_CLUSTERS as f64 * scale).round() as usize).clamp(1, NDI_CLUSTERS);
+    let positive =
+        ((NDI_POSITIVE as f64 * scale).round() as usize).max(2 * clusters);
+    let noise = (NDI_NOISE as f64 * scale).round() as usize;
+    let mut ds = ndi_with(clusters, positive, noise, seed);
+    ds.name = format!("ndi-sim-x{scale}");
+    ds
+}
+
+/// Sub-NDI (Section 5.1), with `noise_override` for the Fig. 11 noise
+/// sweep.
+pub fn sub_ndi(scale: f64, noise_override: Option<usize>, seed: u64) -> LabeledDataset {
+    assert!(scale > 0.0, "scale must be positive");
+    let positive =
+        ((SUB_NDI_POSITIVE as f64 * scale).round() as usize).max(2 * SUB_NDI_CLUSTERS);
+    let noise =
+        noise_override.unwrap_or((SUB_NDI_NOISE as f64 * scale).round() as usize);
+    let mut ds = ndi_with(SUB_NDI_CLUSTERS, positive, noise, seed);
+    ds.name = format!("sub-ndi-sim-x{scale}");
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::kernel::LpNorm;
+
+    #[test]
+    fn sub_ndi_matches_section_5_1() {
+        let ds = sub_ndi(1.0, None, 1);
+        assert_eq!(ds.truth.cluster_count(), SUB_NDI_CLUSTERS);
+        assert_eq!(ds.truth.positive_count(), SUB_NDI_POSITIVE);
+        assert_eq!(ds.truth.noise_count(), SUB_NDI_NOISE);
+        assert_eq!(ds.len(), 9_940);
+    }
+
+    #[test]
+    fn descriptors_stay_in_gist_range() {
+        let ds = ndi_with(3, 30, 30, 2);
+        for row in ds.data.iter() {
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn duplicates_are_near_and_noise_is_far() {
+        let ds = ndi_with(4, 40, 40, 3);
+        let norm = LpNorm::L2;
+        let c0 = &ds.truth.clusters()[0];
+        let intra =
+            norm.distance(ds.data.get(c0[0] as usize), ds.data.get(c0[1] as usize));
+        let labels = ds.truth.labels();
+        let noise: Vec<usize> = (0..ds.len()).filter(|&i| labels[i].is_none()).collect();
+        let inter = norm.distance(ds.data.get(noise[0]), ds.data.get(noise[1]));
+        assert!(
+            intra * 5.0 < inter,
+            "near-duplicates {intra:.3} must be far tighter than noise {inter:.3}"
+        );
+        assert!(ds.scale > intra * 0.3 && ds.scale < intra * 3.0);
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_positive() {
+        let ds = ndi_with(7, 100, 10, 4);
+        let sum: usize = ds.truth.clusters().iter().map(Vec::len).sum();
+        assert_eq!(sum, 100);
+        // Sizes differ by at most one.
+        let min = ds.truth.clusters().iter().map(Vec::len).min().unwrap();
+        let max = ds.truth.clusters().iter().map(Vec::len).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn fractional_scale_shrinks_everything() {
+        let ds = ndi(0.01, 5);
+        assert!(ds.len() < 1_200);
+        assert!(ds.truth.cluster_count() >= 1);
+    }
+
+    #[test]
+    fn noise_override_applies() {
+        let ds = sub_ndi(0.1, Some(7), 6);
+        assert_eq!(ds.truth.noise_count(), 7);
+    }
+}

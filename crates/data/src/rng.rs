@@ -1,0 +1,233 @@
+//! Sampling primitives on top of `rand`'s uniform source.
+//!
+//! The approved dependency set has `rand` but not `rand_distr`, so the
+//! handful of distributions the simulators need live here: Box–Muller
+//! normals, Marsaglia–Tsang gammas, Dirichlet vectors and uniform
+//! directions on the sphere.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One standard-normal draw (Box–Muller; the sine half is discarded,
+/// which keeps the generator stateless).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Normal draw with the given mean and standard deviation.
+///
+/// # Panics
+/// Panics if `sigma < 0`.
+pub fn normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "standard deviation must be non-negative");
+    mu + sigma * standard_normal(rng)
+}
+
+/// Gamma(shape, 1) via Marsaglia & Tsang's squeeze method, with the
+/// standard `shape < 1` boosting trick.
+///
+/// # Panics
+/// Panics unless `shape > 0`.
+pub fn gamma(rng: &mut StdRng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive, got {shape}");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v3;
+        }
+        if u.max(f64::MIN_POSITIVE).ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+/// Fills `out` with one draw from `Dirichlet(alphas)` (normalised gamma
+/// draws).
+///
+/// # Panics
+/// Panics if lengths differ or any `alpha <= 0`.
+pub fn dirichlet(rng: &mut StdRng, alphas: &[f64], out: &mut [f64]) {
+    assert_eq!(alphas.len(), out.len(), "alpha/output length mismatch");
+    let mut sum = 0.0;
+    for (o, &a) in out.iter_mut().zip(alphas) {
+        let g = gamma(rng, a);
+        *o = g;
+        sum += g;
+    }
+    if sum <= 0.0 {
+        // All-zero pathologies (tiny alphas underflowing): fall back to
+        // the uniform centre of the simplex.
+        let u = 1.0 / out.len() as f64;
+        out.fill(u);
+        return;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Fills `out` with a uniformly random direction on the unit sphere.
+pub fn unit_sphere(rng: &mut StdRng, out: &mut [f64]) {
+    loop {
+        let mut norm2 = 0.0;
+        for o in out.iter_mut() {
+            let g = standard_normal(rng);
+            *o = g;
+            norm2 += g * g;
+        }
+        if norm2 > 1e-12 {
+            let inv = norm2.sqrt().recip();
+            for o in out.iter_mut() {
+                *o *= inv;
+            }
+            return;
+        }
+    }
+}
+
+/// Fisher–Yates shuffle (thin wrapper so the simulators do not need the
+/// `rand` trait imports everywhere).
+pub fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut r, 2.0, 3.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng();
+        for &shape in &[0.5, 1.0, 2.5, 9.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.12 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_draws_are_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(gamma(&mut r, 0.3) > 0.0);
+        }
+    }
+
+    #[test]
+    fn dirichlet_lands_on_the_simplex() {
+        let mut r = rng();
+        let alphas = vec![0.5, 2.0, 5.0, 0.1];
+        let mut out = vec![0.0; 4];
+        for _ in 0..200 {
+            dirichlet(&mut r, &alphas, &mut out);
+            let s: f64 = out.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(out.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_concentrates_with_large_alpha() {
+        let mut r = rng();
+        let k = 10;
+        let tight = vec![200.0; k];
+        let loose = vec![0.2; k];
+        let mut out = vec![0.0; k];
+        let spread = |alphas: &[f64], r: &mut StdRng, out: &mut [f64]| {
+            let mut acc = 0.0;
+            for _ in 0..100 {
+                dirichlet(r, alphas, out);
+                acc += out
+                    .iter()
+                    .map(|&v| (v - 1.0 / k as f64).abs())
+                    .sum::<f64>();
+            }
+            acc
+        };
+        let t = spread(&tight, &mut r, &mut out);
+        let l = spread(&loose, &mut r, &mut out);
+        assert!(t < l / 3.0, "tight {t} vs loose {l}");
+    }
+
+    #[test]
+    fn sphere_samples_have_unit_norm() {
+        let mut r = rng();
+        let mut v = vec![0.0; 64];
+        for _ in 0..50 {
+            unit_sphere(&mut r, &mut v);
+            let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((n - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sphere_mean_is_near_zero() {
+        let mut r = rng();
+        let dim = 16;
+        let mut acc = vec![0.0; dim];
+        let mut v = vec![0.0; dim];
+        let n = 5000;
+        for _ in 0..n {
+            unit_sphere(&mut r, &mut v);
+            for (a, &x) in acc.iter_mut().zip(&v) {
+                *a += x;
+            }
+        }
+        for a in &acc {
+            assert!((a / n as f64).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = rng();
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut r, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+}

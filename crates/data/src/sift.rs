@@ -1,0 +1,167 @@
+//! SIFT visual-word simulator — the SIFT-50M stand-in of Section 5.3.
+//!
+//! SIFT descriptors are L2-normalised 128-dimensional texture vectors.
+//! Partial-duplicate image regions ("KFC grandpa" in Fig. 8/10) yield
+//! descriptors that are tiny angular perturbations of a shared
+//! direction — a *visual word* — while descriptors from random
+//! non-duplicate regions scatter uniformly over the sphere. The
+//! simulator plants `words` such direction clusters among `noise`
+//! uniform-sphere descriptors, at any size `n`, exercising exactly the
+//! code path the 50-million-point Spark experiment exercises (DESIGN.md
+//! records the substitution).
+
+use alid_affinity::vector::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::groundtruth::{assemble_shuffled, LabeledDataset};
+use crate::rng::{standard_normal, unit_sphere};
+
+/// SIFT dimensionality.
+pub const SIFT_DIM: usize = 128;
+
+/// Angular jitter of same-word descriptors (per-coordinate Gaussian
+/// sigma before renormalisation).
+const JITTER: f64 = 0.015;
+
+/// Configuration of the SIFT workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SiftConfig {
+    /// Number of visual words (dominant clusters).
+    pub words: usize,
+    /// Descriptors per word.
+    pub word_size: usize,
+    /// Noise descriptors from non-duplicate regions.
+    pub noise: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SiftConfig {
+    /// A workload with the SIFT-50M *shape* at a manageable size: 60% of
+    /// descriptors are noise, visual words hold ~100 descriptors each.
+    pub fn scaled(total: usize, seed: u64) -> Self {
+        let positive = (total as f64 * 0.4) as usize;
+        let word_size = 100.min(positive.max(4) / 2).max(4);
+        let words = (positive / word_size).max(1);
+        let noise = total - words * word_size;
+        Self { words, word_size, noise, seed }
+    }
+
+    /// Total descriptor count.
+    pub fn total(&self) -> usize {
+        self.words * self.word_size + self.noise
+    }
+}
+
+/// Generates the labelled descriptor set.
+pub fn sift(cfg: &SiftConfig) -> LabeledDataset {
+    assert!(cfg.words >= 1 && cfg.word_size >= 2, "degenerate visual words");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut data = Dataset::with_capacity(SIFT_DIM, cfg.total());
+    let mut clusters = Vec::with_capacity(cfg.words);
+    let mut proto = vec![0.0; SIFT_DIM];
+    let mut row = vec![0.0; SIFT_DIM];
+    for _w in 0..cfg.words {
+        unit_sphere(&mut rng, &mut proto);
+        let mut members = Vec::with_capacity(cfg.word_size);
+        for _ in 0..cfg.word_size {
+            let mut norm2 = 0.0;
+            for (r, &p) in row.iter_mut().zip(&proto) {
+                let v = p + JITTER * standard_normal(&mut rng);
+                *r = v;
+                norm2 += v * v;
+            }
+            let inv = norm2.sqrt().recip();
+            for r in row.iter_mut() {
+                *r *= inv;
+            }
+            members.push(data.len() as u32);
+            data.push(&row);
+        }
+        clusters.push(members);
+    }
+    for _ in 0..cfg.noise {
+        unit_sphere(&mut rng, &mut row);
+        data.push(&row);
+    }
+    let (data, truth) = assemble_shuffled(data, clusters, &mut rng);
+    // Intra-word distance ~ sqrt(2 * 128) * JITTER.
+    let scale = (2.0 * SIFT_DIM as f64).sqrt() * JITTER;
+    LabeledDataset {
+        name: format!("sift-sim-w{}-s{}-n{}", cfg.words, cfg.word_size, cfg.noise),
+        data,
+        truth,
+        scale,
+        // Random unit vectors in high dimension are ~sqrt(2) apart: the
+        // sphere bounds how "far" noise can get, so kernels must be
+        // calibrated against this too (see LabeledDataset::suggested_kernel).
+        noise_scale: std::f64::consts::SQRT_2,
+    }
+}
+
+/// The partial-duplicate-image scenario of Fig. 10: a handful of shared
+/// regions ("KFC grandpa") produce strong visual words, everything else
+/// is noise from random regions.
+pub fn partial_duplicate_scene(images: usize, seed: u64) -> LabeledDataset {
+    // Each shared region appears in every image and contributes one
+    // descriptor per image; 8 shared regions; each image also carries
+    // 24 random-region descriptors.
+    let cfg = SiftConfig { words: 8, word_size: images.max(4), noise: images * 24, seed };
+    let mut ds = sift(&cfg);
+    ds.name = format!("partial-duplicates-{images}imgs");
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::kernel::LpNorm;
+
+    #[test]
+    fn descriptors_are_unit_normalised() {
+        let ds = sift(&SiftConfig { words: 3, word_size: 10, noise: 20, seed: 1 });
+        for row in ds.data.iter() {
+            let n: f64 = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn words_are_tight_noise_is_spread() {
+        let ds = sift(&SiftConfig { words: 2, word_size: 20, noise: 50, seed: 2 });
+        let norm = LpNorm::L2;
+        let w = &ds.truth.clusters()[0];
+        let intra = norm.distance(ds.data.get(w[0] as usize), ds.data.get(w[1] as usize));
+        // Random unit vectors in high dimension are ~sqrt(2) apart.
+        let labels = ds.truth.labels();
+        let noise: Vec<usize> = (0..ds.len()).filter(|&i| labels[i].is_none()).collect();
+        let inter = norm.distance(ds.data.get(noise[0]), ds.data.get(noise[1]));
+        assert!(intra < 0.5, "intra-word distance {intra}");
+        assert!(inter > 1.0, "noise distance {inter}");
+    }
+
+    #[test]
+    fn scaled_config_adds_up() {
+        let cfg = SiftConfig::scaled(10_000, 3);
+        assert_eq!(cfg.total(), 10_000);
+        let ds = sift(&cfg);
+        assert_eq!(ds.len(), 10_000);
+        let frac = ds.truth.positive_count() as f64 / ds.len() as f64;
+        assert!((0.3..=0.5).contains(&frac), "positive fraction {frac}");
+    }
+
+    #[test]
+    fn partial_duplicate_scene_shape() {
+        let ds = partial_duplicate_scene(50, 4);
+        assert_eq!(ds.truth.cluster_count(), 8);
+        assert_eq!(ds.truth.positive_count(), 8 * 50);
+        assert_eq!(ds.truth.noise_count(), 50 * 24);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SiftConfig { words: 2, word_size: 5, noise: 10, seed: 7 };
+        assert_eq!(sift(&cfg).data, sift(&cfg).data);
+    }
+}

@@ -1,0 +1,188 @@
+//! Timestamped stream scenarios for the online-ALID extension.
+//!
+//! The paper's future-work section targets streaming sources (Section 6).
+//! This generator emits an *ordered* sequence of items where dominant
+//! clusters are temporal bursts — a hot event breaks, produces a run of
+//! highly similar items over a window, and fades — interleaved with
+//! background noise, plus the ground truth of which arrival belongs to
+//! which burst.
+
+use alid_affinity::vector::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::groundtruth::GroundTruth;
+use crate::rng::{normal, standard_normal};
+
+/// One burst specification.
+#[derive(Clone, Copy, Debug)]
+pub struct Burst {
+    /// Arrival index at which the burst starts.
+    pub start: usize,
+    /// Number of burst items.
+    pub size: usize,
+    /// Mean gap (in arrivals) between consecutive burst items; the gaps
+    /// are filled with noise.
+    pub spacing: usize,
+}
+
+/// Stream generator configuration.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Total arrivals.
+    pub total: usize,
+    /// The bursts (must fit into `total`).
+    pub bursts: Vec<Burst>,
+    /// Within-burst jitter (std-dev per coordinate).
+    pub jitter: f64,
+    /// Half-width of the uniform noise box.
+    pub noise_span: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// A two-burst default scenario.
+    pub fn two_bursts(seed: u64) -> Self {
+        Self {
+            dim: 16,
+            total: 120,
+            bursts: vec![
+                Burst { start: 20, size: 12, spacing: 2 },
+                Burst { start: 70, size: 12, spacing: 2 },
+            ],
+            jitter: 0.05,
+            noise_span: 25.0,
+            seed,
+        }
+    }
+}
+
+/// The generated stream: items in arrival order plus ground truth
+/// (burst index per item).
+#[derive(Clone, Debug)]
+pub struct StreamScenario {
+    /// Items in arrival order.
+    pub data: Dataset,
+    /// Which burst each arrival belongs to (`None` = noise).
+    pub burst_of: Vec<Option<usize>>,
+    /// Ground truth as clusters over arrival indices.
+    pub truth: GroundTruth,
+    /// Typical intra-burst distance (kernel calibration hint).
+    pub scale: f64,
+}
+
+/// Generates the scenario.
+///
+/// # Panics
+/// Panics if a burst does not fit into `total` arrivals.
+pub fn generate_stream(cfg: &StreamConfig) -> StreamScenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Burst centres far apart relative to jitter and inside the noise box.
+    let centers: Vec<Vec<f64>> = (0..cfg.bursts.len())
+        .map(|_| {
+            (0..cfg.dim)
+                .map(|_| (rng.gen::<f64>() - 0.5) * cfg.noise_span)
+                .collect()
+        })
+        .collect();
+    // Schedule: arrival index -> burst id.
+    let mut slots: Vec<Option<usize>> = vec![None; cfg.total];
+    for (b, burst) in cfg.bursts.iter().enumerate() {
+        let mut t = burst.start;
+        for _ in 0..burst.size {
+            assert!(t < cfg.total, "burst {b} overruns the stream");
+            // First free slot at or after t.
+            let slot = (t..cfg.total)
+                .find(|&u| slots[u].is_none())
+                .expect("burst overruns the stream");
+            slots[slot] = Some(b);
+            t = slot + 1 + rng.gen_range(0..=burst.spacing);
+        }
+    }
+    let mut data = Dataset::with_capacity(cfg.dim, cfg.total);
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); cfg.bursts.len()];
+    let mut row = vec![0.0; cfg.dim];
+    for (t, slot) in slots.iter().enumerate() {
+        match slot {
+            Some(b) => {
+                for (r, &c) in row.iter_mut().zip(&centers[*b]) {
+                    *r = c + normal(&mut rng, 0.0, cfg.jitter);
+                }
+                clusters[*b].push(t as u32);
+            }
+            None => {
+                for r in row.iter_mut() {
+                    *r = standard_normal(&mut rng) * cfg.noise_span;
+                }
+            }
+        }
+        data.push(&row);
+    }
+    let truth = GroundTruth::new(cfg.total, clusters);
+    let scale = cfg.jitter * (2.0 * cfg.dim as f64).sqrt();
+    StreamScenario { data, burst_of: slots, truth, scale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_shape() {
+        let sc = generate_stream(&StreamConfig::two_bursts(3));
+        assert_eq!(sc.data.len(), 120);
+        assert_eq!(sc.truth.cluster_count(), 2);
+        assert_eq!(sc.truth.positive_count(), 24);
+        assert_eq!(sc.burst_of.iter().flatten().count(), 24);
+    }
+
+    #[test]
+    fn bursts_are_temporally_localized() {
+        let sc = generate_stream(&StreamConfig::two_bursts(5));
+        let b0 = &sc.truth.clusters()[0];
+        let b1 = &sc.truth.clusters()[1];
+        // Burst 0 ends before burst 1 begins (disjoint windows here).
+        assert!(b0.iter().max() < b1.iter().min());
+        // A burst's arrivals span a window not much larger than
+        // size * (1 + spacing).
+        let span = (b0[b0.len() - 1] - b0[0]) as usize;
+        assert!(span <= 12 * 4, "burst too spread: {span}");
+    }
+
+    #[test]
+    fn burst_items_are_tight_noise_is_not() {
+        let sc = generate_stream(&StreamConfig::two_bursts(7));
+        let norm = alid_affinity::kernel::LpNorm::L2;
+        let b0 = &sc.truth.clusters()[0];
+        let intra = norm.distance(
+            sc.data.get(b0[0] as usize),
+            sc.data.get(b0[1] as usize),
+        );
+        assert!(intra < sc.scale * 3.0, "intra {intra} vs scale {}", sc.scale);
+        let noise: Vec<usize> = (0..sc.data.len())
+            .filter(|&i| sc.burst_of[i].is_none())
+            .take(2)
+            .collect();
+        let inter = norm.distance(sc.data.get(noise[0]), sc.data.get(noise[1]));
+        assert!(inter > sc.scale * 10.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_stream(&StreamConfig::two_bursts(11));
+        let b = generate_stream(&StreamConfig::two_bursts(11));
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.burst_of, b.burst_of);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn overrunning_burst_panics() {
+        let mut cfg = StreamConfig::two_bursts(1);
+        cfg.bursts[1].start = 118; // 12 items cannot fit
+        let _ = generate_stream(&cfg);
+    }
+}

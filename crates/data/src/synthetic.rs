@@ -1,0 +1,285 @@
+//! The synthetic benchmark family of Section 5.2.
+//!
+//! `n` 100-dimensional items are sampled from 20 multivariate Gaussians
+//! (the dominant clusters) plus one surrounding uniform distribution
+//! (the noise). Some Gaussian means are deliberately placed close
+//! together so clusters partially overlap, and every cluster gets its
+//! own diagonal covariance with entries in `[0, cov_max]` — both
+//! properties the paper calls out. The three regimes of Table 1 control
+//! how the largest-cluster size `a*` grows with `n`:
+//!
+//! * `a* = ω n / 20` — clean sources (positive data is a constant
+//!   fraction of the stream);
+//! * `a* = n^η / 20` — noisy sources where noise grows faster than
+//!   signal;
+//! * `a* = P / 20` — size-capped clusters (Dunbar-number-style bounds).
+
+use alid_affinity::vector::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::groundtruth::{GroundTruth, LabeledDataset};
+use crate::rng::{normal, shuffle};
+
+/// How the per-cluster ground-truth size scales with `n` (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Regime {
+    /// `a* = ω n / 20` with `ω <= 1`.
+    Proportional {
+        /// The constant fraction `ω`.
+        omega: f64,
+    },
+    /// `a* = n^η / 20` with `η < 1`.
+    Sublinear {
+        /// The growth exponent `η`.
+        eta: f64,
+    },
+    /// `a* = P / 20` regardless of `n`.
+    Bounded {
+        /// The cap `P`.
+        p: usize,
+    },
+}
+
+impl Regime {
+    /// Members per cluster at data-set size `n` (the paper divides by
+    /// the cluster count 20, which "does not affect the complexity").
+    pub fn cluster_size(&self, n: usize, clusters: usize) -> usize {
+        let per = match *self {
+            Regime::Proportional { omega } => omega * n as f64 / clusters as f64,
+            Regime::Sublinear { eta } => (n as f64).powf(eta) / clusters as f64,
+            Regime::Bounded { p } => p as f64 / clusters as f64,
+        };
+        // At least 2 so a cluster is a cluster; never more than n/clusters.
+        (per.round() as usize).clamp(2, (n / clusters).max(2))
+    }
+
+    /// Short tag used by the experiment harness ("omega", "eta", "P").
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Regime::Proportional { .. } => "omega",
+            Regime::Sublinear { .. } => "eta",
+            Regime::Bounded { .. } => "P",
+        }
+    }
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticConfig {
+    /// Total items `n`.
+    pub n: usize,
+    /// Feature dimensionality (paper: 100).
+    pub dim: usize,
+    /// Number of Gaussian clusters (paper: 20).
+    pub clusters: usize,
+    /// The `a*` regime.
+    pub regime: Regime,
+    /// Upper bound of the diagonal covariance entries (paper: 10).
+    pub cov_max: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's configuration for a given size and regime
+    /// (`dim = 100`, 20 clusters, covariances in `[0, 10]`).
+    pub fn paper(n: usize, regime: Regime, seed: u64) -> Self {
+        Self { n, dim: 100, clusters: 20, regime, cov_max: 10.0, seed }
+    }
+}
+
+/// Generates the labelled data set.
+///
+/// # Panics
+/// Panics if the configuration is degenerate (zero clusters/dim, or `n`
+/// too small to hold 2 members per cluster).
+pub fn generate(cfg: &SyntheticConfig) -> LabeledDataset {
+    assert!(cfg.clusters >= 1 && cfg.dim >= 1, "degenerate configuration");
+    assert!(
+        cfg.n >= 2 * cfg.clusters,
+        "n = {} cannot hold {} clusters of >= 2 items",
+        cfg.n,
+        cfg.clusters
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let per_cluster = cfg.regime.cluster_size(cfg.n, cfg.clusters);
+    let positive = per_cluster * cfg.clusters;
+    let noise = cfg.n - positive;
+
+    // Cluster means: uniform in [0, L]^d, with consecutive pairs pulled
+    // together so some clusters partially overlap (the paper varies the
+    // overlap by setting mean vectors close to each other). The box side
+    // is sized so that typical inter-mean distance comfortably exceeds
+    // the intra-cluster spread sqrt(2 * d * cov_max / 2).
+    let spread = (2.0 * cfg.dim as f64 * cfg.cov_max / 2.0).sqrt();
+    let side = 3.0 * spread / (cfg.dim as f64).sqrt() * 4.0;
+    let mut means: Vec<Vec<f64>> = (0..cfg.clusters)
+        .map(|_| (0..cfg.dim).map(|_| rng.gen::<f64>() * side).collect())
+        .collect();
+    for pair in (0..cfg.clusters.saturating_sub(1)).step_by(4) {
+        // Every other pair of clusters overlaps: second mean = first +
+        // a nudge of about one intra-cluster spread.
+        let base = means[pair].clone();
+        let nudged: Vec<f64> = base
+            .iter()
+            .map(|&m| m + normal(&mut rng, 0.0, spread / (cfg.dim as f64).sqrt()))
+            .collect();
+        means[pair + 1] = nudged;
+    }
+    // Per-cluster diagonal standard deviations: variance entries uniform
+    // in [0, cov_max].
+    let stds: Vec<Vec<f64>> = (0..cfg.clusters)
+        .map(|_| (0..cfg.dim).map(|_| (rng.gen::<f64>() * cfg.cov_max).sqrt()).collect())
+        .collect();
+
+    let mut data = Dataset::with_capacity(cfg.dim, cfg.n);
+    let mut clusters: Vec<Vec<u32>> = Vec::with_capacity(cfg.clusters);
+    let mut row = vec![0.0; cfg.dim];
+    for c in 0..cfg.clusters {
+        let mut members = Vec::with_capacity(per_cluster);
+        for _ in 0..per_cluster {
+            for ((r, &m), &s) in row.iter_mut().zip(&means[c]).zip(&stds[c]) {
+                *r = normal(&mut rng, m, s);
+            }
+            members.push(data.len() as u32);
+            data.push(&row);
+        }
+        clusters.push(members);
+    }
+    // Surrounding uniform noise: a box inflated beyond the mean box by
+    // one spread on each side.
+    let lo = -spread;
+    let hi = side + spread;
+    for _ in 0..noise {
+        for r in row.iter_mut() {
+            *r = lo + rng.gen::<f64>() * (hi - lo);
+        }
+        data.push(&row);
+    }
+
+    // Shuffle item order so cluster members are not contiguous.
+    let mut perm: Vec<u32> = (0..cfg.n as u32).collect();
+    shuffle(&mut rng, &mut perm);
+    // perm[new_pos] = old_id; build old -> new for the ground truth.
+    let mut old_to_new = vec![0u32; cfg.n];
+    for (new_pos, &old_id) in perm.iter().enumerate() {
+        old_to_new[old_id as usize] = new_pos as u32;
+    }
+    let shuffled_idx: Vec<usize> = perm.iter().map(|&i| i as usize).collect();
+    let data = data.subset(&shuffled_idx);
+    let truth = GroundTruth::new(cfg.n, clusters).permuted(&old_to_new);
+
+    // Typical intra-cluster distance: E||a - b||^2 = 2 * sum(var) with
+    // average variance cov_max / 2 per dimension.
+    let scale = (2.0 * cfg.dim as f64 * cfg.cov_max / 2.0).sqrt();
+    // Noise is uniform over the inflated box: E||a-b||^2 = d*(hi-lo)^2/6.
+    let noise_scale = ((cfg.dim as f64) * (hi - lo) * (hi - lo) / 6.0).sqrt();
+    LabeledDataset {
+        name: format!("synthetic-{}-n{}", cfg.regime.tag(), cfg.n),
+        data,
+        truth,
+        scale,
+        noise_scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::kernel::LpNorm;
+
+    #[test]
+    fn regime_sizes_match_table_1() {
+        let prop = Regime::Proportional { omega: 1.0 };
+        assert_eq!(prop.cluster_size(2000, 20), 100);
+        let sub = Regime::Sublinear { eta: 0.9 };
+        assert_eq!(sub.cluster_size(10_000, 20), ((10_000f64).powf(0.9) / 20.0).round() as usize);
+        let cap = Regime::Bounded { p: 1000 };
+        assert_eq!(cap.cluster_size(100_000, 20), 50);
+        assert_eq!(cap.cluster_size(2_000, 20), 50);
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let cfg = SyntheticConfig::paper(2_000, Regime::Proportional { omega: 0.5 }, 1);
+        let ds = generate(&cfg);
+        assert_eq!(ds.len(), 2_000);
+        assert_eq!(ds.truth.cluster_count(), 20);
+        assert_eq!(ds.truth.positive_count(), 1_000);
+        assert_eq!(ds.truth.noise_count(), 1_000);
+        assert_eq!(ds.data.dim(), 100);
+    }
+
+    #[test]
+    fn clusters_are_tighter_than_noise() {
+        let cfg = SyntheticConfig::paper(1_000, Regime::Bounded { p: 400 }, 7);
+        let ds = generate(&cfg);
+        let norm = LpNorm::L2;
+        // Mean intra-cluster distance of cluster 0 vs mean distance
+        // between random noise items.
+        let members = &ds.truth.clusters()[0];
+        let mut intra = 0.0;
+        let mut pairs = 0;
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                intra += norm.distance(ds.data.get(a as usize), ds.data.get(b as usize));
+                pairs += 1;
+            }
+        }
+        intra /= pairs as f64;
+        let labels = ds.truth.labels();
+        let noise_ids: Vec<usize> =
+            (0..ds.len()).filter(|&i| labels[i].is_none()).take(40).collect();
+        let mut inter = 0.0;
+        let mut npairs = 0;
+        for (i, &a) in noise_ids.iter().enumerate() {
+            for &b in &noise_ids[i + 1..] {
+                inter += norm.distance(ds.data.get(a), ds.data.get(b));
+                npairs += 1;
+            }
+        }
+        inter /= npairs as f64;
+        assert!(
+            intra * 2.0 < inter,
+            "clusters must be much tighter than noise: intra {intra:.1} vs noise {inter:.1}"
+        );
+        // The scale hint should be in the ballpark of measured intra.
+        assert!(ds.scale > intra * 0.5 && ds.scale < intra * 2.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::paper(500, Regime::Sublinear { eta: 0.9 }, 42);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn members_are_scattered_by_the_shuffle() {
+        let cfg = SyntheticConfig::paper(1_000, Regime::Proportional { omega: 0.4 }, 3);
+        let ds = generate(&cfg);
+        let first = &ds.truth.clusters()[0];
+        let contiguous = first.windows(2).all(|w| w[1] == w[0] + 1);
+        assert!(!contiguous, "shuffle should break contiguity");
+    }
+
+    #[test]
+    fn some_clusters_overlap() {
+        // Consecutive pairs are nudged together: the distance between
+        // means of clusters 0 and 1 is far below the typical mean gap.
+        let cfg = SyntheticConfig::paper(4_000, Regime::Proportional { omega: 1.0 }, 11);
+        let ds = generate(&cfg);
+        let centroid = |c: usize| {
+            let idx: Vec<usize> =
+                ds.truth.clusters()[c].iter().map(|&m| m as usize).collect();
+            ds.data.centroid(&idx)
+        };
+        let norm = LpNorm::L2;
+        let d01 = norm.distance(&centroid(0), &centroid(1));
+        let d02 = norm.distance(&centroid(0), &centroid(2));
+        assert!(d01 < d02, "pair (0,1) is built to overlap: {d01:.1} vs {d02:.1}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the evaluation metrics: bounds, symmetry in
+//! the right places, and behaviour under perturbation.
+
+use alid_affinity::clustering::{Clustering, DetectedCluster};
+use alid_data::groundtruth::GroundTruth;
+use alid_data::metrics::{avg_f1, f1, precision_recall};
+use proptest::prelude::*;
+
+/// A random ground truth over n in 6..=30 items: disjoint clusters built
+/// from a shuffled prefix.
+fn ground_truth() -> impl Strategy<Value = GroundTruth> {
+    (6usize..=30).prop_flat_map(|n| {
+        (Just(n), prop::collection::vec(0u8..4, n))
+            .prop_map(|(n, labels)| {
+                let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); 4];
+                for (i, &l) in labels.iter().enumerate() {
+                    if l < 3 {
+                        clusters[l as usize].push(i as u32);
+                    } // l == 3 -> noise
+                }
+                let clusters: Vec<Vec<u32>> =
+                    clusters.into_iter().filter(|c| c.len() >= 2).collect();
+                GroundTruth::new(n, clusters)
+            })
+    })
+}
+
+fn clustering_from(gt: &GroundTruth) -> Clustering {
+    let mut c = Clustering::new(gt.n());
+    for (i, members) in gt.clusters().iter().enumerate() {
+        c.clusters.push(DetectedCluster::uniform(members.clone(), 0.9 - i as f64 * 0.01));
+    }
+    c
+}
+
+proptest! {
+    #[test]
+    fn f1_is_bounded_and_symmetric(a in prop::collection::btree_set(0u32..40, 1..10),
+                                   b in prop::collection::btree_set(0u32..40, 1..10)) {
+        let a: Vec<u32> = a.into_iter().collect();
+        let b: Vec<u32> = b.into_iter().collect();
+        let ab = f1(&a, &b);
+        let ba = f1(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-12, "F1 must be symmetric");
+        if a == b {
+            prop_assert!((ab - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perfect_detection_scores_one(gt in ground_truth()) {
+        prop_assume!(gt.cluster_count() > 0);
+        let det = clustering_from(&gt);
+        prop_assert!((avg_f1(&gt, &det) - 1.0).abs() < 1e-12);
+        let (p, r) = precision_recall(&gt, &det);
+        prop_assert!((p - 1.0).abs() < 1e-12);
+        prop_assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_f_is_bounded(gt in ground_truth(),
+                        extra in prop::collection::vec(0u32..30, 0..8)) {
+        let mut det = clustering_from(&gt);
+        // Perturb: add a junk cluster of arbitrary (possibly overlapping)
+        // items clamped into range.
+        let junk: Vec<u32> = extra
+            .into_iter()
+            .map(|e| e % gt.n() as u32)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if !junk.is_empty() {
+            det.clusters.push(DetectedCluster::uniform(junk, 0.1));
+        }
+        let score = avg_f1(&gt, &det);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&score));
+    }
+
+    #[test]
+    fn adding_clusters_never_lowers_avg_f(gt in ground_truth()) {
+        prop_assume!(gt.cluster_count() > 1);
+        // Detection with only the first true cluster...
+        let mut partial = Clustering::new(gt.n());
+        partial
+            .clusters
+            .push(DetectedCluster::uniform(gt.clusters()[0].clone(), 0.9));
+        let before = avg_f1(&gt, &partial);
+        // ...then add the second: best-match per true cluster can only
+        // improve or stay.
+        partial
+            .clusters
+            .push(DetectedCluster::uniform(gt.clusters()[1].clone(), 0.8));
+        let after = avg_f1(&gt, &partial);
+        prop_assert!(after >= before - 1e-12);
+    }
+
+    #[test]
+    fn dropping_members_lowers_recall(gt in ground_truth()) {
+        prop_assume!(gt.cluster_count() > 0 && gt.clusters()[0].len() >= 4);
+        let full = clustering_from(&gt);
+        let (_, r_full) = precision_recall(&gt, &full);
+        let mut halved = full.clone();
+        let keep = halved.clusters[0].members.len() / 2;
+        let members: Vec<u32> = halved.clusters[0].members[..keep].to_vec();
+        halved.clusters[0] = DetectedCluster::uniform(members, 0.9);
+        let (_, r_half) = precision_recall(&gt, &halved);
+        prop_assert!(r_half < r_full + 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! Used by SC-NYS for the landmark block `W` and the one-shot Nyström
+//! matrix `S` (both `m x m` with `m` a few hundred), where exactness and
+//! robustness matter more than asymptotics.
+
+use crate::matrix::Mat;
+
+/// Eigenvalues (descending) and the matching eigenvectors (columns of
+/// `vectors`).
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// `n x n` matrix whose `j`-th column is the eigenvector of
+    /// `values[j]`; orthonormal.
+    pub vectors: Mat,
+}
+
+impl EigenDecomposition {
+    /// Reconstructs `V diag(f(lambda)) V^T` — the standard way to apply a
+    /// scalar function to the matrix (used for `W^{-1/2}` in Nyström).
+    pub fn apply_function(&self, f: impl Fn(f64) -> f64) -> Mat {
+        let n = self.values.len();
+        let mut scaled = Mat::zeros(n, n);
+        // scaled = V * diag(f(lambda))
+        for i in 0..n {
+            for j in 0..n {
+                scaled[(i, j)] = self.vectors[(i, j)] * f(self.values[j]);
+            }
+        }
+        scaled.matmul(&self.vectors.transpose())
+    }
+}
+
+/// Diagonalises the symmetric matrix `a` by cyclic Jacobi rotations.
+///
+/// Stops when the largest off-diagonal magnitude falls below `tol`
+/// (absolute) or after `max_sweeps` full sweeps. For affinity-derived
+/// matrices (entries in `[0, 1]`) a tolerance of `1e-10` converges in a
+/// handful of sweeps.
+///
+/// # Panics
+/// Panics if `a` is not square or not symmetric (to `1e-8`).
+pub fn jacobi_eigh(a: &Mat, tol: f64, max_sweeps: usize) -> EigenDecomposition {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "matrix must be square");
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert!(
+                (a[(i, j)] - a[(j, i)]).abs() < 1e-8,
+                "matrix must be symmetric (a[{i}][{j}] != a[{j}][{i}])"
+            );
+        }
+    }
+    let mut m = a.clone();
+    let mut v = Mat::eye(n);
+    for _sweep in 0..max_sweeps {
+        if m.max_offdiag() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol * 1e-3 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Rotation angle: tan(2θ) = 2 a_pq / (a_pp - a_qq).
+                let theta = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let c = theta.cos();
+                let s = theta.sin();
+                // Update rows/columns p and q of m (m := Jᵀ m J).
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp + s * mkq;
+                    m[(k, q)] = -s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk + s * mqk;
+                    m[(q, k)] = -s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into v.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp + s * vkq;
+                    v[(k, q)] = -s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&x, &y| diag[y].total_cmp(&diag[x]));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Mat::zeros(n, n);
+    for (newj, &oldj) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, newj)] = v[(i, oldj)];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: usize, f: impl Fn(usize, usize) -> f64) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = if i <= j { f(i, j) } else { f(j, i) };
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let m = sym(3, |i, j| if i == j { (3 - i) as f64 } else { 0.0 });
+        let e = jacobi_eigh(&m, 1e-12, 30);
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = sym(2, |i, j| if i == j { 2.0 } else { 1.0 });
+        let e = jacobi_eigh(&m, 1e-12, 30);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let m = sym(5, |i, j| 1.0 / (1.0 + i as f64 + j as f64)); // Hilbert-like
+        let e = jacobi_eigh(&m, 1e-12, 50);
+        // V Λ Vᵀ == M
+        let recon = e.apply_function(|l| l);
+        assert!(m.frobenius_distance(&recon) < 1e-8);
+        // Vᵀ V == I
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.frobenius_distance(&Mat::eye(5)) < 1e-8);
+    }
+
+    #[test]
+    fn eigenvector_satisfies_definition() {
+        let m = sym(4, |i, j| ((i * j) as f64).sin().abs() + if i == j { 2.0 } else { 0.0 });
+        let e = jacobi_eigh(&m, 1e-12, 50);
+        for j in 0..4 {
+            let v = e.vectors.col(j);
+            let mut mv = vec![0.0; 4];
+            m.matvec(&v, &mut mv);
+            for i in 0..4 {
+                assert!((mv[i] - e.values[j] * v[i]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_square_root_via_apply_function() {
+        let m = sym(3, |i, j| if i == j { (i + 1) as f64 * 4.0 } else { 0.5 });
+        let e = jacobi_eigh(&m, 1e-12, 50);
+        let inv_sqrt = e.apply_function(|l| 1.0 / l.sqrt());
+        // (M^{-1/2})² M should be the identity.
+        let should_be_eye = inv_sqrt.matmul(&inv_sqrt).matmul(&m);
+        assert!(should_be_eye.frobenius_distance(&Mat::eye(3)) < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetric_input() {
+        let m = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let _ = jacobi_eigh(&m, 1e-10, 10);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = sym(6, |i, j| ((i + 2 * j) as f64 * 0.37).cos());
+        let e = jacobi_eigh(&m, 1e-12, 60);
+        let trace: f64 = (0..6).map(|i| m[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,26 @@
+//! Small dense linear-algebra substrate for the spectral-clustering
+//! baselines of the ALID paper's noise-resistance study (Appendix C,
+//! Fig. 11).
+//!
+//! SC-FL (Ng, Jordan & Weiss 2002) needs the top-K eigenvectors of the
+//! normalised affinity matrix; SC-NYS (Fowlkes et al. 2004) additionally
+//! needs full eigendecompositions and inverse square roots of small
+//! landmark matrices. Two solvers cover both:
+//!
+//! * [`eigen::jacobi_eigh`] — a cyclic Jacobi eigensolver for symmetric
+//!   matrices, exact and robust, `O(n^3)` per sweep, used for the
+//!   Nyström landmark blocks (a few hundred rows);
+//! * [`power::simultaneous_iteration`] — orthogonal (block power)
+//!   iteration retrieving the top-K eigenpairs of a large symmetric
+//!   operator given only its mat-vec, used for the full `n x n`
+//!   normalised affinity.
+
+
+#![warn(missing_docs)]
+pub mod eigen;
+pub mod matrix;
+pub mod power;
+
+pub use eigen::{jacobi_eigh, EigenDecomposition};
+pub use matrix::Mat;
+pub use power::simultaneous_iteration;

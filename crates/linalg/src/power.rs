@@ -1,0 +1,195 @@
+//! Orthogonal (simultaneous / block power) iteration for the top-K
+//! eigenpairs of a large symmetric operator.
+//!
+//! SC-FL needs the K leading eigenvectors of the normalised affinity
+//! `D^{-1/2} A D^{-1/2}` where `n` is the data-set size; materialising a
+//! dense eigensolver there would dwarf the clustering itself. This
+//! routine only needs the operator's mat-vec, converging linearly at
+//! rate `|lambda_{K+1} / lambda_K|`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Mat;
+
+/// Computes the top-`k` eigenpairs of a symmetric operator given through
+/// its mat-vec closure.
+///
+/// Returns eigenvalues (descending by magnitude of Rayleigh quotient)
+/// and an `n x k` matrix of orthonormal eigenvector columns. Stops when
+/// the subspace rotation between iterations drops below `tol` or after
+/// `max_iters`.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+pub fn simultaneous_iteration(
+    matvec: impl Fn(&[f64], &mut [f64]),
+    n: usize,
+    k: usize,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+) -> (Vec<f64>, Mat) {
+    assert!(k >= 1, "need at least one eigenpair");
+    assert!(k <= n, "cannot extract {k} eigenpairs from an order-{n} operator");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Column-major basis: q[j] is the j-th basis vector.
+    let mut q: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..n).map(|_| rng.gen::<f64>() - 0.5).collect())
+        .collect();
+    orthonormalize(&mut q);
+    let mut z: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+    let mut prev_overlap = 0.0f64;
+    for _iter in 0..max_iters {
+        for (zj, qj) in z.iter_mut().zip(&q) {
+            matvec(qj, zj);
+        }
+        std::mem::swap(&mut q, &mut z);
+        orthonormalize(&mut q);
+        // Subspace change: 1 - mean |<q_j, z_j>| (z holds the previous
+        // basis after the swap).
+        let mut overlap = 0.0;
+        for (qj, zj) in q.iter().zip(&z) {
+            overlap += dot(qj, zj).abs();
+        }
+        overlap /= k as f64;
+        if (overlap - prev_overlap).abs() < tol && overlap > 1.0 - 1e-6 {
+            break;
+        }
+        prev_overlap = overlap;
+    }
+    // Rayleigh quotients as the eigenvalue estimates.
+    let mut values: Vec<f64> = q
+        .iter()
+        .map(|qj| {
+            let mut aq = vec![0.0; n];
+            matvec(qj, &mut aq);
+            dot(qj, &aq)
+        })
+        .collect();
+    // Sort by descending eigenvalue, carrying the vectors along.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
+    values = order.iter().map(|&i| values[i]).collect();
+    let mut vectors = Mat::zeros(n, k);
+    for (newj, &oldj) in order.iter().enumerate() {
+        vectors.set_col(newj, &q[oldj]);
+    }
+    (values, vectors)
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Modified Gram–Schmidt, re-randomising columns that collapse to zero.
+fn orthonormalize(q: &mut [Vec<f64>]) {
+    let k = q.len();
+    for j in 0..k {
+        for i in 0..j {
+            // Split at j so we can borrow q[i] (in `head`) while mutating q[j].
+            let (head, tail) = q.split_at_mut(j);
+            let proj = dot(&tail[0], &head[i]);
+            for (t, &h) in tail[0].iter_mut().zip(&head[i]) {
+                *t -= proj * h;
+            }
+        }
+        let norm = dot(&q[j], &q[j]).sqrt();
+        if norm < 1e-14 {
+            // Degenerate column: replace with a deterministic perturbation
+            // and renormalise (rare; happens if the start block is rank
+            // deficient).
+            for (p, v) in q[j].iter_mut().enumerate() {
+                *v = ((p + 7 * j + 1) as f64).sin();
+            }
+            let n2 = dot(&q[j], &q[j]).sqrt();
+            for v in q[j].iter_mut() {
+                *v /= n2;
+            }
+        } else {
+            for v in q[j].iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Operator for a fixed symmetric matrix.
+    fn op(m: Mat) -> impl Fn(&[f64], &mut [f64]) {
+        move |x, out| m.matvec(x, out)
+    }
+
+    fn diag(values: &[f64]) -> Mat {
+        let n = values.len();
+        let mut m = Mat::zeros(n, n);
+        for (i, &v) in values.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    #[test]
+    fn recovers_diagonal_spectrum() {
+        let m = diag(&[5.0, 4.0, 1.0, 0.5]);
+        let (vals, vecs) = simultaneous_iteration(op(m), 4, 2, 500, 1e-12, 3);
+        assert!((vals[0] - 5.0).abs() < 1e-6);
+        assert!((vals[1] - 4.0).abs() < 1e-6);
+        // Leading eigenvector is e_0 (up to sign).
+        assert!(vecs[(0, 0)].abs() > 0.999);
+    }
+
+    #[test]
+    fn agrees_with_jacobi_on_dense_symmetric() {
+        use crate::eigen::jacobi_eigh;
+        let n = 8;
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+                m[(i, j)] = v;
+            }
+        }
+        let exact = jacobi_eigh(&m, 1e-12, 100);
+        let (vals, _) = simultaneous_iteration(op(m), n, 3, 2000, 1e-13, 9);
+        for (t, &v) in vals.iter().enumerate().take(3) {
+            assert!(
+                (v - exact.values[t]).abs() < 1e-6,
+                "eigenvalue {t}: power {} vs jacobi {}",
+                vals[t],
+                exact.values[t]
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = diag(&[3.0, 2.5, 2.0, 1.0, 0.1]);
+        let (_, vecs) = simultaneous_iteration(op(m), 5, 3, 500, 1e-12, 1);
+        for a in 0..3 {
+            for b in 0..3 {
+                let d = dot(&vecs.col(a), &vecs.col(b));
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-8, "col {a} . col {b} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_k_equals_n() {
+        let m = diag(&[2.0, 1.0]);
+        let (vals, _) = simultaneous_iteration(op(m), 2, 2, 500, 1e-12, 5);
+        assert!((vals[0] - 2.0).abs() < 1e-8);
+        assert!((vals[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extract")]
+    fn rejects_k_above_n() {
+        let m = diag(&[1.0]);
+        let _ = simultaneous_iteration(op(m), 1, 2, 10, 1e-6, 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Sign-random-projection LSH (SimHash; Charikar 2002) — an alternative
+//! hash family for *angular* similarity.
+//!
+//! The p-stable family of [`crate::index`] is calibrated in absolute L2
+//! units via the segment length `r`. For L2-normalised data (the SIFT
+//! visual-word workload) angle and L2 distance are monotonically
+//! related, and the sign family needs no length parameter at all: each
+//! of `bits` random hyperplanes contributes one sign bit,
+//! `P[bit collision] = 1 - θ/π` for angle θ. Banding `bits` into one
+//! key per table gives the usual recall/selectivity trade-off.
+//!
+//! Provided as an alternative backend for CIVS-style candidate
+//! retrieval on normalised data, and exercised by the ablation suite.
+
+use std::sync::Arc;
+
+use alid_affinity::cost::CostModel;
+use alid_affinity::fx::{mix_words, FxHashMap};
+use alid_affinity::vector::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SimHash configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimHashParams {
+    /// Number of tables `l`.
+    pub tables: usize,
+    /// Sign bits per table key.
+    pub bits: usize,
+    /// RNG seed for the hyperplane normals.
+    pub seed: u64,
+}
+
+impl SimHashParams {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics unless `tables >= 1` and `1 <= bits <= 64`.
+    pub fn new(tables: usize, bits: usize, seed: u64) -> Self {
+        assert!(tables >= 1, "need at least one table");
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64, got {bits}");
+        Self { tables, bits, seed }
+    }
+}
+
+impl Default for SimHashParams {
+    fn default() -> Self {
+        Self::new(12, 14, 0x51)
+    }
+}
+
+struct Table {
+    /// Row-major `bits x dim` hyperplane normals.
+    planes: Vec<f64>,
+    buckets: FxHashMap<u64, Vec<u32>>,
+}
+
+/// A SimHash index over a data set (tombstone semantics matching
+/// [`crate::index::LshIndex`]).
+pub struct SimHashIndex {
+    params: SimHashParams,
+    dim: usize,
+    n: usize,
+    tables: Vec<Table>,
+    alive: Vec<bool>,
+    alive_count: usize,
+}
+
+impl SimHashIndex {
+    /// Builds the index for every item of `ds`.
+    pub fn build(ds: &Dataset, params: SimHashParams, cost: &Arc<CostModel>) -> Self {
+        let dim = ds.dim();
+        let n = ds.len();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut tables = Vec::with_capacity(params.tables);
+        for _ in 0..params.tables {
+            let planes: Vec<f64> = (0..params.bits * dim)
+                .map(|_| sample_standard_normal(&mut rng))
+                .collect();
+            tables.push(Table { planes, buckets: FxHashMap::default() });
+        }
+        let mut index =
+            Self { params, dim, n, tables, alive: vec![true; n], alive_count: n };
+        for (id, row) in ds.iter().enumerate() {
+            for t in 0..index.tables.len() {
+                let key = index.key(t, row);
+                index.tables[t].buckets.entry(key).or_default().push(id as u32);
+            }
+        }
+        cost.record_aux_bytes((n * params.tables * 4 + n) as u64);
+        index
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Items not tombstoned.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Tombstones an item (idempotent).
+    pub fn remove(&mut self, id: u32) {
+        let slot = &mut self.alive[id as usize];
+        if *slot {
+            *slot = false;
+            self.alive_count -= 1;
+        }
+    }
+
+    fn key(&self, t: usize, v: &[f64]) -> u64 {
+        debug_assert_eq!(v.len(), self.dim, "query dimensionality mismatch");
+        let table = &self.tables[t];
+        let mut signature: u64 = 0;
+        for b in 0..self.params.bits {
+            let plane = &table.planes[b * self.dim..(b + 1) * self.dim];
+            let mut dot = 0.0;
+            for (p, x) in plane.iter().zip(v) {
+                dot += p * x;
+            }
+            signature = (signature << 1) | u64::from(dot >= 0.0);
+        }
+        // Mix so low bits are table-friendly even for small `bits`.
+        mix_words([signature, t as u64])
+    }
+
+    /// Alive items colliding with `v` in any table, deduplicated and
+    /// sorted ascending.
+    pub fn query(&self, v: &[f64]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for t in 0..self.tables.len() {
+            let key = self.key(t, v);
+            if let Some(bucket) = self.tables[t].buckets.get(&key) {
+                out.extend(bucket.iter().copied().filter(|&id| self.alive[id as usize]));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Theoretical single-bit collision probability for angle `theta`
+    /// (radians): `1 - theta / pi`.
+    pub fn bit_collision_probability(theta: f64) -> f64 {
+        (1.0 - theta / std::f64::consts::PI).clamp(0.0, 1.0)
+    }
+
+    /// Theoretical recall for angle `theta` under this configuration.
+    pub fn recall(&self, theta: f64) -> f64 {
+        let p_key = Self::bit_collision_probability(theta).powi(self.params.bits as i32);
+        1.0 - (1.0 - p_key).powi(self.params.tables as i32)
+    }
+}
+
+/// Box–Muller standard normal (kept local; the crate deliberately avoids
+/// `rand_distr`).
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight direction cones on the unit sphere plus scattered noise.
+    fn sphere_dataset() -> Dataset {
+        let dim = 24;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ds = Dataset::new(dim);
+        let mut proto_a = vec![0.0; dim];
+        proto_a[0] = 1.0;
+        let mut proto_b = vec![0.0; dim];
+        proto_b[1] = -1.0;
+        let push_near = |proto: &[f64], ds: &mut Dataset, rng: &mut StdRng| {
+            let mut v: Vec<f64> =
+                proto.iter().map(|&p| p + 0.02 * sample_standard_normal(rng)).collect();
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            v.iter_mut().for_each(|x| *x /= norm);
+            ds.push(&v);
+        };
+        for _ in 0..15 {
+            push_near(&proto_a, &mut ds, &mut rng);
+        }
+        for _ in 0..15 {
+            push_near(&proto_b, &mut ds, &mut rng);
+        }
+        for _ in 0..30 {
+            let mut v: Vec<f64> = (0..dim).map(|_| sample_standard_normal(&mut rng)).collect();
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            v.iter_mut().for_each(|x| *x /= norm);
+            ds.push(&v);
+        }
+        ds
+    }
+
+    #[test]
+    fn cone_members_collide() {
+        let ds = sphere_dataset();
+        let idx = SimHashIndex::build(&ds, SimHashParams::new(10, 10, 3), &CostModel::shared());
+        let hits = idx.query(ds.get(0));
+        let cone_hits = hits.iter().filter(|&&h| h < 15).count();
+        assert!(cone_hits >= 12, "cone A recall too low: {cone_hits}/15");
+        // The opposite cone must essentially never collide (angle ~pi/2
+        // from cone A in these axes — actually orthogonal; recall ~0).
+        let cone_b = hits.iter().filter(|&&h| (15..30).contains(&h)).count();
+        assert!(cone_b <= 2, "orthogonal cone should not collide: {cone_b}");
+    }
+
+    #[test]
+    fn tombstones_respected() {
+        let ds = sphere_dataset();
+        let mut idx =
+            SimHashIndex::build(&ds, SimHashParams::new(10, 10, 3), &CostModel::shared());
+        assert!(idx.query(ds.get(0)).contains(&1));
+        idx.remove(1);
+        assert!(!idx.query(ds.get(0)).contains(&1));
+        assert_eq!(idx.alive_count(), ds.len() - 1);
+    }
+
+    #[test]
+    fn recall_model_is_monotone_in_angle() {
+        let idx = SimHashIndex::build(
+            &sphere_dataset(),
+            SimHashParams::default(),
+            &CostModel::shared(),
+        );
+        let mut prev = idx.recall(0.0);
+        assert!((prev - 1.0).abs() < 1e-9);
+        for step in 1..=10 {
+            let theta = step as f64 * 0.3;
+            let r = idx.recall(theta.min(std::f64::consts::PI));
+            assert!(r <= prev + 1e-12, "recall must fall with angle");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn empirical_bit_collision_tracks_theory() {
+        // Pairs at a fixed angle: empirical single-bit collision rate
+        // close to 1 - theta/pi.
+        let dim = 16;
+        let theta = 0.5f64;
+        let mut rng = StdRng::seed_from_u64(77);
+        let trials = 600;
+        let mut collisions = 0;
+        for t in 0..trials {
+            let mut a: Vec<f64> = (0..dim).map(|_| sample_standard_normal(&mut rng)).collect();
+            let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+            a.iter_mut().for_each(|x| *x /= na);
+            // Orthogonal direction to rotate towards.
+            let mut b: Vec<f64> = (0..dim).map(|_| sample_standard_normal(&mut rng)).collect();
+            let proj: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            for (bi, &ai) in b.iter_mut().zip(&a) {
+                *bi -= proj * ai;
+            }
+            let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+            b.iter_mut().for_each(|x| *x /= nb);
+            let rotated: Vec<f64> = a
+                .iter()
+                .zip(&b)
+                .map(|(&ai, &bi)| ai * theta.cos() + bi * theta.sin())
+                .collect();
+            let mut ds = Dataset::new(dim);
+            ds.push(&a);
+            ds.push(&rotated);
+            let idx = SimHashIndex::build(
+                &ds,
+                SimHashParams::new(1, 1, 1000 + t),
+                &CostModel::shared(),
+            );
+            if idx.query(ds.get(0)).contains(&1) {
+                collisions += 1;
+            }
+        }
+        let empirical = collisions as f64 / trials as f64;
+        let theory = SimHashIndex::bit_collision_probability(theta);
+        assert!(
+            (empirical - theory).abs() < 0.07,
+            "empirical {empirical:.3} vs theory {theory:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = sphere_dataset();
+        let a = SimHashIndex::build(&ds, SimHashParams::default(), &CostModel::shared());
+        let b = SimHashIndex::build(&ds, SimHashParams::default(), &CostModel::shared());
+        assert_eq!(a.query(ds.get(3)), b.query(ds.get(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn rejects_oversized_bits() {
+        let _ = SimHashParams::new(4, 65, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Hot-event detection in a news stream — the paper's NART scenario.
+//!
+//! ```text
+//! cargo run --release --example hot_events
+//! ```
+//!
+//! A large stream of news articles contains a few "hot events": bursts
+//! of highly similar coverage. Most articles are one-off daily news —
+//! background noise that partitioning methods would be forced to spread
+//! across clusters. This example runs ALID on the NART simulator (13
+//! events, 350-d topic vectors) and reports how well the detected
+//! dominant clusters recover the planted events, comparing against
+//! k-means to show the noise-resistance gap of Fig. 11.
+
+use alid::baselines::kmeans::{kmeans_detect_all, KmeansParams};
+use alid::data::metrics::{avg_f1, precision_recall};
+use alid::data::nart::nart_with;
+use alid::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // A quarter-scale NART: 13 events, ~184 event articles, ~1142 noise.
+    let ds = nart_with(0.25, None, 7);
+    println!(
+        "corpus '{}': {} articles, {} hot events ({} articles), {} daily-news noise",
+        ds.name,
+        ds.len(),
+        ds.truth.cluster_count(),
+        ds.truth.positive_count(),
+        ds.truth.noise_count()
+    );
+
+    // ---- ALID ---------------------------------------------------------
+    let params = AlidParams::calibrated(&ds.data, ds.scale, 0.9).with_lsh_seed(3);
+    let cost = CostModel::shared();
+    let started = Instant::now();
+    let clustering = Peeler::new(&ds.data, params, Arc::clone(&cost)).detect_all();
+    let dominant = clustering.dominant(0.75, 3);
+    let alid_time = started.elapsed();
+    let (p, r) = precision_recall(&ds.truth, &dominant);
+    println!(
+        "\nALID: {} dominant clusters in {:.2?} | AVG-F {:.3}, precision {:.3}, recall {:.3}",
+        dominant.len(),
+        alid_time,
+        avg_f1(&ds.truth, &dominant),
+        p,
+        r
+    );
+    let mut by_size: Vec<_> = dominant.clusters.iter().collect();
+    by_size.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    for (i, c) in by_size.iter().take(5).enumerate() {
+        println!("  event {}: {} articles, density {:.3}", i + 1, c.len(), c.density);
+    }
+    let snap = cost.snapshot();
+    println!(
+        "  affinity work: {} kernel evals = {:.2}% of the full matrix",
+        snap.kernel_evals,
+        100.0 * snap.kernel_evals as f64 / (ds.len() * ds.len()) as f64
+    );
+
+    // ---- k-means for contrast ------------------------------------------
+    // The partitioning protocol of Appendix C: K = true events + 1.
+    let k = ds.truth.cluster_count() + 1;
+    let started = Instant::now();
+    let km = kmeans_detect_all(&ds.data, &KmeansParams::with_k(k));
+    println!(
+        "\nk-means (K={k}): AVG-F {:.3} in {:.2?} — noise is forced into event clusters",
+        avg_f1(&ds.truth, &km),
+        started.elapsed()
+    );
+}

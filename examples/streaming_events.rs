@@ -1,0 +1,89 @@
+//! Online dominant-cluster detection over a stream — the paper's
+//! announced future-work extension, implemented in
+//! `alid_core::streaming`.
+//!
+//! ```text
+//! cargo run --release --example streaming_events
+//! ```
+//!
+//! News articles arrive one by one. Two hot events break at different
+//! times inside a stream of daily-news noise; the streaming driver
+//! buffers unexplained items, promotes a dominant cluster as soon as
+//! enough correlated coverage accumulates, and attaches follow-up
+//! articles to it in O(cluster) time without re-running detection.
+
+use alid::core::streaming::{StreamUpdate, StreamingAlid};
+use alid::prelude::*;
+use alid::affinity::kernel::LpNorm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dim = 16;
+    // Two event "topics" and a noise generator in a 16-d feature space.
+    let event_a: Vec<f64> = (0..dim).map(|d| (d as f64 * 0.7).sin() * 3.0).collect();
+    let event_b: Vec<f64> = (0..dim).map(|d| (d as f64 * 1.3).cos() * 3.0 + 10.0).collect();
+    let noise = |rng: &mut StdRng| -> Vec<f64> {
+        (0..dim).map(|_| rng.gen::<f64>() * 40.0 - 20.0).collect()
+    };
+    let near = |center: &[f64], rng: &mut StdRng| -> Vec<f64> {
+        center.iter().map(|&c| c + (rng.gen::<f64>() - 0.5) * 0.2).collect()
+    };
+
+    // Jitter +-0.1 per dimension puts same-event articles ~0.23 apart;
+    // calibrate the kernel so that distance maps to affinity ~0.9.
+    let kernel = LaplacianKernel::calibrate(0.23, 0.9, LpNorm::L2);
+    let mut params = AlidParams::new(kernel);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    params.density_threshold = 0.75;
+    params.min_cluster_size = 4;
+    params.lsh.seed = 3;
+    let mut stream = StreamingAlid::new(dim, params, 16, CostModel::shared());
+
+    // The stream: noise, then event A bursts, more noise, event B bursts,
+    // then follow-ups on both.
+    let mut schedule: Vec<(&str, Vec<f64>)> = Vec::new();
+    for _ in 0..30 {
+        schedule.push(("noise", noise(&mut rng)));
+    }
+    for _ in 0..10 {
+        schedule.push(("event-A", near(&event_a, &mut rng)));
+    }
+    for _ in 0..20 {
+        schedule.push(("noise", noise(&mut rng)));
+    }
+    for _ in 0..10 {
+        schedule.push(("event-B", near(&event_b, &mut rng)));
+    }
+    for _ in 0..5 {
+        schedule.push(("event-A follow-up", near(&event_a, &mut rng)));
+        schedule.push(("event-B follow-up", near(&event_b, &mut rng)));
+    }
+
+    for (t, (kind, item)) in schedule.iter().enumerate() {
+        match stream.push(item) {
+            StreamUpdate::SweptNewClusters(k) => {
+                println!(
+                    "t={t:>3} [{kind}] sweep promoted {k} new cluster(s); total {}",
+                    stream.clusters().len()
+                );
+            }
+            StreamUpdate::Attached(c) => {
+                println!(
+                    "t={t:>3} [{kind}] attached to cluster {c} (size {}, density {:.3})",
+                    stream.clusters()[c].members.len(),
+                    stream.clusters()[c].density
+                );
+            }
+            StreamUpdate::Buffered => {}
+        }
+    }
+    stream.sweep();
+
+    println!("\nfinal state: {} items seen", stream.len());
+    for (i, c) in stream.clusters().iter().enumerate() {
+        println!("  cluster {i}: {} articles, density {:.3}", c.members.len(), c.density);
+    }
+    println!("  unexplained buffer: {} items", stream.pending().len());
+}

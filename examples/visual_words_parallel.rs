@@ -1,0 +1,53 @@
+//! Parallel visual-word mining with PALID — the paper's SIFT scenario.
+//!
+//! ```text
+//! cargo run --release --example visual_words_parallel
+//! ```
+//!
+//! Partial-duplicate image regions produce tight clusters of SIFT
+//! descriptors ("visual words") on the unit sphere, drowned in
+//! descriptors from random regions. PALID fans ALID detections out over
+//! an executor pool — mappers grow clusters from LSH-bucket-sampled
+//! seeds, a reducer resolves overlaps by density (Fig. 5) — and the
+//! example reports the speedup over executor counts, Table 2's shape.
+
+use alid::data::metrics::{avg_f1, precision_recall};
+use alid::data::sift::{sift, SiftConfig};
+use alid::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let ds = sift(&SiftConfig::scaled(12_000, 19));
+    println!(
+        "workload '{}': {} descriptors, {} visual words, {} noise",
+        ds.name,
+        ds.len(),
+        ds.truth.cluster_count(),
+        ds.truth.noise_count()
+    );
+
+    let params = AlidParams::calibrated(&ds.data, ds.scale, 0.9).with_lsh_seed(23);
+    let mut t1 = None;
+    for executors in [1usize, 2, 4] {
+        let cost = CostModel::shared();
+        let pp = PalidParams::with_executors(executors);
+        let started = Instant::now();
+        let clustering = palid_detect(&ds.data, &params, &pp, &cost);
+        let elapsed = started.elapsed().as_secs_f64();
+        let dominant = clustering.dominant(0.75, 5);
+        let (p, r) = precision_recall(&ds.truth, &dominant);
+        let speedup = match t1 {
+            None => {
+                t1 = Some(elapsed);
+                1.0
+            }
+            Some(base) => base / elapsed,
+        };
+        println!(
+            "PALID-{executors}: {elapsed:.2}s (speedup {speedup:.2}) | {} words, AVG-F {:.3}, precision {p:.3}, recall {r:.3}",
+            dominant.len(),
+            avg_f1(&ds.truth, &dominant),
+        );
+    }
+    println!("\nthe detected clusters are identical across executor counts — only the wall time changes");
+}

@@ -1,0 +1,120 @@
+//! Failure injection and degenerate-input behaviour: the paper's
+//! "ill-conditioned" LSH case (appendix, Case 3), duplicate points,
+//! tiny inputs, and pathological parameters must all terminate with
+//! sane output.
+
+use alid::affinity::kernel::LpNorm;
+use alid::data::metrics::avg_f1;
+use alid::data::ndi::ndi_with;
+use alid::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn ill_conditioned_lsh_still_terminates() {
+    // The appendix's Case 3: recall p ≈ 0 under improper LSH parameters
+    // (here: absurdly many projections and a tiny segment length, so no
+    // two items ever collide). Detection quality necessarily collapses,
+    // but every run must terminate and peel everything exactly once.
+    let ds = ndi_with(3, 30, 60, 41);
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut params = AlidParams::new(kernel);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    params.lsh = LshParams::new(2, 64, 1e-6, 3);
+    let clustering =
+        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
+    assert_eq!(total, ds.len(), "every item peeled exactly once");
+    // With zero recall each item is its own cluster.
+    assert!(clustering.clusters.iter().all(|c| c.len() == 1));
+}
+
+#[test]
+fn exact_duplicate_points_are_handled() {
+    // Affinity between distinct items at distance zero is exactly 1;
+    // the dynamics and the ROI math must not blow up.
+    let mut flat = Vec::new();
+    for _ in 0..6 {
+        flat.extend_from_slice(&[1.0, 2.0]); // six identical points
+    }
+    for i in 0..4 {
+        flat.extend_from_slice(&[50.0 + i as f64, -30.0]);
+    }
+    let data = Dataset::from_flat(2, flat);
+    let params = AlidParams::calibrated(&data, 0.5, 0.9).with_lsh_seed(9);
+    let clustering = Peeler::new(&data, params, Arc::new(CostModel::new())).detect_all();
+    let dominant = clustering.dominant(0.75, 3);
+    assert_eq!(dominant.len(), 1);
+    assert_eq!(dominant.clusters[0].members, vec![0, 1, 2, 3, 4, 5]);
+    assert!((dominant.clusters[0].density - 5.0 / 6.0).abs() < 1e-9,
+        "six identical points: π = (m-1)/m exactly, got {}", dominant.clusters[0].density);
+}
+
+#[test]
+fn single_item_dataset() {
+    let data = Dataset::from_flat(3, vec![1.0, 2.0, 3.0]);
+    let params = AlidParams::calibrated(&data, 1.0, 0.9);
+    let clustering = Peeler::new(&data, params, Arc::new(CostModel::new())).detect_all();
+    assert_eq!(clustering.len(), 1);
+    assert_eq!(clustering.clusters[0].members, vec![0]);
+    assert_eq!(clustering.clusters[0].density, 0.0);
+    assert!(clustering.dominant(0.5, 2).is_empty());
+}
+
+#[test]
+fn two_item_dataset() {
+    let data = Dataset::from_flat(1, vec![0.0, 0.01]);
+    let params = AlidParams::calibrated(&data, 0.05, 0.9).with_lsh_seed(1);
+    let clustering = Peeler::new(&data, params, Arc::new(CostModel::new())).detect_all();
+    let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
+    assert_eq!(total, 2);
+    // The pair forms one cluster with π = a/2 (2-clique cap).
+    assert_eq!(clustering.clusters[0].members.len(), 2);
+}
+
+#[test]
+fn manhattan_metric_works_end_to_end() {
+    // Proposition 1 needs only the triangle inequality; run ALID under
+    // L1 to exercise the generic-metric path.
+    let ds = ndi_with(3, 36, 80, 43);
+    let kernel = LaplacianKernel::new(
+        -0.9f64.ln() / (ds.scale * 12.0), // L1 distances are ~sqrt(d) larger
+        LpNorm::L1,
+    );
+    let mut params = AlidParams::new(kernel);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    params.lsh.seed = 5;
+    let clustering =
+        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    let dominant = clustering.dominant(0.7, 3);
+    assert!(
+        avg_f1(&ds.truth, &dominant) > 0.9,
+        "L1 ALID should still recover clusters, got {}",
+        avg_f1(&ds.truth, &dominant)
+    );
+}
+
+#[test]
+fn tiny_delta_still_converges() {
+    // δ = 1 starves CIVS but must not prevent termination; clusters can
+    // still assemble over the C iterations (slowly).
+    let ds = ndi_with(2, 16, 20, 44);
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut params = AlidParams::new(kernel).with_delta(1);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    let clustering =
+        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
+    assert_eq!(total, ds.len());
+}
+
+#[test]
+fn max_one_iteration_cap_is_safe() {
+    let ds = ndi_with(2, 16, 20, 45);
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut params = AlidParams::new(kernel).with_iteration_caps(1, 1);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    let clustering =
+        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
+    assert_eq!(total, ds.len());
+}

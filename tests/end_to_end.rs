@@ -1,0 +1,104 @@
+//! End-to-end integration: simulators -> ALID -> metrics, across crates.
+
+use alid::data::metrics::{avg_f1, precision_recall};
+use alid::data::nart::nart_with;
+use alid::data::ndi::ndi_with;
+use alid::data::sift::{sift, SiftConfig};
+use alid::data::synthetic::{generate, Regime, SyntheticConfig};
+use alid::prelude::*;
+use std::sync::Arc;
+
+fn detect(ds: &alid::data::LabeledDataset, seed: u64) -> (Clustering, u64) {
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut params = AlidParams::new(kernel);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    params.lsh.seed = seed;
+    let cost = CostModel::shared();
+    let clustering = Peeler::new(&ds.data, params, Arc::clone(&cost)).detect_all();
+    (clustering.dominant(0.75, 3), cost.snapshot().kernel_evals)
+}
+
+#[test]
+fn alid_recovers_nart_hot_events() {
+    // Scale 0.2 keeps ~11 articles per event; much smaller events fall
+    // below the π >= 0.75 dominance bar ((m-1)/m * 0.9 < 0.75 for m < 7).
+    let ds = nart_with(0.2, Some(300), 31);
+    let (dominant, _) = detect(&ds, 1);
+    let score = avg_f1(&ds.truth, &dominant);
+    assert!(score > 0.9, "NART AVG-F {score}");
+    assert_eq!(dominant.len(), ds.truth.cluster_count());
+}
+
+#[test]
+fn alid_recovers_ndi_duplicate_groups() {
+    let ds = ndi_with(6, 120, 700, 32);
+    let (dominant, _) = detect(&ds, 2);
+    let score = avg_f1(&ds.truth, &dominant);
+    assert!(score > 0.95, "NDI AVG-F {score}");
+}
+
+#[test]
+fn alid_recovers_sift_visual_words() {
+    let ds = sift(&SiftConfig { words: 6, word_size: 40, noise: 600, seed: 33 });
+    let (dominant, _) = detect(&ds, 3);
+    let score = avg_f1(&ds.truth, &dominant);
+    assert!(score > 0.9, "SIFT AVG-F {score}");
+    let (p, r) = precision_recall(&ds.truth, &dominant);
+    assert!(p > 0.9 && r > 0.9, "precision {p} recall {r}");
+}
+
+#[test]
+fn alid_recovers_synthetic_gaussians() {
+    let cfg = SyntheticConfig::paper(1200, Regime::Bounded { p: 400 }, 34);
+    let ds = generate(&cfg);
+    let (dominant, _) = detect(&ds, 4);
+    let score = avg_f1(&ds.truth, &dominant);
+    assert!(score > 0.8, "synthetic AVG-F {score}");
+}
+
+#[test]
+fn alid_never_materialises_the_matrix() {
+    let ds = ndi_with(4, 80, 400, 35);
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut params = AlidParams::new(kernel);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    let cost = CostModel::shared();
+    let _ = Peeler::new(&ds.data, params, Arc::clone(&cost)).detect_all();
+    let snap = cost.snapshot();
+    let full = (ds.len() * ds.len()) as u64;
+    assert!(
+        snap.kernel_evals < full / 4,
+        "ALID computed {} of {} possible entries",
+        snap.kernel_evals,
+        full
+    );
+    assert!(
+        snap.entries_peak < full / 20,
+        "peak storage {} too close to n^2 = {}",
+        snap.entries_peak,
+        full
+    );
+    assert_eq!(snap.entries_current, 0, "all local matrices released");
+}
+
+#[test]
+fn noise_only_dataset_yields_no_dominant_clusters() {
+    // All noise, no planted structure.
+    let ds = ndi_with(1, 2, 300, 36); // one trivial 2-cluster + noise
+    let (dominant, _) = detect(&ds, 5);
+    // The 2-item "cluster" is below min_size 3; noise must not produce
+    // dominant clusters.
+    assert!(dominant.is_empty(), "found {} phantom clusters", dominant.len());
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let ds = sift(&SiftConfig { words: 3, word_size: 25, noise: 200, seed: 37 });
+    let (a, _) = detect(&ds, 6);
+    let (b, _) = detect(&ds, 6);
+    assert_eq!(a.clusters.len(), b.clusters.len());
+    for (x, y) in a.clusters.iter().zip(&b.clusters) {
+        assert_eq!(x.members, y.members);
+        assert!((x.density - y.density).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! The Fig. 11 contrast as an invariant: as the noise degree rises,
+//! affinity-based detection must degrade far more gracefully than
+//! partitioning.
+
+use alid::baselines::kmeans::{kmeans_detect_all, KmeansParams};
+use alid::data::metrics::avg_f1;
+use alid::data::ndi::sub_ndi;
+use alid::prelude::*;
+use std::sync::Arc;
+
+fn alid_score(ds: &alid::data::LabeledDataset) -> f64 {
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut params = AlidParams::new(kernel);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    let clustering =
+        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    avg_f1(&ds.truth, &clustering.dominant(0.75, 3))
+}
+
+fn kmeans_score(ds: &alid::data::LabeledDataset) -> f64 {
+    let k = ds.truth.cluster_count() + 1;
+    let clustering = kmeans_detect_all(&ds.data, &KmeansParams::with_k(k));
+    avg_f1(&ds.truth, &clustering)
+}
+
+#[test]
+fn alid_survives_heavy_noise_where_kmeans_degrades() {
+    // Sub-NDI at ~8% scale, noise degree swept 0 -> 5.
+    let scale = 0.08f64;
+    let positive = (1420.0 * scale).round() as usize;
+    let clean = sub_ndi(scale, Some(0), 99);
+    let noisy = sub_ndi(scale, Some(positive * 5), 99);
+
+    let alid_clean = alid_score(&clean);
+    let alid_noisy = alid_score(&noisy);
+    let km_clean = kmeans_score(&clean);
+    let km_noisy = kmeans_score(&noisy);
+
+    // Affinity-based detection stays essentially intact.
+    assert!(alid_clean > 0.95, "ALID clean {alid_clean}");
+    assert!(alid_noisy > 0.9, "ALID at noise degree 5: {alid_noisy}");
+    // Partitioning starts fine but collapses under noise.
+    assert!(km_clean > 0.7, "k-means clean {km_clean}");
+    assert!(
+        alid_noisy - km_noisy > 0.2,
+        "expected a wide noise-resistance gap: ALID {alid_noisy} vs KM {km_noisy}"
+    );
+    // And k-means degrades much more than ALID does.
+    assert!(
+        (km_clean - km_noisy) > (alid_clean - alid_noisy),
+        "k-means should lose more quality ({km_clean}->{km_noisy}) than ALID ({alid_clean}->{alid_noisy})"
+    );
+}
+
+#[test]
+fn noise_degree_is_what_the_generator_claims() {
+    let scale = 0.1f64;
+    let positive = (1420.0 * scale).round() as usize;
+    for degree in [0usize, 2, 4] {
+        let ds = sub_ndi(scale, Some(positive * degree), 7);
+        let measured = ds.truth.noise_degree();
+        assert!(
+            (measured - degree as f64).abs() < 0.1,
+            "asked degree {degree}, generator produced {measured}"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! PALID integration: the parallel driver must deliver the sequential
+//! driver's quality, invariant to executor count.
+
+use alid::data::metrics::avg_f1;
+use alid::data::sift::{sift, SiftConfig};
+use alid::prelude::*;
+
+fn workload() -> (alid::data::LabeledDataset, AlidParams) {
+    let ds = sift(&SiftConfig { words: 5, word_size: 30, noise: 400, seed: 55 });
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut params = AlidParams::new(kernel);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    (ds, params)
+}
+
+#[test]
+fn palid_quality_matches_sequential_alid() {
+    let (ds, params) = workload();
+    let sequential = Peeler::new(&ds.data, params, CostModel::shared())
+        .detect_all()
+        .dominant(0.75, 3);
+    let parallel = palid_detect(
+        &ds.data,
+        &params,
+        &PalidParams::with_executors(2),
+        &CostModel::shared(),
+    )
+    .dominant(0.75, 3);
+    let seq_f = avg_f1(&ds.truth, &sequential);
+    let par_f = avg_f1(&ds.truth, &parallel);
+    assert!(seq_f > 0.9, "sequential AVG-F {seq_f}");
+    assert!(par_f > 0.9, "parallel AVG-F {par_f}");
+    assert!((seq_f - par_f).abs() < 0.05, "quality diverged: {seq_f} vs {par_f}");
+}
+
+#[test]
+fn palid_output_invariant_to_executor_count() {
+    let (ds, params) = workload();
+    let runs: Vec<Clustering> = [1usize, 2, 4]
+        .iter()
+        .map(|&e| {
+            palid_detect(
+                &ds.data,
+                &params,
+                &PalidParams::with_executors(e),
+                &CostModel::shared(),
+            )
+        })
+        .collect();
+    for other in &runs[1..] {
+        assert_eq!(runs[0].clusters.len(), other.clusters.len());
+        for (a, b) in runs[0].clusters.iter().zip(&other.clusters) {
+            assert_eq!(a.members, b.members);
+        }
+    }
+}
+
+#[test]
+fn palid_reducer_produces_disjoint_clusters() {
+    let (ds, params) = workload();
+    let clustering = palid_detect(
+        &ds.data,
+        &params,
+        &PalidParams::with_executors(3),
+        &CostModel::shared(),
+    );
+    let mut seen = vec![false; ds.len()];
+    for c in &clustering.clusters {
+        for &m in &c.members {
+            assert!(!seen[m as usize], "item {m} in two reduced clusters");
+            seen[m as usize] = true;
+        }
+    }
+}

@@ -164,15 +164,11 @@ mod tests {
     #[test]
     fn shared_model_is_thread_safe() {
         let c = CostModel::shared();
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                let c = Arc::clone(&c);
-                s.spawn(move || {
-                    for _ in 0..1000 {
-                        c.record_kernel_evals(1);
-                        c.alloc_entries(1);
-                    }
-                });
+        // Four exec-layer workers hammer one shared model concurrently.
+        alid_exec::ExecPolicy::workers(4).for_each_index(4, |_| {
+            for _ in 0..1000 {
+                c.record_kernel_evals(1);
+                c.alloc_entries(1);
             }
         });
         let snap = c.snapshot();

@@ -9,15 +9,11 @@
 
 use std::sync::Arc;
 
+use alid_exec::{ExecPolicy, SharedSlice};
+
 use crate::cost::CostModel;
 use crate::kernel::LaplacianKernel;
 use crate::vector::Dataset;
-
-/// Raw-pointer wrapper so scoped worker threads can write disjoint
-/// cells of one buffer (the row partition guarantees disjointness).
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f64);
-unsafe impl Send for SendPtr {}
 
 /// Dense symmetric affinity matrix with zero diagonal.
 #[derive(Debug)]
@@ -60,32 +56,37 @@ impl DenseAffinity {
         cost: Arc<CostModel>,
         threads: usize,
     ) -> Self {
-        assert!(threads > 0, "need at least one thread");
+        Self::build_with(ds, kernel, cost, ExecPolicy::workers(threads))
+    }
+
+    /// Computes the full matrix under an execution policy. Every policy
+    /// produces the byte-identical matrix of [`DenseAffinity::build`]:
+    /// each cell's value depends only on its row/column pair, and the
+    /// exec layer's strided partition hands row `i` (and its symmetric
+    /// reflection) to exactly one worker.
+    pub fn build_with(
+        ds: &Dataset,
+        kernel: &LaplacianKernel,
+        cost: Arc<CostModel>,
+        exec: ExecPolicy,
+    ) -> Self {
         let n = ds.len();
         let mut a = vec![0.0; n * n];
         if n > 0 {
-            // Static row partition with balanced pair counts: row i owns
-            // pairs (i, i+1..n), a triangular workload, so interleave
-            // rows across threads instead of chunking.
-            let ptr = SendPtr(a.as_mut_ptr());
-            std::thread::scope(|scope| {
-                for t in 0..threads {
-                    scope.spawn(move || {
-                        let p = ptr; // capture the Send wrapper by value
-                        for i in (t..n).step_by(threads) {
-                            let vi = ds.get(i);
-                            for j in (i + 1)..n {
-                                let v = kernel.eval(vi, ds.get(j));
-                                // SAFETY: cells (i,j) and (j,i) with i < j are
-                                // written exactly once, by the unique thread
-                                // owning row i (rows are partitioned i % threads).
-                                unsafe {
-                                    *p.0.add(i * n + j) = v;
-                                    *p.0.add(j * n + i) = v;
-                                }
-                            }
-                        }
-                    });
+            // Row i owns pairs (i, i+1..n) — a triangular workload the
+            // exec layer's strided partition balances across workers.
+            let shared = SharedSlice::new(&mut a);
+            exec.for_each_index(n, |i| {
+                let vi = ds.get(i);
+                for j in (i + 1)..n {
+                    let v = kernel.eval(vi, ds.get(j));
+                    // SAFETY: cells (i,j) and (j,i) with i < j are
+                    // written exactly once, by the unique worker that
+                    // for_each_index handed row i to.
+                    unsafe {
+                        shared.write(i * n + j, v);
+                        shared.write(j * n + i, v);
+                    }
                 }
             });
         }

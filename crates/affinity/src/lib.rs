@@ -27,7 +27,6 @@
 //!   state space of the evolutionary-game dynamics;
 //! * [`clustering`] — the shared `Clustering` output vocabulary.
 
-
 #![warn(missing_docs)]
 pub mod clustering;
 pub mod cost;

@@ -198,8 +198,7 @@ mod tests {
     fn column_matches_dense_matrix() {
         let (ds, k) = fixture();
         let dense = DenseAffinity::build(&ds, &k, CostModel::shared());
-        let mut local =
-            LocalAffinity::new(&ds, k, CostModel::shared(), vec![0, 2, 3]);
+        let mut local = LocalAffinity::new(&ds, k, CostModel::shared(), vec![0, 2, 3]);
         let col = local.column(2).to_vec();
         assert_eq!(col.len(), 3);
         assert!((col[0] - dense.get(0, 2)).abs() < 1e-12);

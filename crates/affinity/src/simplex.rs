@@ -50,11 +50,7 @@ pub fn renormalize(x: &mut [f64]) {
 /// Positions with weight above [`SUPPORT_EPS`] — the support `α` of the
 /// subgraph.
 pub fn support(x: &[f64]) -> Vec<usize> {
-    x.iter()
-        .enumerate()
-        .filter(|(_, &v)| v > SUPPORT_EPS)
-        .map(|(i, _)| i)
-        .collect()
+    x.iter().enumerate().filter(|(_, &v)| v > SUPPORT_EPS).map(|(i, _)| i).collect()
 }
 
 /// Number of positions with weight above [`SUPPORT_EPS`].

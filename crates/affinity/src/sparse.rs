@@ -61,7 +61,12 @@ impl SparseBuilder {
     ///
     /// Cost: one kernel evaluation per undirected edge; `2|E|` stored
     /// entries (both triangles, as a solver holds them).
-    pub fn build(self, ds: &Dataset, kernel: &LaplacianKernel, cost: Arc<CostModel>) -> SparseAffinity {
+    pub fn build(
+        self,
+        ds: &Dataset,
+        kernel: &LaplacianKernel,
+        cost: Arc<CostModel>,
+    ) -> SparseAffinity {
         assert_eq!(ds.len(), self.n, "data set size mismatch");
         let n = self.n;
         // Count per-row degrees (both directions).

@@ -16,11 +16,10 @@ fn vec3() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn small_dataset() -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(-10.0f64..10.0, 2 * 3..=2 * 8)
-        .prop_map(|flat| {
-            let n = flat.len() / 2;
-            Dataset::from_flat(2, flat[..n * 2].to_vec())
-        })
+    prop::collection::vec(-10.0f64..10.0, 2 * 3..=2 * 8).prop_map(|flat| {
+        let n = flat.len() / 2;
+        Dataset::from_flat(2, flat[..n * 2].to_vec())
+    })
 }
 
 fn simplex_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {

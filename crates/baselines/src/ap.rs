@@ -236,9 +236,7 @@ fn median_similarity<G: Graph>(graph: &G) -> f64 {
         return 0.0;
     }
     let mid = sims.len() / 2;
-    *sims
-        .select_nth_unstable_by(mid, |a, b| a.total_cmp(b))
-        .1
+    *sims.select_nth_unstable_by(mid, |a, b| a.total_cmp(b)).1
 }
 
 #[cfg(test)]
@@ -259,8 +257,7 @@ mod tests {
         let g = graph(vec![0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
         let clustering = ap_detect_all(&g, &ApParams::default(), &CostModel::new());
         // AP partitions everything; the two tight triples must appear.
-        let sets: Vec<&[u32]> =
-            clustering.clusters.iter().map(|c| c.members.as_slice()).collect();
+        let sets: Vec<&[u32]> = clustering.clusters.iter().map(|c| c.members.as_slice()).collect();
         assert!(sets.contains(&&[0u32, 1, 2][..]), "missing {{0,1,2}} in {sets:?}");
         assert!(sets.contains(&&[3u32, 4, 5][..]), "missing {{3,4,5}} in {sets:?}");
     }

@@ -200,8 +200,7 @@ mod tests {
         }
         let x = vec![0.1, 0.2, 0.3, 0.4];
         assert!(
-            (Graph::quadratic_form(&dense, &x) - Graph::quadratic_form(&sparse, &x)).abs()
-                < 1e-12
+            (Graph::quadratic_form(&dense, &x) - Graph::quadratic_form(&sparse, &x)).abs() < 1e-12
         );
     }
 
@@ -227,8 +226,7 @@ mod tests {
 
     #[test]
     fn halt_policy_stops_after_patience() {
-        let mut t =
-            HaltPolicy::StopBelowDensity { threshold: 0.5, patience: 2 }.tracker();
+        let mut t = HaltPolicy::StopBelowDensity { threshold: 0.5, patience: 2 }.tracker();
         assert!(!t.observe(0.9));
         assert!(!t.observe(0.1)); // streak 1
         assert!(!t.observe(0.1)); // streak 2
@@ -237,8 +235,7 @@ mod tests {
 
     #[test]
     fn halt_policy_streak_resets_on_dense_detection() {
-        let mut t =
-            HaltPolicy::StopBelowDensity { threshold: 0.5, patience: 1 }.tracker();
+        let mut t = HaltPolicy::StopBelowDensity { threshold: 0.5, patience: 1 }.tracker();
         assert!(!t.observe(0.2));
         assert!(!t.observe(0.8)); // reset
         assert!(!t.observe(0.2));

@@ -71,10 +71,12 @@ pub fn iid_converge<G: Graph>(
                 if best_infect.is_none_or(|(_, b)| d > b) {
                     best_infect = Some((i, d));
                 }
-            } else if d < -scale && x[i] > simplex::SUPPORT_EPS
-                && best_weak.is_none_or(|(_, b)| -d > b) {
-                    best_weak = Some((i, -d));
-                }
+            } else if d < -scale
+                && x[i] > simplex::SUPPORT_EPS
+                && best_weak.is_none_or(|(_, b)| -d > b)
+            {
+                best_weak = Some((i, -d));
+            }
         }
         let choice = match (best_infect, best_weak) {
             (None, None) => {
@@ -151,10 +153,8 @@ pub fn iid_detect_all<G: Graph>(graph: &G, params: &IidParams) -> Clustering {
             gvec[i] = if alive[i] { alive_rowsum[i] * w } else { 0.0 };
         }
         let out = iid_converge(graph, &alive, &mut x, &mut gvec, &mut col, params);
-        let members: Vec<u32> = (0..n)
-            .filter(|&i| alive[i] && x[i] > simplex::SUPPORT_EPS)
-            .map(|i| i as u32)
-            .collect();
+        let members: Vec<u32> =
+            (0..n).filter(|&i| alive[i] && x[i] > simplex::SUPPORT_EPS).map(|i| i as u32).collect();
         // Progress guarantee even if the dynamics collapsed numerically.
         let members = if members.is_empty() {
             vec![(0..n).find(|&i| alive[i]).expect("alive_count > 0") as u32]
@@ -238,8 +238,7 @@ mod tests {
         let support: Vec<usize> = (0..n).collect();
         g.matvec_support(&x, &support, &mut gvec);
         let mut col = vec![0.0; n];
-        let out =
-            iid_converge(&g, &alive, &mut x, &mut gvec, &mut col, &IidParams::default());
+        let out = iid_converge(&g, &alive, &mut x, &mut gvec, &mut col, &IidParams::default());
         assert!(out.converged);
         let pi = out.density;
         for (i, &g) in gvec.iter().enumerate() {

@@ -157,8 +157,14 @@ fn lloyd(ds: &Dataset, params: &KmeansParams, rng: &mut StdRng) -> KmeansFit {
                 // Re-seed an empty cluster at the worst-fit point.
                 let worst = (0..n)
                     .max_by(|&a, &b| {
-                        let da = norm.distance(ds.get(a), &centroids[labels[a] * dim..labels[a] * dim + dim]);
-                        let db = norm.distance(ds.get(b), &centroids[labels[b] * dim..labels[b] * dim + dim]);
+                        let da = norm.distance(
+                            ds.get(a),
+                            &centroids[labels[a] * dim..labels[a] * dim + dim],
+                        );
+                        let db = norm.distance(
+                            ds.get(b),
+                            &centroids[labels[b] * dim..labels[b] * dim + dim],
+                        );
                         da.total_cmp(&db)
                     })
                     .expect("n > 0");
@@ -174,7 +180,8 @@ fn lloyd(ds: &Dataset, params: &KmeansParams, rng: &mut StdRng) -> KmeansFit {
             }
         }
         let done = moved <= params.tol * (1.0 + inertia.abs().min(1e300))
-            || (inertia.is_finite() && (inertia - new_inertia).abs() <= params.tol * inertia.max(1.0));
+            || (inertia.is_finite()
+                && (inertia - new_inertia).abs() <= params.tol * inertia.max(1.0));
         inertia = new_inertia;
         if done {
             break;

@@ -17,7 +17,6 @@
 //!   2004, Nyström);
 //! * [`meanshift`] — Gaussian mean shift (Comaniciu & Meer 2002).
 
-
 #![warn(missing_docs)]
 pub mod ap;
 pub mod common;

@@ -80,9 +80,7 @@ pub fn meanshift_detect_all(ds: &Dataset, params: &MeanShiftParams) -> Clusterin
     let mut representative: Vec<usize> = Vec::new(); // item index of each cluster's mode
     let mut assignment = vec![0usize; n];
     for (i, mode) in modes.iter().enumerate() {
-        let found = representative
-            .iter()
-            .position(|&r| norm.distance(mode, &modes[r]) <= merge_d);
+        let found = representative.iter().position(|&r| norm.distance(mode, &modes[r]) <= merge_d);
         match found {
             Some(c) => assignment[i] = c,
             None => {
@@ -93,10 +91,7 @@ pub fn meanshift_detect_all(ds: &Dataset, params: &MeanShiftParams) -> Clusterin
     }
     let mut clustering = Clustering::new(n);
     for c in 0..representative.len() {
-        let members: Vec<u32> = (0..n)
-            .filter(|&i| assignment[i] == c)
-            .map(|i| i as u32)
-            .collect();
+        let members: Vec<u32> = (0..n).filter(|&i| assignment[i] == c).map(|i| i as u32).collect();
         clustering.clusters.push(DetectedCluster::uniform(members, 1.0));
     }
     clustering

@@ -86,10 +86,8 @@ pub fn ds_detect_all<G: Graph>(graph: &G, params: &RdParams) -> Clustering {
             x[i] = if alive[i] { w } else { 0.0 };
         }
         let (_iters, density) = rd_converge(graph, &mut x, params);
-        let members: Vec<u32> = (0..n)
-            .filter(|&i| alive[i] && x[i] > 0.0)
-            .map(|i| i as u32)
-            .collect();
+        let members: Vec<u32> =
+            (0..n).filter(|&i| alive[i] && x[i] > 0.0).map(|i| i as u32).collect();
         let members = if members.is_empty() {
             vec![(0..n).find(|&i| alive[i]).expect("alive_count > 0") as u32]
         } else {

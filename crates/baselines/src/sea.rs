@@ -58,11 +58,7 @@ impl Default for SeaParams {
 
 /// Grows one dense subgraph from `seed`. Returns the converged support,
 /// weights and density.
-pub fn sea_detect_one<G: Graph>(
-    graph: &G,
-    seed: usize,
-    params: &SeaParams,
-) -> DetectedCluster {
+pub fn sea_detect_one<G: Graph>(graph: &G, seed: usize, params: &SeaParams) -> DetectedCluster {
     let n = graph.n();
     debug_assert!(seed < n);
     // Initial local range: the seed and its strongest stored
@@ -72,8 +68,7 @@ pub fn sea_detect_one<G: Graph>(
         neighbors.push((v, j));
     });
     if neighbors.len() > params.max_init_neighbors {
-        neighbors
-            .select_nth_unstable_by(params.max_init_neighbors - 1, |a, b| b.0.total_cmp(&a.0));
+        neighbors.select_nth_unstable_by(params.max_init_neighbors - 1, |a, b| b.0.total_cmp(&a.0));
         neighbors.truncate(params.max_init_neighbors);
     }
     let mut range: FxHashSet<usize> = FxHashSet::default();

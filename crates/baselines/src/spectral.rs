@@ -56,8 +56,7 @@ pub fn sc_full_detect_all(
     let k = params.k.min(n);
     let affinity = DenseAffinity::build(ds, kernel, std::sync::Arc::clone(cost));
     // Degrees (add a floor so isolated rows do not blow up the scaling).
-    let deg: Vec<f64> =
-        (0..n).map(|i| affinity.row(i).iter().sum::<f64>().max(1e-12)).collect();
+    let deg: Vec<f64> = (0..n).map(|i| affinity.row(i).iter().sum::<f64>().max(1e-12)).collect();
     let dinv_sqrt: Vec<f64> = deg.iter().map(|d| 1.0 / d.sqrt()).collect();
     // Operator x -> D^{-1/2} A D^{-1/2} x.
     let matvec = |x: &[f64], out: &mut [f64]| {
@@ -149,8 +148,7 @@ pub fn sc_nystrom_detect_all(
     // S = Wn + Wn^{-1/2} Bn Bnᵀ Wn^{-1/2}; eigendecompose S; embed
     // V = [Wn; Bnᵀ] Wn^{-1/2} U Λ^{-1/2}.
     let wn_eig = jacobi_eigh(&wn, 1e-12, 60);
-    let wn_inv_sqrt =
-        wn_eig.apply_function(|l| if l > 1e-10 { 1.0 / l.sqrt() } else { 0.0 });
+    let wn_inv_sqrt = wn_eig.apply_function(|l| if l > 1e-10 { 1.0 / l.sqrt() } else { 0.0 });
     let bbt = bn.matmul(&bn.transpose());
     let mut s = wn.clone();
     let corr = wn_inv_sqrt.matmul(&bbt).matmul(&wn_inv_sqrt);
@@ -244,11 +242,7 @@ mod tests {
         for blob in 0..3 {
             let first = labels[blob * 12].expect("assigned");
             for i in 0..12 {
-                assert_eq!(
-                    labels[blob * 12 + i],
-                    Some(first),
-                    "blob {blob} split at item {i}"
-                );
+                assert_eq!(labels[blob * 12 + i], Some(first), "blob {blob} split at item {i}");
             }
         }
     }

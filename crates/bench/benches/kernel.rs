@@ -58,9 +58,7 @@ fn bench_dense_build(c: &mut Criterion) {
         let kernel = LaplacianKernel::l2(0.7);
         group.throughput(Throughput::Elements((n * n) as u64 / 2));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                black_box(DenseAffinity::build(&ds, &kernel, CostModel::shared()))
-            });
+            b.iter(|| black_box(DenseAffinity::build(&ds, &kernel, CostModel::shared())));
         });
     }
     group.finish();

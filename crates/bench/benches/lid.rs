@@ -21,12 +21,8 @@ fn bench_lid_converge(c: &mut Criterion) {
         let range: Vec<u32> = (0..ds.len() as u32).collect();
         group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, _| {
             b.iter(|| {
-                let mut aff = LocalAffinity::new(
-                    &ds.data,
-                    kernel,
-                    CostModel::shared(),
-                    range.clone(),
-                );
+                let mut aff =
+                    LocalAffinity::new(&ds.data, kernel, CostModel::shared(), range.clone());
                 let mut state = LidState::from_vertex(&mut aff, 0);
                 black_box(lid_converge(&mut aff, &mut state, 5_000, 1e-9))
             });
@@ -45,8 +41,7 @@ fn bench_detect_one(c: &mut Criterion) {
     // noise detection should be much cheaper.
     let word_seed = ds.truth.clusters()[0][0];
     let labels = ds.truth.labels();
-    let noise_seed =
-        (0..ds.len()).find(|&i| labels[i].is_none()).expect("noise exists") as u32;
+    let noise_seed = (0..ds.len()).find(|&i| labels[i].is_none()).expect("noise exists") as u32;
     c.bench_function("detect_one_word_seed", |b| {
         b.iter(|| black_box(detect_one(&ds.data, &params, &index, word_seed, &cost)));
     });

@@ -9,9 +9,7 @@
 //! noise was filtered out (precision).
 
 use alid_bench::report::fmt;
-use alid_bench::runners::{
-    run_alid, run_ap_dense, run_iid_dense, run_palid, run_sea_dense,
-};
+use alid_bench::runners::{run_alid, run_ap_dense, run_iid_dense, run_palid, run_sea_dense};
 use alid_bench::{parse_args, print_table, save_json, RunCfg};
 use alid_data::sift::partial_duplicate_scene;
 
@@ -41,11 +39,7 @@ fn main() {
         .iter()
         .map(|r| {
             let detected_pos = (r.recall * positives).round() as usize;
-            let clustered = if r.precision > 0.0 {
-                detected_pos as f64 / r.precision
-            } else {
-                0.0
-            };
+            let clustered = if r.precision > 0.0 { detected_pos as f64 / r.precision } else { 0.0 };
             let noise_kept = (clustered - detected_pos as f64).max(0.0);
             let noise_filtered = noise - noise_kept;
             vec![

@@ -9,8 +9,8 @@
 
 use alid_bench::report::fmt;
 use alid_bench::runners::{
-    run_alid, run_ap_dense, run_iid_dense, run_kmeans, run_meanshift, run_sc_full,
-    run_sc_nystrom, run_sea_dense,
+    run_alid, run_ap_dense, run_iid_dense, run_kmeans, run_meanshift, run_sc_full, run_sc_nystrom,
+    run_sea_dense,
 };
 use alid_bench::{parse_args, print_table, save_json, RunCfg};
 use alid_data::groundtruth::LabeledDataset;

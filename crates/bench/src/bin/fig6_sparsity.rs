@@ -24,8 +24,7 @@ fn main() {
     // paper's 40 projections x 50 tables.
     let (scale, tables, projections) = if args.full { (1.0, 50, 40) } else { (0.22, 16, 12) };
     let scale = scale * args.scale;
-    let datasets: Vec<LabeledDataset> =
-        vec![nart_with(scale, None, 5), sub_ndi(scale, None, 5)];
+    let datasets: Vec<LabeledDataset> = vec![nart_with(scale, None, 5), sub_ndi(scale, None, 5)];
     // Segment lengths as multiples of the kernel's half-affinity
     // distance (the paper sweeps r in feature-space units; our
     // simulators have their own scales, so the sweep is expressed

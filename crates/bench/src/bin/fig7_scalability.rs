@@ -34,7 +34,9 @@ fn main() {
     let panels: Vec<Panel> = vec![
         (
             "synthetic a*=wn",
-            Box::new(|n| generate(&SyntheticConfig::paper(n, Regime::Proportional { omega: 1.0 }, 7))),
+            Box::new(|n| {
+                generate(&SyntheticConfig::paper(n, Regime::Proportional { omega: 1.0 }, 7))
+            }),
         ),
         (
             "synthetic a*=n^0.9",
@@ -102,11 +104,7 @@ fn main() {
         let slope_rows: Vec<Vec<String>> = per_method
             .iter()
             .map(|(m, ns, ts, ms)| {
-                vec![
-                    m.to_string(),
-                    fmt(loglog_slope(ns, ts)),
-                    fmt(loglog_slope(ns, ms)),
-                ]
+                vec![m.to_string(), fmt(loglog_slope(ns, ts)), fmt(loglog_slope(ns, ms))]
             })
             .collect();
         print_table(

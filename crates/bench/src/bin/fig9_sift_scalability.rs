@@ -9,8 +9,8 @@
 
 use alid_bench::report::fmt;
 use alid_bench::runners::{run_alid, run_ap_dense, run_iid_dense, run_sea_dense};
-use alid_bench::{loglog_slope, parse_args, print_table, save_json};
 use alid_bench::RunCfg;
+use alid_bench::{loglog_slope, parse_args, print_table, save_json};
 use alid_data::sift::{sift, SiftConfig};
 
 /// Per-method accumulators: (name, sizes, runtimes, peak MiB).

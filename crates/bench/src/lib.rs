@@ -19,7 +19,6 @@
 //! crossovers) are what EXPERIMENTS.md compares. Results are printed as
 //! aligned tables and mirrored as JSON under `experiments/`.
 
-
 #![warn(missing_docs)]
 pub mod fit;
 pub mod report;

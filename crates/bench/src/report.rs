@@ -15,13 +15,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let _ = writeln!(out, "\n== {title} ==");
-    let head: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    let head: Vec<String> = headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
     let _ = writeln!(out, "{}", head.join("  "));
     let _ = writeln!(out, "{}", "-".repeat(head.join("  ").len()));
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let line: Vec<String> = row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
         let _ = writeln!(out, "{}", line.join("  "));
     }
 }

@@ -24,7 +24,7 @@ use alid_core::{AlidParams, Peeler};
 use alid_data::groundtruth::LabeledDataset;
 use alid_data::metrics::{avg_f1, precision_recall};
 use alid_lsh::{LshIndex, LshParams};
-use serde::Serialize;
+use serde::{Json, Serialize};
 
 /// Shared run configuration.
 #[derive(Clone, Copy, Debug)]
@@ -98,7 +98,7 @@ impl RunCfg {
 }
 
 /// One method's measured outcome on one data set.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunRecord {
     /// Method tag ("ALID", "IID", ...).
     pub method: String,
@@ -128,6 +128,28 @@ pub struct RunRecord {
     pub sparse_degree: Option<f64>,
     /// The method was skipped because its matrix exceeded the budget.
     pub oom: bool,
+}
+
+// Hand-written where the real serde would derive: the offline serde
+// shim has no proc macro (see DESIGN.md, "Dependency shims").
+impl Serialize for RunRecord {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("method", self.method.to_json()),
+            ("dataset", self.dataset.to_json()),
+            ("n", self.n.to_json()),
+            ("runtime_s", self.runtime_s.to_json()),
+            ("kernel_evals", self.kernel_evals.to_json()),
+            ("peak_mib", self.peak_mib.to_json()),
+            ("matrix_peak_mib", self.matrix_peak_mib.to_json()),
+            ("avg_f", self.avg_f.to_json()),
+            ("precision", self.precision.to_json()),
+            ("recall", self.recall.to_json()),
+            ("clusters", self.clusters.to_json()),
+            ("sparse_degree", self.sparse_degree.to_json()),
+            ("oom", self.oom.to_json()),
+        ])
+    }
 }
 
 impl RunRecord {
@@ -197,8 +219,7 @@ pub fn run_alid_with(ds: &LabeledDataset, cfg: &RunCfg, params: AlidParams) -> R
     let clustering = Peeler::new(&ds.data, params, Arc::clone(&cost)).detect_all();
     let dominant = clustering.dominant(cfg.dominant_density, cfg.dominant_min_size);
     let n2 = (ds.len() * ds.len()) as f64;
-    let sparse_degree =
-        (1.0 - cost.snapshot().kernel_evals as f64 / n2.max(1.0)).max(0.0);
+    let sparse_degree = (1.0 - cost.snapshot().kernel_evals as f64 / n2.max(1.0)).max(0.0);
     RunRecord::finish("ALID", ds, started, &cost, &dominant, Some(sparse_degree))
 }
 

@@ -33,6 +33,16 @@ pub struct AlidOutcome {
     /// `true` when the subgraph was certified global: the ROI reached
     /// the outer ball and CIVS produced no (infective) candidate.
     pub converged_globally: bool,
+    /// Every global id the detection *observed*: the seed plus every
+    /// candidate any CIVS retrieval surfaced inside an ROI (including
+    /// the outer-ball certification probe), ascending and deduplicated.
+    ///
+    /// This is the detection's read set on the alive/tombstone state of
+    /// the index: a rerun against an index whose removals are disjoint
+    /// from `touched` follows the identical trace and returns the
+    /// identical cluster. The speculative parallel peeler
+    /// (`Peeler::detect_all`) leans on exactly that guarantee.
+    pub touched: Vec<u32>,
 }
 
 /// Runs Algorithm 2 from `seed`. The LSH `index` provides candidate
@@ -52,6 +62,7 @@ pub fn detect_one(
     let mut state = LidState::seed(1);
     let mut lid_iterations = 0;
     let mut converged_globally = false;
+    let mut touched: Vec<u32> = vec![seed];
 
     let mut alpha: Vec<u32> = vec![seed];
     let mut weights: Vec<f64> = vec![1.0];
@@ -84,16 +95,20 @@ pub fn detect_one(
 
         // ---- Step 3: CIVS --------------------------------------------
         let found = civs(ds, &kernel, index, &alpha, &center, radius, params.delta);
+        touched.extend_from_slice(&found.psi);
         if found.psi.is_empty() {
             // Nothing new inside the scheduled radius. Before spending
             // further iterations on the θ(c) schedule, probe the outer
             // ball directly: Proposition 1 guarantees every vertex
             // beyond R_out is immune, so an empty outer-ball probe
             // certifies x̂ as a global dense subgraph (Theorem 1).
-            let certified = at_outer_ball
-                || civs(ds, &kernel, index, &alpha, &center, r_out, params.delta)
-                    .psi
-                    .is_empty();
+            let certified = at_outer_ball || {
+                let probe = civs(ds, &kernel, index, &alpha, &center, r_out, params.delta);
+                // The probe's hits gate certification, so they are part
+                // of the detection's read set.
+                touched.extend_from_slice(&probe.psi);
+                probe.psi.is_empty()
+            };
             if certified {
                 converged_globally = true;
                 break;
@@ -129,19 +144,21 @@ pub fn detect_one(
     }
 
     // Package the support as a cluster, members ascending.
-    let mut pairs: Vec<(u32, f64)> =
-        alpha.iter().copied().zip(weights.iter().copied()).collect();
+    let mut pairs: Vec<(u32, f64)> = alpha.iter().copied().zip(weights.iter().copied()).collect();
     pairs.sort_unstable_by_key(|&(m, _)| m);
     let cluster = DetectedCluster {
         members: pairs.iter().map(|&(m, _)| m).collect(),
         weights: pairs.iter().map(|&(_, w)| w).collect(),
         density,
     };
+    touched.sort_unstable();
+    touched.dedup();
     AlidOutcome {
         cluster,
         iterations: c.min(params.max_alid_iters),
         lid_iterations,
         converged_globally,
+        touched,
     }
 }
 
@@ -170,9 +187,7 @@ mod tests {
     }
 
     fn params(ds: &Dataset) -> AlidParams {
-        AlidParams::calibrated(ds, 0.2, 0.9)
-            .with_lsh(LshParams::new(12, 8, 1.0, 42))
-            .with_delta(16)
+        AlidParams::calibrated(ds, 0.2, 0.9).with_lsh(LshParams::new(12, 8, 1.0, 42)).with_delta(16)
     }
 
     fn index(ds: &Dataset, p: &AlidParams) -> LshIndex {
@@ -257,6 +272,22 @@ mod tests {
         assert_eq!(snap.entries_current, 0);
         // ...and the peak stayed well under the full n^2 = 169 matrix.
         assert!(snap.entries_peak < 100, "peak {} too close to n^2", snap.entries_peak);
+    }
+
+    #[test]
+    fn touched_covers_seed_and_members_and_is_sorted() {
+        let ds = fixture();
+        let p = params(&ds);
+        let idx = index(&ds, &p);
+        let out = detect_one(&ds, &p, &idx, 1, &CostModel::shared());
+        assert!(out.touched.contains(&1), "seed must be in the read set");
+        for m in &out.cluster.members {
+            assert!(out.touched.contains(m), "member {m} missing from read set");
+        }
+        let mut sorted = out.touched.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(out.touched, sorted, "touched must be ascending and unique");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use alid_affinity::kernel::{LaplacianKernel, LpNorm};
 use alid_affinity::vector::Dataset;
+use alid_exec::ExecPolicy;
 use alid_lsh::LshParams;
 
 /// Parameters of Algorithm 2 and its inner steps.
@@ -32,6 +33,12 @@ pub struct AlidParams {
     pub min_cluster_size: usize,
     /// LSH configuration for CIVS.
     pub lsh: LshParams,
+    /// Execution policy for phases that can parallelize (today: the
+    /// peeling driver's speculative multi-seed detection; dense-matrix
+    /// builds take it where the caller passes it through). Sequential
+    /// by default; any worker count produces byte-identical output
+    /// (see `Peeler::detect_all`).
+    pub exec: ExecPolicy,
 }
 
 impl AlidParams {
@@ -50,6 +57,7 @@ impl AlidParams {
             density_threshold: 0.75,
             min_cluster_size: 2,
             lsh: LshParams::civs_default(half_dist, 0x5eed),
+            exec: ExecPolicy::sequential(),
         }
     }
 
@@ -103,6 +111,12 @@ impl AlidParams {
         self.min_cluster_size = min_size;
         self
     }
+
+    /// Replaces the execution policy.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -135,12 +149,20 @@ mod tests {
             .with_delta(5)
             .with_iteration_caps(3, 77)
             .with_dominant_filter(0.5, 4)
-            .with_lsh_seed(9);
+            .with_lsh_seed(9)
+            .with_exec(ExecPolicy::workers(3));
         assert_eq!(p.delta, 5);
         assert_eq!(p.max_alid_iters, 3);
         assert_eq!(p.max_lid_iters, 77);
         assert_eq!(p.min_cluster_size, 4);
         assert_eq!(p.lsh.seed, 9);
+        assert_eq!(p.exec.worker_count(), 3);
+    }
+
+    #[test]
+    fn exec_defaults_to_sequential() {
+        let p = AlidParams::new(LaplacianKernel::l2(1.0));
+        assert!(p.exec.is_sequential());
     }
 
     #[test]

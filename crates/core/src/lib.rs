@@ -42,7 +42,6 @@
 //! # let _ = LaplacianKernel::l2(1.0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod alid;
 pub mod civs;

@@ -90,10 +90,9 @@ pub fn lid_step(aff: &mut LocalAffinity<'_>, state: &mut LidState, tol: f64) -> 
             if best_infect.is_none_or(|(_, b)| d > b) {
                 best_infect = Some((i, d));
             }
-        } else if d < -scale && xi > simplex::SUPPORT_EPS
-            && best_weak.is_none_or(|(_, b)| -d > b) {
-                best_weak = Some((i, -d));
-            }
+        } else if d < -scale && xi > simplex::SUPPORT_EPS && best_weak.is_none_or(|(_, b)| -d > b) {
+            best_weak = Some((i, -d));
+        }
     }
 
     let infect = match (best_infect, best_weak) {
@@ -181,11 +180,7 @@ mod tests {
         (Dataset::from_flat(1, vec![0.0, 0.1, 0.2, 10.0]), LaplacianKernel::l2(1.0))
     }
 
-    fn local<'a>(
-        ds: &'a Dataset,
-        k: LaplacianKernel,
-        beta: Vec<u32>,
-    ) -> LocalAffinity<'a> {
+    fn local<'a>(ds: &'a Dataset, k: LaplacianKernel, beta: Vec<u32>) -> LocalAffinity<'a> {
         LocalAffinity::new(ds, k, CostModel::shared(), beta)
     }
 

@@ -9,12 +9,13 @@
 //!   claimed it (ties broken toward the smaller label for determinism).
 //!
 //! The paper deploys this on Apache Spark with MongoDB serving vectors
-//! and hash tables; this reproduction substitutes an in-process executor
-//! pool (crossbeam channels + scoped threads) sharing the data set and
-//! index by reference. Table 2 measures the *speedup ratio versus the
-//! number of executors* of an embarrassingly parallel map phase, which
-//! this harness reproduces faithfully; see DESIGN.md for the
-//! substitution rationale.
+//! and hash tables; this reproduction substitutes the workspace's
+//! shared execution layer ([`alid_exec::ExecPolicy`]) — a work-stealing
+//! in-process executor pool sharing the data set and index by
+//! reference. Table 2 measures the *speedup ratio versus the number of
+//! executors* of an embarrassingly parallel map phase, which this
+//! harness reproduces faithfully; see DESIGN.md for the substitution
+//! rationale.
 
 use std::sync::Arc;
 
@@ -22,8 +23,8 @@ use alid_affinity::clustering::{Clustering, DetectedCluster};
 use alid_affinity::cost::CostModel;
 use alid_affinity::fx::FxHashMap;
 use alid_affinity::vector::Dataset;
+use alid_exec::ExecPolicy;
 use alid_lsh::LshIndex;
-use crossbeam::channel;
 
 use crate::alid::detect_one;
 use crate::config::AlidParams;
@@ -32,8 +33,9 @@ use crate::seeding::sample_seeds;
 /// Parallel-driver knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct PalidParams {
-    /// Executor (worker thread) count — the x-axis of Table 2.
-    pub executors: usize,
+    /// Execution policy of the map phase; the worker count is the
+    /// x-axis of Table 2.
+    pub exec: ExecPolicy,
     /// Minimum alive bucket size for seed sampling (paper: "> 5", i.e. 6).
     pub min_bucket: usize,
     /// Per-bucket sample rate (paper: 0.2).
@@ -48,7 +50,17 @@ impl PalidParams {
     /// Paper defaults with the given executor count.
     pub fn with_executors(executors: usize) -> Self {
         assert!(executors >= 1, "need at least one executor");
-        Self { executors, min_bucket: 6, sample_rate: 0.2, seed: 0xa11d, max_tasks: None }
+        Self::with_exec(ExecPolicy::workers(executors))
+    }
+
+    /// Paper defaults under an explicit execution policy.
+    pub fn with_exec(exec: ExecPolicy) -> Self {
+        Self { exec, min_bucket: 6, sample_rate: 0.2, seed: 0xa11d, max_tasks: None }
+    }
+
+    /// The configured executor count.
+    pub fn executors(&self) -> usize {
+        self.exec.worker_count()
     }
 }
 
@@ -74,45 +86,26 @@ pub fn palid_detect(
     if let Some(cap) = pp.max_tasks {
         seeds.truncate(cap);
     }
-    let outcomes = run_mappers(ds, params, &index, &seeds, pp.executors, cost);
+    let outcomes = run_mappers(ds, params, &index, &seeds, pp.exec, cost);
     reduce(ds.len(), outcomes)
 }
 
-/// The map phase: detections fan out over a work-stealing channel.
-/// Results arrive unordered; each is `(label, cluster)` with the seed id
-/// as the unique cluster label (Fig. 5).
+/// The map phase: detections fan out over the shared exec layer's
+/// work-stealing pool. Each result is `(label, cluster)` with the seed
+/// id as the unique cluster label (Fig. 5); the exec layer returns them
+/// in task order, so one final sort by label makes the reduce input —
+/// and therefore the output — executor-count-invariant even when the
+/// seed list itself is unsorted.
 fn run_mappers(
     ds: &Dataset,
     params: &AlidParams,
     index: &LshIndex,
     seeds: &[u32],
-    executors: usize,
+    exec: ExecPolicy,
     cost: &Arc<CostModel>,
 ) -> Vec<(u32, DetectedCluster)> {
-    assert!(executors >= 1, "need at least one executor");
-    let (task_tx, task_rx) = channel::unbounded::<u32>();
-    for &s in seeds {
-        task_tx.send(s).expect("queue open");
-    }
-    drop(task_tx);
-    let (res_tx, res_rx) = channel::unbounded::<(u32, DetectedCluster)>();
-    std::thread::scope(|scope| {
-        for _ in 0..executors {
-            let task_rx = task_rx.clone();
-            let res_tx = res_tx.clone();
-            let cost = Arc::clone(cost);
-            scope.spawn(move || {
-                while let Ok(seed) = task_rx.recv() {
-                    let out = detect_one(ds, params, index, seed, &cost);
-                    res_tx.send((seed, out.cluster)).expect("result channel open");
-                }
-            });
-        }
-        drop(res_tx);
-    });
-    let mut outcomes: Vec<(u32, DetectedCluster)> = res_rx.into_iter().collect();
-    // Channel arrival order depends on scheduling; sort by label so the
-    // reduce phase (and the final output) is executor-count-invariant.
+    let mut outcomes =
+        exec.map_tasks(seeds, |&seed| (seed, detect_one(ds, params, index, seed, cost).cluster));
     outcomes.sort_unstable_by_key(|&(label, _)| label);
     outcomes
 }
@@ -128,9 +121,7 @@ fn reduce(n: usize, outcomes: Vec<(u32, DetectedCluster)>) -> Clustering {
             let slot = &mut winner[m as usize];
             let better = match *slot {
                 None => true,
-                Some((d, l)) => {
-                    cluster.density > d || (cluster.density == d && label < l)
-                }
+                Some((d, l)) => cluster.density > d || (cluster.density == d && label < l),
             };
             if better {
                 *slot = Some((cluster.density, label));
@@ -170,11 +161,7 @@ fn reduce(n: usize, outcomes: Vec<(u32, DetectedCluster)>) -> Clustering {
             let u = 1.0 / members.len().max(1) as f64;
             weights.iter_mut().for_each(|w| *w = u);
         }
-        clustering.clusters.push(DetectedCluster {
-            members,
-            weights,
-            density: original.density,
-        });
+        clustering.clusters.push(DetectedCluster { members, weights, density: original.density });
     }
     clustering
 }
@@ -201,9 +188,7 @@ mod tests {
     }
 
     fn params(ds: &Dataset) -> AlidParams {
-        AlidParams::calibrated(ds, 0.3, 0.9)
-            .with_lsh(LshParams::new(12, 8, 1.0, 77))
-            .with_delta(32)
+        AlidParams::calibrated(ds, 0.3, 0.9).with_lsh(LshParams::new(12, 8, 1.0, 77)).with_delta(32)
     }
 
     #[test]

@@ -6,6 +6,26 @@
 //! items are tombstoned in the LSH index, so subsequent detections
 //! simply cannot retrieve them. The caller applies the final density
 //! filter ([`alid_affinity::Clustering::dominant`]).
+//!
+//! # Speculative parallel peeling
+//!
+//! Peeling looks inherently sequential — detection `k+1` runs against
+//! the index with cluster `k` already tombstoned — but detections of
+//! *well-separated* clusters never observe each other, and
+//! [`AlidOutcome::touched`](crate::alid::AlidOutcome) records exactly
+//! what each detection observed. When [`AlidParams::exec`] is parallel,
+//! [`Peeler::detect_all`] therefore speculates: it runs the next `W`
+//! seeds concurrently against the round-start index, then accepts
+//! results in seed order as long as each detection's read set is still
+//! fully alive (i.e. disjoint from everything accepted earlier in the
+//! round), falling back to re-running from the first conflicting seed.
+//! Accepted results are provably the clusters the sequential protocol
+//! would have produced, so **any worker count yields byte-identical
+//! clusterings**. Only the clustering is schedule-invariant: the
+//! shared [`CostModel`] also records the work of discarded/re-run
+//! speculations, and `W` concurrent detections raise the live-entries
+//! peak — cost-measured harnesses comparing growth orders should keep
+//! the sequential policy (the default).
 
 use std::sync::Arc;
 
@@ -61,10 +81,55 @@ impl<'a> Peeler<'a> {
     /// Runs the pass to exhaustion and returns every detected cluster
     /// (dominant and noise alike — filter with
     /// [`Clustering::dominant`]).
+    ///
+    /// With a parallel [`AlidParams::exec`] policy the pass runs
+    /// speculative multi-seed detection (see the module docs); the
+    /// output is byte-identical to the sequential pass for every worker
+    /// count.
     pub fn detect_all(mut self) -> Clustering {
         let mut clustering = Clustering::new(self.ds.len());
-        while let Some(cluster) = self.next_cluster() {
-            clustering.clusters.push(cluster);
+        if self.params.exec.is_sequential() {
+            while let Some(cluster) = self.next_cluster() {
+                clustering.clusters.push(cluster);
+            }
+            return clustering;
+        }
+        let width = self.params.exec.worker_count();
+        while let Some(seeds) = self.next_alive_batch(width) {
+            let (ds, params, index, cost) = (self.ds, &self.params, &self.index, &self.cost);
+            let outcomes =
+                params.exec.map_tasks(&seeds, |&s| detect_one(ds, params, index, s, cost));
+            // Accept speculative results in seed order while each
+            // detection's read set is untouched by this round's peels.
+            let mut resume = None;
+            for (k, out) in outcomes.into_iter().enumerate() {
+                let seed = seeds[k];
+                if k > 0 {
+                    if !self.index.is_alive(seed) {
+                        // An accepted cluster absorbed this seed; the
+                        // sequential pass would never seed it. Its
+                        // speculative result is simply discarded.
+                        continue;
+                    }
+                    // Tombstones older than this round can never appear
+                    // in `touched` (the detection could not retrieve
+                    // them), so any dead read-set entry was peeled by an
+                    // earlier acceptance *in this round* — the trace is
+                    // stale and everything from here on must be re-run
+                    // against the updated index.
+                    if out.touched.iter().any(|&t| !self.index.is_alive(t)) {
+                        resume = Some(seed);
+                        break;
+                    }
+                }
+                self.index.remove(seed);
+                for &m in &out.cluster.members {
+                    self.index.remove(m);
+                }
+                clustering.clusters.push(out.cluster);
+            }
+            self.next_seed =
+                resume.unwrap_or_else(|| seeds.last().map(|&s| s + 1).unwrap_or(self.next_seed));
         }
         clustering
     }
@@ -92,6 +157,23 @@ impl<'a> Peeler<'a> {
             self.next_seed += 1;
         }
         None
+    }
+
+    /// The next `width` alive seeds in ascending order, without
+    /// advancing the scan cursor (rejected speculations must be able to
+    /// re-seed). `None` once everything is peeled.
+    fn next_alive_batch(&mut self, width: usize) -> Option<Vec<u32>> {
+        let first = self.next_alive()?;
+        let n = self.ds.len() as u32;
+        let mut seeds = vec![first];
+        let mut s = first + 1;
+        while s < n && seeds.len() < width {
+            if self.index.is_alive(s) {
+                seeds.push(s);
+            }
+            s += 1;
+        }
+        Some(seeds)
     }
 }
 
@@ -163,8 +245,7 @@ mod tests {
     #[test]
     fn detect_up_to_limits_work() {
         let ds = fixture();
-        let clustering =
-            Peeler::new(&ds, params(&ds), CostModel::shared()).detect_up_to(1);
+        let clustering = Peeler::new(&ds, params(&ds), CostModel::shared()).detect_up_to(1);
         assert_eq!(clustering.len(), 1);
     }
 
@@ -180,6 +261,29 @@ mod tests {
             last = now;
         }
         assert_eq!(peeler.remaining(), 0);
+    }
+
+    #[test]
+    fn speculative_parallel_pass_matches_sequential_exactly() {
+        let ds = fixture();
+        let sequential = Peeler::new(&ds, params(&ds), CostModel::shared()).detect_all();
+        for workers in [2usize, 3, 8] {
+            let p = params(&ds).with_exec(alid_exec::ExecPolicy::workers(workers));
+            let parallel = Peeler::new(&ds, p, CostModel::shared()).detect_all();
+            assert_eq!(
+                sequential.clusters.len(),
+                parallel.clusters.len(),
+                "{workers} workers changed the cluster count"
+            );
+            for (a, b) in sequential.clusters.iter().zip(&parallel.clusters) {
+                assert_eq!(a.members, b.members, "{workers} workers changed members");
+                assert_eq!(a.weights, b.weights, "{workers} workers changed weights");
+                assert!(
+                    (a.density - b.density).abs() == 0.0,
+                    "{workers} workers changed density bit-for-bit"
+                );
+            }
+        }
     }
 
     #[test]

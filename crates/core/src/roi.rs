@@ -95,10 +95,7 @@ mod tests {
 
     use crate::lid::{lid_converge, LidState};
 
-    fn converged_subgraph(
-        ds: &Dataset,
-        kernel: LaplacianKernel,
-    ) -> (Vec<u32>, Vec<f64>, f64) {
+    fn converged_subgraph(ds: &Dataset, kernel: LaplacianKernel) -> (Vec<u32>, Vec<f64>, f64) {
         let beta: Vec<u32> = (0..ds.len() as u32).collect();
         let mut aff = LocalAffinity::new(ds, kernel, CostModel::shared(), beta.clone());
         let mut st = LidState::from_vertex(&mut aff, 0);

@@ -134,34 +134,34 @@ impl StreamingAlid {
         StreamUpdate::Buffered
     }
 
-    /// The infective-attachment test: the densest existing cluster whose
-    /// density the newcomer would not dilute (`π(s_new, x_c) >= π(x_c)`
-    /// under uniform weights). Candidate clusters come from the item's
-    /// LSH collisions, so the test is local.
+    /// The infective-attachment test on the ingest path: candidate
+    /// clusters come from the item's LSH collisions, so the test is
+    /// local (`O(collisions + |c|)` per arrival).
     fn try_attach(&mut self, id: u32) -> Option<usize> {
-        let v = self.data.get(id as usize);
-        let hits = self.index.query(v);
-        let mut candidates: Vec<usize> = hits
-            .iter()
-            .filter_map(|&h| self.assigned.get(h as usize).copied().flatten())
-            .collect();
+        let hits = self.index.query(self.data.get(id as usize));
+        let mut candidates: Vec<usize> =
+            hits.iter().filter_map(|&h| self.assigned.get(h as usize).copied().flatten()).collect();
         candidates.sort_unstable();
         candidates.dedup();
+        self.attach_among(id, &candidates)
+    }
+
+    /// The infective-attachment test — the densest existing cluster
+    /// whose density the newcomer would not dilute
+    /// (`π(s_new, x_c) >= π(x_c)` under uniform weights) — restricted
+    /// to `candidates`.
+    fn attach_among(&mut self, id: u32, candidates: &[usize]) -> Option<usize> {
+        let v = self.data.get(id as usize);
         let kernel = self.params.kernel;
         let mut best: Option<(f64, usize, f64)> = None; // (density, cluster, S)
-        for c in candidates {
+        for &c in candidates {
             let cluster = &self.clusters[c];
             let m = cluster.members.len() as f64;
-            let s: f64 = cluster
-                .members
-                .iter()
-                .map(|&j| kernel.eval(self.data.get(j as usize), v))
-                .sum();
+            let s: f64 =
+                cluster.members.iter().map(|&j| kernel.eval(self.data.get(j as usize), v)).sum();
             self.cost.record_kernel_evals(cluster.members.len() as u64);
             // π(s_new, x_c) with uniform weights = S / m.
-            if s / m >= cluster.density
-                && best.is_none_or(|(d, _, _)| cluster.density > d)
-            {
+            if s / m >= cluster.density && best.is_none_or(|(d, _, _)| cluster.density > d) {
                 best = Some((cluster.density, c, s));
             }
         }
@@ -181,6 +181,26 @@ impl StreamingAlid {
     /// new dominant clusters. Returns how many were promoted.
     pub fn sweep(&mut self) -> usize {
         self.since_sweep = 0;
+        if self.pending.is_empty() {
+            return 0;
+        }
+        // Second-chance attachment: the ingest path only sees clusters
+        // its LSH collisions surface, and approximate retrieval can miss
+        // a true near neighbour. The sweep is the repair phase, so every
+        // buffered item is re-tested against *all* current clusters
+        // directly before detection runs — attachment recall never
+        // depends on hash luck.
+        let mut still: Vec<u32> = Vec::new();
+        // attach_among never adds clusters, so the candidate list is
+        // loop-invariant.
+        let all: Vec<usize> = (0..self.clusters.len()).collect();
+        for id in std::mem::take(&mut self.pending) {
+            match self.attach_among(id, &all) {
+                Some(c) => self.assigned[id as usize] = Some(c),
+                None => still.push(id),
+            }
+        }
+        self.pending = still;
         if self.pending.is_empty() {
             return 0;
         }
@@ -301,11 +321,7 @@ mod tests {
             }
         }
         let direct = 2.0 * acc / (m as f64 * m as f64);
-        assert!(
-            (c.density - direct).abs() < 0.02,
-            "incremental {} vs direct {direct}",
-            c.density
-        );
+        assert!((c.density - direct).abs() < 0.02, "incremental {} vs direct {direct}", c.density);
     }
 
     #[test]

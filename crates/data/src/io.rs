@@ -75,12 +75,7 @@ pub fn read_csv(path: &Path) -> io::Result<Dataset> {
                 if row.len() != d.dim() {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        format!(
-                            "line {}: {} columns, expected {}",
-                            lineno + 1,
-                            row.len(),
-                            d.dim()
-                        ),
+                        format!("line {}: {} columns, expected {}", lineno + 1, row.len(), d.dim()),
                     ));
                 }
                 d.push(&row);

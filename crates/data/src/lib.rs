@@ -24,7 +24,6 @@
 //! * [`rng`] — the sampling primitives (normal, gamma, Dirichlet,
 //!   sphere) implemented on top of plain `rand`.
 
-
 #![warn(missing_docs)]
 pub mod groundtruth;
 pub mod io;

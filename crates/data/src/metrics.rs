@@ -50,13 +50,7 @@ pub fn avg_f1(truth: &GroundTruth, clustering: &Clustering) -> f64 {
     }
     let total: f64 = gt
         .iter()
-        .map(|t| {
-            clustering
-                .clusters
-                .iter()
-                .map(|d| f1(t, &d.members))
-                .fold(0.0f64, f64::max)
-        })
+        .map(|t| clustering.clusters.iter().map(|d| f1(t, &d.members)).fold(0.0f64, f64::max))
         .sum();
     total / gt.len() as f64
 }

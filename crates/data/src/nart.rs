@@ -154,14 +154,8 @@ mod tests {
         let norm = LpNorm::L2;
         let c0 = &ds.truth.clusters()[0];
         let c1 = &ds.truth.clusters()[1];
-        let d_intra = norm.distance(
-            ds.data.get(c0[0] as usize),
-            ds.data.get(c0[1] as usize),
-        );
-        let d_inter = norm.distance(
-            ds.data.get(c0[0] as usize),
-            ds.data.get(c1[0] as usize),
-        );
+        let d_intra = norm.distance(ds.data.get(c0[0] as usize), ds.data.get(c0[1] as usize));
+        let d_inter = norm.distance(ds.data.get(c0[0] as usize), ds.data.get(c1[0] as usize));
         assert!(
             d_intra * 3.0 < d_inter,
             "same-event articles must be far closer: intra {d_intra:.3} inter {d_inter:.3}"
@@ -176,8 +170,7 @@ mod tests {
         let ds = nart_with(0.15, None, 8);
         let norm = LpNorm::L2;
         let labels = ds.truth.labels();
-        let noise: Vec<usize> =
-            (0..ds.len()).filter(|&i| labels[i].is_none()).take(40).collect();
+        let noise: Vec<usize> = (0..ds.len()).filter(|&i| labels[i].is_none()).take(40).collect();
         let mut acc = 0.0;
         let mut count = 0;
         for (a, &i) in noise.iter().enumerate() {
@@ -224,8 +217,7 @@ mod tests {
         let mut count = 0;
         for members in ds.truth.clusters() {
             for pair in members.windows(2).take(5) {
-                acc += norm
-                    .distance(ds.data.get(pair[0] as usize), ds.data.get(pair[1] as usize));
+                acc += norm.distance(ds.data.get(pair[0] as usize), ds.data.get(pair[1] as usize));
                 count += 1;
             }
         }

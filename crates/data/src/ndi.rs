@@ -38,12 +38,7 @@ pub const SUB_NDI_NOISE: usize = 8_520;
 const JITTER: f64 = 0.02;
 
 /// Generates an NDI-like corpus with explicit cardinalities.
-pub fn ndi_with(
-    clusters: usize,
-    positive: usize,
-    noise: usize,
-    seed: u64,
-) -> LabeledDataset {
+pub fn ndi_with(clusters: usize, positive: usize, noise: usize, seed: u64) -> LabeledDataset {
     assert!(clusters >= 1 && positive >= 2 * clusters, "need >= 2 images per cluster");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut data = Dataset::with_capacity(NDI_DIM, positive + noise);
@@ -90,8 +85,7 @@ pub fn ndi_with(
 pub fn ndi(scale: f64, seed: u64) -> LabeledDataset {
     assert!(scale > 0.0, "scale must be positive");
     let clusters = ((NDI_CLUSTERS as f64 * scale).round() as usize).clamp(1, NDI_CLUSTERS);
-    let positive =
-        ((NDI_POSITIVE as f64 * scale).round() as usize).max(2 * clusters);
+    let positive = ((NDI_POSITIVE as f64 * scale).round() as usize).max(2 * clusters);
     let noise = (NDI_NOISE as f64 * scale).round() as usize;
     let mut ds = ndi_with(clusters, positive, noise, seed);
     ds.name = format!("ndi-sim-x{scale}");
@@ -102,10 +96,8 @@ pub fn ndi(scale: f64, seed: u64) -> LabeledDataset {
 /// sweep.
 pub fn sub_ndi(scale: f64, noise_override: Option<usize>, seed: u64) -> LabeledDataset {
     assert!(scale > 0.0, "scale must be positive");
-    let positive =
-        ((SUB_NDI_POSITIVE as f64 * scale).round() as usize).max(2 * SUB_NDI_CLUSTERS);
-    let noise =
-        noise_override.unwrap_or((SUB_NDI_NOISE as f64 * scale).round() as usize);
+    let positive = ((SUB_NDI_POSITIVE as f64 * scale).round() as usize).max(2 * SUB_NDI_CLUSTERS);
+    let noise = noise_override.unwrap_or((SUB_NDI_NOISE as f64 * scale).round() as usize);
     let mut ds = ndi_with(SUB_NDI_CLUSTERS, positive, noise, seed);
     ds.name = format!("sub-ndi-sim-x{scale}");
     ds
@@ -138,8 +130,7 @@ mod tests {
         let ds = ndi_with(4, 40, 40, 3);
         let norm = LpNorm::L2;
         let c0 = &ds.truth.clusters()[0];
-        let intra =
-            norm.distance(ds.data.get(c0[0] as usize), ds.data.get(c0[1] as usize));
+        let intra = norm.distance(ds.data.get(c0[0] as usize), ds.data.get(c0[1] as usize));
         let labels = ds.truth.labels();
         let noise: Vec<usize> = (0..ds.len()).filter(|&i| labels[i].is_none()).collect();
         let inter = norm.distance(ds.data.get(noise[0]), ds.data.get(noise[1]));

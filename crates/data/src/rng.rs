@@ -140,10 +140,7 @@ mod tests {
         for &shape in &[0.5, 1.0, 2.5, 9.0] {
             let n = 20_000;
             let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
-            assert!(
-                (mean - shape).abs() < 0.12 * shape.max(1.0),
-                "shape {shape}: mean {mean}"
-            );
+            assert!((mean - shape).abs() < 0.12 * shape.max(1.0), "shape {shape}: mean {mean}");
         }
     }
 
@@ -179,10 +176,7 @@ mod tests {
             let mut acc = 0.0;
             for _ in 0..100 {
                 dirichlet(r, alphas, out);
-                acc += out
-                    .iter()
-                    .map(|&v| (v - 1.0 / k as f64).abs())
-                    .sum::<f64>();
+                acc += out.iter().map(|&v| (v - 1.0 / k as f64).abs()).sum::<f64>();
             }
             acc
         };

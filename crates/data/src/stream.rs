@@ -82,11 +82,7 @@ pub fn generate_stream(cfg: &StreamConfig) -> StreamScenario {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Burst centres far apart relative to jitter and inside the noise box.
     let centers: Vec<Vec<f64>> = (0..cfg.bursts.len())
-        .map(|_| {
-            (0..cfg.dim)
-                .map(|_| (rng.gen::<f64>() - 0.5) * cfg.noise_span)
-                .collect()
-        })
+        .map(|_| (0..cfg.dim).map(|_| (rng.gen::<f64>() - 0.5) * cfg.noise_span).collect())
         .collect();
     // Schedule: arrival index -> burst id.
     let mut slots: Vec<Option<usize>> = vec![None; cfg.total];
@@ -95,9 +91,8 @@ pub fn generate_stream(cfg: &StreamConfig) -> StreamScenario {
         for _ in 0..burst.size {
             assert!(t < cfg.total, "burst {b} overruns the stream");
             // First free slot at or after t.
-            let slot = (t..cfg.total)
-                .find(|&u| slots[u].is_none())
-                .expect("burst overruns the stream");
+            let slot =
+                (t..cfg.total).find(|&u| slots[u].is_none()).expect("burst overruns the stream");
             slots[slot] = Some(b);
             t = slot + 1 + rng.gen_range(0..=burst.spacing);
         }
@@ -157,15 +152,10 @@ mod tests {
         let sc = generate_stream(&StreamConfig::two_bursts(7));
         let norm = alid_affinity::kernel::LpNorm::L2;
         let b0 = &sc.truth.clusters()[0];
-        let intra = norm.distance(
-            sc.data.get(b0[0] as usize),
-            sc.data.get(b0[1] as usize),
-        );
+        let intra = norm.distance(sc.data.get(b0[0] as usize), sc.data.get(b0[1] as usize));
         assert!(intra < sc.scale * 3.0, "intra {intra} vs scale {}", sc.scale);
-        let noise: Vec<usize> = (0..sc.data.len())
-            .filter(|&i| sc.burst_of[i].is_none())
-            .take(2)
-            .collect();
+        let noise: Vec<usize> =
+            (0..sc.data.len()).filter(|&i| sc.burst_of[i].is_none()).take(2).collect();
         let inter = norm.distance(sc.data.get(noise[0]), sc.data.get(noise[1]));
         assert!(inter > sc.scale * 10.0);
     }

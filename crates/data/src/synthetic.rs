@@ -273,8 +273,7 @@ mod tests {
         let cfg = SyntheticConfig::paper(4_000, Regime::Proportional { omega: 1.0 }, 11);
         let ds = generate(&cfg);
         let centroid = |c: usize| {
-            let idx: Vec<usize> =
-                ds.truth.clusters()[c].iter().map(|&m| m as usize).collect();
+            let idx: Vec<usize> = ds.truth.clusters()[c].iter().map(|&m| m as usize).collect();
             ds.data.centroid(&idx)
         };
         let norm = LpNorm::L2;

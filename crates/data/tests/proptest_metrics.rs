@@ -10,18 +10,16 @@ use proptest::prelude::*;
 /// from a shuffled prefix.
 fn ground_truth() -> impl Strategy<Value = GroundTruth> {
     (6usize..=30).prop_flat_map(|n| {
-        (Just(n), prop::collection::vec(0u8..4, n))
-            .prop_map(|(n, labels)| {
-                let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); 4];
-                for (i, &l) in labels.iter().enumerate() {
-                    if l < 3 {
-                        clusters[l as usize].push(i as u32);
-                    } // l == 3 -> noise
-                }
-                let clusters: Vec<Vec<u32>> =
-                    clusters.into_iter().filter(|c| c.len() >= 2).collect();
-                GroundTruth::new(n, clusters)
-            })
+        (Just(n), prop::collection::vec(0u8..4, n)).prop_map(|(n, labels)| {
+            let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); 4];
+            for (i, &l) in labels.iter().enumerate() {
+                if l < 3 {
+                    clusters[l as usize].push(i as u32);
+                } // l == 3 -> noise
+            }
+            let clusters: Vec<Vec<u32>> = clusters.into_iter().filter(|c| c.len() >= 2).collect();
+            GroundTruth::new(n, clusters)
+        })
     })
 }
 

@@ -1,0 +1,339 @@
+//! The shared parallel-execution layer of the ALID workspace.
+//!
+//! Before this crate existed, three call sites each hand-rolled their
+//! own `std::thread::scope` pool: `DenseAffinity` row construction, the
+//! `CostModel` concurrency test and the PALID map phase (which also
+//! pulled in channel machinery for work distribution). This crate is
+//! now the **only** place in the workspace that spawns threads; every
+//! parallel phase expresses itself as one of two shapes:
+//!
+//! * [`ExecPolicy::for_each_index`] — a *static, strided* partition of
+//!   an index range, for uniform workloads that write disjoint slots
+//!   (dense matrix rows);
+//! * [`ExecPolicy::map_indexed`] / [`ExecPolicy::map_tasks`] — a
+//!   *work-stealing* task pool over an index range, for irregular
+//!   workloads (one ALID detection per seed), with results returned in
+//!   **task order** regardless of which worker ran what.
+//!
+//! Both shapes are deterministic: the value computed for index `i`
+//! depends only on `i`, never on scheduling, and `map_indexed` restores
+//! task order before returning — so any `workers >= 1` produces the
+//! same output, and `workers == 1` degenerates to a plain loop on the
+//! calling thread with zero thread overhead (the sequential fallback).
+//!
+//! [`SharedSlice`] is the escape hatch for partitioned writes into one
+//! buffer (the dense-matrix pattern, where row ownership guarantees
+//! disjointness but the type system cannot see it).
+//!
+//! See DESIGN.md ("One execution substrate") for how this layer
+//! substitutes for the paper's Spark deployment.
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a parallel phase should execute: on how many workers.
+///
+/// The policy travels inside parameter structs (`AlidParams`,
+/// `PalidParams`) so every layer — dense affinity construction, PALID
+/// mapping, multi-seed peeling — draws its worker count from one place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecPolicy {
+    workers: NonZeroUsize,
+}
+
+impl ExecPolicy {
+    /// Run on the calling thread only (the default).
+    pub fn sequential() -> Self {
+        Self { workers: NonZeroUsize::MIN }
+    }
+
+    /// Run on `n` workers.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn workers(n: usize) -> Self {
+        Self { workers: NonZeroUsize::new(n).expect("need at least one worker") }
+    }
+
+    /// Run on every core the OS reports (1 when detection fails).
+    pub fn auto() -> Self {
+        Self { workers: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN) }
+    }
+
+    /// The configured worker count (>= 1).
+    #[inline]
+    pub fn worker_count(&self) -> usize {
+        self.workers.get()
+    }
+
+    /// `true` when the policy is single-worker.
+    #[inline]
+    pub fn is_sequential(&self) -> bool {
+        self.workers.get() == 1
+    }
+
+    /// Applies `f` to every index in `0..n` with a **static strided
+    /// partition**: worker `t` handles indices `t, t + W, t + 2W, ...`.
+    ///
+    /// Striding balances triangular workloads (where the cost of index
+    /// `i` shrinks with `i`, as in symmetric-matrix row construction)
+    /// far better than contiguous chunks. Use this shape when `f`
+    /// writes to pre-partitioned disjoint storage and needs no result
+    /// collection.
+    pub fn for_each_index<F: Fn(usize) + Sync>(&self, n: usize, f: F) {
+        let workers = self.workers.get().min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            for t in 0..workers {
+                scope.spawn(move || {
+                    for i in (t..n).step_by(workers) {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Computes `f(i)` for every `i` in `0..n` on a **work-stealing
+    /// task pool** and returns the results **in index order**.
+    ///
+    /// Workers steal chunks of `chunk` consecutive indices from a
+    /// shared atomic cursor, so irregular per-task costs self-balance;
+    /// a chunk of 1 is the classic one-task-at-a-time queue. Despite
+    /// the dynamic schedule the output is deterministic: slot `i` of
+    /// the result always holds `f(i)`.
+    pub fn map_indexed_chunked<R, F>(&self, n: usize, chunk: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        assert!(chunk >= 1, "chunk size must be at least 1");
+        let workers = self.workers.get().min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let gathered: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        local.push((start, (start..end).map(&f).collect()));
+                    }
+                    gathered.lock().expect("result mutex").append(&mut local);
+                });
+            }
+        });
+        let mut batches = gathered.into_inner().expect("result mutex");
+        batches.sort_unstable_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(n);
+        for (_, mut batch) in batches {
+            out.append(&mut batch);
+        }
+        debug_assert_eq!(out.len(), n);
+        out
+    }
+
+    /// [`Self::map_indexed_chunked`] with a heuristic chunk size:
+    /// one-at-a-time below 4 tasks per worker (latency-bound fan-out,
+    /// e.g. ALID detections), and `n / (8 * workers)` above it
+    /// (throughput-bound sweeps).
+    pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.workers.get();
+        let chunk = if n < 4 * workers { 1 } else { (n / (8 * workers)).max(1) };
+        self.map_indexed_chunked(n, chunk, f)
+    }
+
+    /// Maps `f` over a task slice on the work-stealing pool, results in
+    /// task order.
+    pub fn map_tasks<T, R, F>(&self, tasks: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indexed(tasks.len(), |i| f(&tasks[i]))
+    }
+}
+
+impl Default for ExecPolicy {
+    /// Sequential — parallelism is always an explicit opt-in.
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// A `Send + Sync` view of a mutable slice for **caller-partitioned**
+/// writes from [`ExecPolicy::for_each_index`] workers.
+///
+/// The type system cannot prove that workers write disjoint cells when
+/// the partition is a domain invariant (e.g. "row `i` and its symmetric
+/// reflection are written only by the owner of row `i`"), so writes go
+/// through an `unsafe` method whose contract states exactly that.
+pub struct SharedSlice<'a, T> {
+    cells: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: `SharedSlice` only allows writes through `write`, whose
+// contract requires callers to target disjoint indices from distinct
+// threads; under that contract data races cannot occur.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice for the duration of a parallel phase.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T]` guarantees exclusive access; reinterpreting
+        // as `[UnsafeCell<T>]` (same layout) hands that exclusivity to
+        // the `write` contract below.
+        let cells = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        Self { cells }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Writes `value` into slot `i`.
+    ///
+    /// # Safety
+    /// Within one parallel phase, each index must be written by at most
+    /// one thread, and no slot may be read until the phase ends (the
+    /// scope join provides the synchronization edge).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        *self.cells[i].get() = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_policy_is_default_and_reports_one_worker() {
+        assert_eq!(ExecPolicy::default(), ExecPolicy::sequential());
+        assert!(ExecPolicy::default().is_sequential());
+        assert_eq!(ExecPolicy::workers(3).worker_count(), 3);
+        assert!(!ExecPolicy::workers(3).is_sequential());
+        assert!(ExecPolicy::auto().worker_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ExecPolicy::workers(0);
+    }
+
+    #[test]
+    fn for_each_index_covers_every_index_exactly_once() {
+        for workers in [1usize, 2, 3, 7] {
+            let n = 103;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            ExecPolicy::workers(workers).for_each_index(n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{workers} workers missed or repeated an index"
+            );
+        }
+    }
+
+    #[test]
+    fn map_indexed_returns_results_in_task_order() {
+        let expected: Vec<usize> = (0..57).map(|i| i * i).collect();
+        for workers in [1usize, 2, 5] {
+            for chunk in [1usize, 3, 64] {
+                let got = ExecPolicy::workers(workers).map_indexed_chunked(57, chunk, |i| i * i);
+                assert_eq!(got, expected, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_heuristic_matches_sequential() {
+        let seq = ExecPolicy::sequential().map_indexed(200, |i| 3 * i + 1);
+        let par = ExecPolicy::workers(4).map_indexed(200, |i| 3 * i + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn map_tasks_preserves_order_for_irregular_costs() {
+        let tasks: Vec<u64> = (0..40).map(|i| (40 - i) % 7).collect();
+        let slow_double = |&t: &u64| {
+            // Irregular busy work so stealing actually interleaves.
+            let mut acc = 0u64;
+            for k in 0..(t * 1000 + 1) {
+                acc = acc.wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            t * 2
+        };
+        let seq = ExecPolicy::sequential().map_tasks(&tasks, slow_double);
+        let par = ExecPolicy::workers(4).map_tasks(&tasks, slow_double);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn map_indexed_empty_and_single() {
+        let empty: Vec<usize> = ExecPolicy::workers(4).map_indexed(0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(ExecPolicy::workers(4).map_indexed(1, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn shared_slice_partitioned_writes_land() {
+        let n = 64;
+        let mut buf = vec![0u64; n];
+        let shared = SharedSlice::new(&mut buf);
+        ExecPolicy::workers(4).for_each_index(n, |i| {
+            // SAFETY: index i is written only by the worker that owns it
+            // (for_each_index hands each index to exactly one worker).
+            unsafe { shared.write(i, (i * i) as u64) };
+        });
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn shared_slice_len_tracks_buffer() {
+        let mut buf = [0u8; 3];
+        let s = SharedSlice::new(&mut buf);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

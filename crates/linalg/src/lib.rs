@@ -15,7 +15,6 @@
 //!   operator given only its mat-vec, used for the full `n x n`
 //!   normalised affinity.
 
-
 #![warn(missing_docs)]
 pub mod eigen;
 pub mod matrix;

@@ -34,9 +34,8 @@ pub fn simultaneous_iteration(
     assert!(k <= n, "cannot extract {k} eigenpairs from an order-{n} operator");
     let mut rng = StdRng::seed_from_u64(seed);
     // Column-major basis: q[j] is the j-th basis vector.
-    let mut q: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..n).map(|_| rng.gen::<f64>() - 0.5).collect())
-        .collect();
+    let mut q: Vec<Vec<f64>> =
+        (0..k).map(|_| (0..n).map(|_| rng.gen::<f64>() - 0.5).collect()).collect();
     orthonormalize(&mut q);
     let mut z: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
     let mut prev_overlap = 0.0f64;

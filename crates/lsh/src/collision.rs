@@ -52,7 +52,9 @@ pub fn collision_probability(u: f64, r: f64) -> f64 {
         return 1.0;
     }
     let ru = r / u;
-    let p = 1.0 - 2.0 * normal_cdf(-ru) - (2.0 / ((2.0 * PI).sqrt() * ru)) * (1.0 - (-ru * ru / 2.0).exp());
+    let p = 1.0
+        - 2.0 * normal_cdf(-ru)
+        - (2.0 / ((2.0 * PI).sqrt() * ru)) * (1.0 - (-ru * ru / 2.0).exp());
     p.clamp(0.0, 1.0)
 }
 
@@ -126,8 +128,10 @@ mod tests {
         let r = 1.0;
         let near = 0.2;
         let far = 3.0;
-        let ratio4 = multi_table_recall(near, r, 4, 1) / multi_table_recall(far, r, 4, 1).max(1e-300);
-        let ratio16 = multi_table_recall(near, r, 16, 1) / multi_table_recall(far, r, 16, 1).max(1e-300);
+        let ratio4 =
+            multi_table_recall(near, r, 4, 1) / multi_table_recall(far, r, 4, 1).max(1e-300);
+        let ratio16 =
+            multi_table_recall(near, r, 16, 1) / multi_table_recall(far, r, 16, 1).max(1e-300);
         assert!(ratio16 > ratio4);
     }
 }

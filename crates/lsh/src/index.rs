@@ -54,7 +54,8 @@ impl LshIndex {
         for _ in 0..params.tables {
             let proj: Vec<f64> =
                 (0..params.projections * dim).map(|_| sample_standard_normal(&mut rng)).collect();
-            let offsets: Vec<f64> = (0..params.projections).map(|_| rng.gen::<f64>() * params.r).collect();
+            let offsets: Vec<f64> =
+                (0..params.projections).map(|_| rng.gen::<f64>() * params.r).collect();
             tables.push(Table { proj, offsets, buckets: FxHashMap::default() });
         }
         let mut index = Self { params, dim, n, tables, alive: vec![true; n], alive_count: n };
@@ -288,10 +289,7 @@ mod tests {
         // Item 0's blob-mates should dominate the result.
         let blob_a_hits = hits.iter().filter(|&&h| h < 20).count();
         assert!(blob_a_hits >= 15, "expected most of blob A, got {blob_a_hits}");
-        assert!(
-            !hits.contains(&40),
-            "the far outlier must not collide with the origin blob"
-        );
+        assert!(!hits.contains(&40), "the far outlier must not collide with the origin blob");
     }
 
     #[test]
@@ -449,12 +447,8 @@ mod tests {
             // Each trial draws a fresh hash function (fresh seed) for an
             // isolated pair at distance exactly u.
             let angle = t as f64;
-            let ds = Dataset::from_flat(
-                2,
-                vec![0.0, 0.0, u * angle.cos(), u * angle.sin()],
-            );
-            let idx =
-                LshIndex::build(&ds, LshParams::new(1, 1, r, 1000 + t), &CostModel::shared());
+            let ds = Dataset::from_flat(2, vec![0.0, 0.0, u * angle.cos(), u * angle.sin()]);
+            let idx = LshIndex::build(&ds, LshParams::new(1, 1, r, 1000 + t), &CostModel::shared());
             if idx.query(ds.get(0)).contains(&1) {
                 collisions += 1;
             }

@@ -20,7 +20,6 @@
 //! without rebuilding, and keeps an inverted list from item to buckets
 //! (the paper stores the same and skips storing hash keys).
 
-
 #![warn(missing_docs)]
 pub mod collision;
 pub mod index;

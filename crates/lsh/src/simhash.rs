@@ -74,13 +74,11 @@ impl SimHashIndex {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut tables = Vec::with_capacity(params.tables);
         for _ in 0..params.tables {
-            let planes: Vec<f64> = (0..params.bits * dim)
-                .map(|_| sample_standard_normal(&mut rng))
-                .collect();
+            let planes: Vec<f64> =
+                (0..params.bits * dim).map(|_| sample_standard_normal(&mut rng)).collect();
             tables.push(Table { planes, buckets: FxHashMap::default() });
         }
-        let mut index =
-            Self { params, dim, n, tables, alive: vec![true; n], alive_count: n };
+        let mut index = Self { params, dim, n, tables, alive: vec![true; n], alive_count: n };
         for (id, row) in ds.iter().enumerate() {
             for t in 0..index.tables.len() {
                 let key = index.key(t, row);
@@ -223,8 +221,7 @@ mod tests {
     #[test]
     fn tombstones_respected() {
         let ds = sphere_dataset();
-        let mut idx =
-            SimHashIndex::build(&ds, SimHashParams::new(10, 10, 3), &CostModel::shared());
+        let mut idx = SimHashIndex::build(&ds, SimHashParams::new(10, 10, 3), &CostModel::shared());
         assert!(idx.query(ds.get(0)).contains(&1));
         idx.remove(1);
         assert!(!idx.query(ds.get(0)).contains(&1));
@@ -233,11 +230,8 @@ mod tests {
 
     #[test]
     fn recall_model_is_monotone_in_angle() {
-        let idx = SimHashIndex::build(
-            &sphere_dataset(),
-            SimHashParams::default(),
-            &CostModel::shared(),
-        );
+        let idx =
+            SimHashIndex::build(&sphere_dataset(), SimHashParams::default(), &CostModel::shared());
         let mut prev = idx.recall(0.0);
         assert!((prev - 1.0).abs() < 1e-9);
         for step in 1..=10 {
@@ -269,19 +263,13 @@ mod tests {
             }
             let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
             b.iter_mut().for_each(|x| *x /= nb);
-            let rotated: Vec<f64> = a
-                .iter()
-                .zip(&b)
-                .map(|(&ai, &bi)| ai * theta.cos() + bi * theta.sin())
-                .collect();
+            let rotated: Vec<f64> =
+                a.iter().zip(&b).map(|(&ai, &bi)| ai * theta.cos() + bi * theta.sin()).collect();
             let mut ds = Dataset::new(dim);
             ds.push(&a);
             ds.push(&rotated);
-            let idx = SimHashIndex::build(
-                &ds,
-                SimHashParams::new(1, 1, 1000 + t),
-                &CostModel::shared(),
-            );
+            let idx =
+                SimHashIndex::build(&ds, SimHashParams::new(1, 1, 1000 + t), &CostModel::shared());
             if idx.query(ds.get(0)).contains(&1) {
                 collisions += 1;
             }

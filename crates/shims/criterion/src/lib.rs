@@ -1,0 +1,371 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides criterion's macro/builder surface (`criterion_group!`,
+//! `criterion_main!`, [`Criterion`], [`BenchmarkId`], [`Throughput`],
+//! `Bencher::iter`) on a plain timing loop: per benchmark it warms up,
+//! calibrates an iteration count to the per-sample time slot, takes
+//! `sample_size` samples and prints the median time per iteration.
+//! No statistical analysis, plots or baselines — the numbers are for
+//! quick relative comparisons; swap in the real crate for publication
+//! runs.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, id, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string(), sample_size: None, throughput: None }
+    }
+
+    /// Runs `self` as the final step of `criterion_main!` (flush hook;
+    /// nothing to do in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the per-iteration throughput (printed alongside time).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let saved = self.c.sample_size;
+        if let Some(n) = self.sample_size {
+            self.c.sample_size = n;
+        }
+        run_one_with_throughput(self.c, &full, f, self.throughput);
+        self.c.sample_size = saved;
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter (for groups whose name already identifies the
+    /// function).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display form.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; routines go through [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the planned number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like `iter`, with a per-iteration setup whose cost is excluded
+    /// from the timing (`iter_with_setup` upstream).
+    pub fn iter_with_setup<S, I, O, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, f: F) {
+    run_one_with_throughput(c, id, f, None)
+}
+
+fn run_one_with_throughput<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    id: &str,
+    mut f: F,
+    throughput: Option<Throughput>,
+) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    // Warm-up + calibration: run single iterations until the warm-up
+    // budget is spent, estimating the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::MAX;
+    let mut calibration_runs = 0u32;
+    while warm_start.elapsed() < c.warm_up || calibration_runs == 0 {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = per_iter.min(b.elapsed.max(Duration::from_nanos(1)));
+        calibration_runs += 1;
+        if calibration_runs >= 50 {
+            break;
+        }
+    }
+    // Fill each sample's share of the measurement budget.
+    let slot = c.measurement / c.sample_size as u32;
+    let iters = (slot.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+    let mut samples: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_unstable_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {}/s", format_count(n as f64 / median))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {}B/s", format_count(n as f64 / median))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<60} time: [{} {} {}]{extra}",
+        format_secs(lo),
+        format_secs(median),
+        format_secs(hi)
+    );
+}
+
+fn format_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.3} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.3} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn format_count(c: f64) -> String {
+    if c >= 1e9 {
+        format!("{:.2}G", c / 1e9)
+    } else if c >= 1e6 {
+        format!("{:.2}M", c / 1e6)
+    } else if c >= 1e3 {
+        format!("{:.2}K", c / 1e3)
+    } else {
+        format!("{c:.1}")
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut count = 0u64;
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        c.filter = None;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        c.filter = None;
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(3);
+        let input = vec![1u64, 2, 3, 4];
+        group.bench_with_input(BenchmarkId::from_parameter(4), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

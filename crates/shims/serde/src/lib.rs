@@ -1,0 +1,171 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! package provides the one trait the workspace uses — [`Serialize`] —
+//! over a small JSON data model ([`Json`]). Where the real crate would
+//! `#[derive(Serialize)]`, structs implement the trait by hand with
+//! [`Json::object`]; `serde_json`'s shim renders the model. Swapping the
+//! shims for the real crates is a manifest-only change plus restoring
+//! the derives.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// A JSON value — the serialization data model of the shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite floats serialize as `null`, matching
+    /// `serde_json`'s default behaviour).
+    Num(f64),
+    /// An exact unsigned integer (kept apart from `Num` so `u64`
+    /// counters round-trip without precision loss).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<I: IntoIterator<Item = (&'static str, Json)>>(fields: I) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// Conversion into the shim's serialization data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Json`] value.
+    fn to_json(&self) -> Json;
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        if self.is_finite() {
+            Json::Num(*self)
+        } else {
+            Json::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        (*self as f64).to_json()
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_map_to_expected_variants() {
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!(3u64.to_json(), Json::UInt(3));
+        assert_eq!(1.5f64.to_json(), Json::Num(1.5));
+        assert_eq!(f64::NAN.to_json(), Json::Null);
+        assert_eq!("x".to_json(), Json::Str("x".into()));
+        assert_eq!(None::<f64>.to_json(), Json::Null);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![1u32, 2];
+        assert_eq!(v.to_json(), Json::Arr(vec![Json::UInt(1), Json::UInt(2)]));
+        let o = Json::object([("a", 1u32.to_json())]);
+        assert_eq!(o, Json::Obj(vec![("a".into(), Json::UInt(1))]));
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline shim for the `serde_json` crate: renders the shim-serde
+//! [`Json`](serde::Json) data model as JSON text. Only the two entry
+//! points the workspace calls are provided ([`to_string`] /
+//! [`to_string_pretty`]); both are infallible but keep the `Result`
+//! signature so call sites match the real crate.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Json, Serialize};
+
+/// Serialization error (never produced by the shim; kept for signature
+/// compatibility with the real crate).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::UInt(u) => out.push_str(&u.to_string()),
+        Json::Num(n) => {
+            if n.is_finite() {
+                // Integral floats print without a trailing ".0", like
+                // serde_json's shortest-round-trip formatting.
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => escape_into(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            if !items.is_empty() {
+                newline_indent(indent, depth, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, depth + 1, out);
+            }
+            if !fields.is_empty() {
+                newline_indent(indent, depth, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::object([
+            ("name", Json::Str("a\"b".into())),
+            ("xs", Json::Arr(vec![Json::UInt(1), Json::Null])),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"name":"a\"b","xs":[1,null]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Json::object([("k", Json::UInt(1))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": 1\n}");
+    }
+
+    #[test]
+    fn nan_renders_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn floats_round_trip_reasonably() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&3.0f64).unwrap(), "3");
+    }
+}

@@ -66,8 +66,8 @@ fn main() {
         iid_cost.snapshot().entries_peak,
     );
 
-    let saving = 1.0
-        - alid_cost.snapshot().kernel_evals as f64 / iid_cost.snapshot().kernel_evals as f64;
+    let saving =
+        1.0 - alid_cost.snapshot().kernel_evals as f64 / iid_cost.snapshot().kernel_evals as f64;
     println!(
         "\nsame detection quality, {:.1}% of the affinity computation pruned by ALID",
         100.0 * saving

@@ -12,9 +12,9 @@
 //! enough correlated coverage accumulates, and attaches follow-up
 //! articles to it in O(cluster) time without re-running detection.
 
+use alid::affinity::kernel::LpNorm;
 use alid::core::streaming::{StreamUpdate, StreamingAlid};
 use alid::prelude::*;
-use alid::affinity::kernel::LpNorm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -49,5 +49,7 @@ fn main() {
             avg_f1(&ds.truth, &dominant),
         );
     }
-    println!("\nthe detected clusters are identical across executor counts — only the wall time changes");
+    println!(
+        "\nthe detected clusters are identical across executor counts — only the wall time changes"
+    );
 }

@@ -79,9 +79,7 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
             "--min-size" => {
                 o.min_size = take("--min-size")?.parse().map_err(|e| format!("--min-size: {e}"))?
             }
-            "--delta" => {
-                o.delta = take("--delta")?.parse().map_err(|e| format!("--delta: {e}"))?
-            }
+            "--delta" => o.delta = take("--delta")?.parse().map_err(|e| format!("--delta: {e}"))?,
             "--parallel" => {
                 o.parallel =
                     Some(take("--parallel")?.parse().map_err(|e| format!("--parallel: {e}"))?)
@@ -102,6 +100,22 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
     }
     if o.scale.is_some() && o.k.is_some() {
         return Err("--scale and --k are mutually exclusive".into());
+    }
+    if let Some(s) = o.scale {
+        if !(s > 0.0 && s.is_finite()) {
+            return Err(format!("--scale must be a positive finite distance, got {s}"));
+        }
+    }
+    if let Some(k) = o.k {
+        if !(k > 0.0 && k.is_finite()) {
+            return Err(format!("--k must be a positive finite factor, got {k}"));
+        }
+    }
+    if !(o.target_affinity > 0.0 && o.target_affinity < 1.0) {
+        return Err(format!(
+            "--target-affinity must lie strictly between 0 and 1, got {}",
+            o.target_affinity
+        ));
     }
     Ok(o)
 }
@@ -128,9 +142,11 @@ fn main() -> ExitCode {
     eprintln!("{} items x {} dims", data.len(), data.dim());
     let kernel = match (opts.k, opts.scale) {
         (Some(k), _) => LaplacianKernel::l2(k),
-        (None, Some(scale)) =>
-
-            LaplacianKernel::calibrate(scale, opts.target_affinity, alid::affinity::kernel::LpNorm::L2),
+        (None, Some(scale)) => LaplacianKernel::calibrate(
+            scale,
+            opts.target_affinity,
+            alid::affinity::kernel::LpNorm::L2,
+        ),
         (None, None) => unreachable!("validated in parse"),
     };
     let mut params = AlidParams::new(kernel).with_delta(opts.delta);
@@ -149,12 +165,20 @@ fn main() -> ExitCode {
     };
     let mut dominant = clustering.dominant(opts.min_density, opts.min_size);
     dominant.sort_by_density();
-    println!("# {} dominant clusters (density >= {}, size >= {})",
-        dominant.len(), opts.min_density, opts.min_size);
+    println!(
+        "# {} dominant clusters (density >= {}, size >= {})",
+        dominant.len(),
+        opts.min_density,
+        opts.min_size
+    );
     for (i, c) in dominant.clusters.iter().enumerate() {
         let members: Vec<String> = c.members.iter().map(|m| m.to_string()).collect();
-        println!("cluster {i}\tdensity {:.4}\tsize {}\tmembers {}",
-            c.density, c.len(), members.join(","));
+        println!(
+            "cluster {i}\tdensity {:.4}\tsize {}\tmembers {}",
+            c.density,
+            c.len(),
+            members.join(",")
+        );
     }
     if opts.assignments {
         for (item, label) in dominant.labels().iter().enumerate() {

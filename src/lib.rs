@@ -20,6 +20,7 @@
 //! | [`lsh`] | `alid-lsh` | p-stable LSH (Datar et al. 2004) with tombstones and inverted lists |
 //! | [`linalg`] | `alid-linalg` | Jacobi eigensolver, orthogonal iteration |
 //! | [`core`] | `alid-core` | LID, ROI, CIVS, the ALID driver, peeling, PALID |
+//! | [`exec`] | `alid-exec` | the shared parallel-execution layer: [`ExecPolicy`](prelude::ExecPolicy), deterministic parallel map, work stealing |
 //! | [`baselines`] | `alid-baselines` | IID, replicator dynamics / dominant sets, SEA, affinity propagation, k-means, spectral clustering (full + Nyström), mean shift |
 //! | [`data`] | `alid-data` | NART / NDI / SIFT simulators, the synthetic regimes, noise injection, AVG-F metrics |
 //!
@@ -51,6 +52,7 @@ pub use alid_affinity as affinity;
 pub use alid_baselines as baselines;
 pub use alid_core as core;
 pub use alid_data as data;
+pub use alid_exec as exec;
 pub use alid_linalg as linalg;
 pub use alid_lsh as lsh;
 
@@ -63,5 +65,6 @@ pub mod prelude {
     pub use alid_core::streaming::{StreamUpdate, StreamingAlid};
     pub use alid_core::{detect_one, palid_detect, AlidParams, PalidParams, Peeler};
     pub use alid_data::groundtruth::{GroundTruth, LabeledDataset};
+    pub use alid_exec::ExecPolicy;
     pub use alid_lsh::{LshIndex, LshParams, SimHashIndex, SimHashParams};
 }

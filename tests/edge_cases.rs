@@ -20,8 +20,7 @@ fn ill_conditioned_lsh_still_terminates() {
     let mut params = AlidParams::new(kernel);
     params.first_roi_radius = kernel.distance_at(0.5);
     params.lsh = LshParams::new(2, 64, 1e-6, 3);
-    let clustering =
-        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    let clustering = Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
     let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
     assert_eq!(total, ds.len(), "every item peeled exactly once");
     // With zero recall each item is its own cluster.
@@ -45,8 +44,11 @@ fn exact_duplicate_points_are_handled() {
     let dominant = clustering.dominant(0.75, 3);
     assert_eq!(dominant.len(), 1);
     assert_eq!(dominant.clusters[0].members, vec![0, 1, 2, 3, 4, 5]);
-    assert!((dominant.clusters[0].density - 5.0 / 6.0).abs() < 1e-9,
-        "six identical points: π = (m-1)/m exactly, got {}", dominant.clusters[0].density);
+    assert!(
+        (dominant.clusters[0].density - 5.0 / 6.0).abs() < 1e-9,
+        "six identical points: π = (m-1)/m exactly, got {}",
+        dominant.clusters[0].density
+    );
 }
 
 #[test]
@@ -83,8 +85,7 @@ fn manhattan_metric_works_end_to_end() {
     let mut params = AlidParams::new(kernel);
     params.first_roi_radius = kernel.distance_at(0.5);
     params.lsh.seed = 5;
-    let clustering =
-        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    let clustering = Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
     let dominant = clustering.dominant(0.7, 3);
     assert!(
         avg_f1(&ds.truth, &dominant) > 0.9,
@@ -101,8 +102,7 @@ fn tiny_delta_still_converges() {
     let kernel = ds.suggested_kernel(0.9, 0.35);
     let mut params = AlidParams::new(kernel).with_delta(1);
     params.first_roi_radius = kernel.distance_at(0.5);
-    let clustering =
-        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    let clustering = Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
     let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
     assert_eq!(total, ds.len());
 }
@@ -113,8 +113,7 @@ fn max_one_iteration_cap_is_safe() {
     let kernel = ds.suggested_kernel(0.9, 0.35);
     let mut params = AlidParams::new(kernel).with_iteration_caps(1, 1);
     params.first_roi_radius = kernel.distance_at(0.5);
-    let clustering =
-        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    let clustering = Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
     let total: usize = clustering.clusters.iter().map(|c| c.len()).sum();
     assert_eq!(total, ds.len());
 }

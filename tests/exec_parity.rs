@@ -1,0 +1,102 @@
+//! Exec-layer parity: every phase that runs on the shared execution
+//! layer must produce byte-identical output for every worker count.
+//! Parallelism in this workspace buys wall-clock time only — never a
+//! different answer.
+
+use alid::affinity::dense::DenseAffinity;
+use alid::data::sift::{sift, SiftConfig};
+use alid::prelude::*;
+
+fn workload() -> (alid::data::LabeledDataset, AlidParams) {
+    let ds = sift(&SiftConfig { words: 4, word_size: 25, noise: 150, seed: 23 });
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut params = AlidParams::new(kernel);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    (ds, params)
+}
+
+#[test]
+fn palid_clustering_is_byte_identical_across_executor_counts() {
+    let (ds, params) = workload();
+    let one =
+        palid_detect(&ds.data, &params, &PalidParams::with_executors(1), &CostModel::shared());
+    for executors in [2usize, 4, 8] {
+        let many = palid_detect(
+            &ds.data,
+            &params,
+            &PalidParams::with_executors(executors),
+            &CostModel::shared(),
+        );
+        assert_eq!(one.n, many.n);
+        assert_eq!(one.clusters.len(), many.clusters.len(), "{executors} executors");
+        for (a, b) in one.clusters.iter().zip(&many.clusters) {
+            assert_eq!(a.members, b.members, "{executors} executors changed members");
+            // Bit-for-bit: the mappers run the identical float program
+            // per seed regardless of scheduling.
+            let aw: Vec<u64> = a.weights.iter().map(|w| w.to_bits()).collect();
+            let bw: Vec<u64> = b.weights.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(aw, bw, "{executors} executors changed weights");
+            assert_eq!(
+                a.density.to_bits(),
+                b.density.to_bits(),
+                "{executors} executors changed density"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_affinity_matrix_is_identical_across_policies() {
+    let (ds, params) = workload();
+    let kernel = params.kernel;
+    let serial = DenseAffinity::build(&ds.data, &kernel, CostModel::shared());
+    for workers in [1usize, 2, 3, 8] {
+        let cost = CostModel::shared();
+        let par = DenseAffinity::build_with(
+            &ds.data,
+            &kernel,
+            std::sync::Arc::clone(&cost),
+            ExecPolicy::workers(workers),
+        );
+        for i in 0..ds.data.len() {
+            for j in 0..ds.data.len() {
+                assert_eq!(
+                    serial.get(i, j).to_bits(),
+                    par.get(i, j).to_bits(),
+                    "cell ({i},{j}) diverged at {workers} workers"
+                );
+            }
+        }
+        // Cost accounting is schedule-invariant too.
+        let n = ds.data.len() as u64;
+        assert_eq!(cost.snapshot().kernel_evals, n * (n - 1) / 2);
+    }
+}
+
+#[test]
+fn speculative_parallel_peeling_matches_sequential_on_sift() {
+    let (ds, params) = workload();
+    let sequential = Peeler::new(&ds.data, params, CostModel::shared()).detect_all();
+    for workers in [2usize, 4] {
+        let p = params.with_exec(ExecPolicy::workers(workers));
+        let parallel = Peeler::new(&ds.data, p, CostModel::shared()).detect_all();
+        assert_eq!(
+            sequential.clusters.len(),
+            parallel.clusters.len(),
+            "{workers} workers changed the cluster count"
+        );
+        for (a, b) in sequential.clusters.iter().zip(&parallel.clusters) {
+            assert_eq!(a.members, b.members, "{workers} workers changed members");
+            let aw: Vec<u64> = a.weights.iter().map(|w| w.to_bits()).collect();
+            let bw: Vec<u64> = b.weights.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(aw, bw, "{workers} workers changed weights");
+            assert_eq!(a.density.to_bits(), b.density.to_bits());
+        }
+    }
+}
+
+#[test]
+fn exec_policy_auto_reports_at_least_one_worker() {
+    assert!(ExecPolicy::auto().worker_count() >= 1);
+    assert!(ExecPolicy::default().is_sequential());
+}

@@ -12,8 +12,7 @@ fn alid_score(ds: &alid::data::LabeledDataset) -> f64 {
     let kernel = ds.suggested_kernel(0.9, 0.35);
     let mut params = AlidParams::new(kernel);
     params.first_roi_radius = kernel.distance_at(0.5);
-    let clustering =
-        Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
+    let clustering = Peeler::new(&ds.data, params, Arc::new(CostModel::new())).detect_all();
     avg_f1(&ds.truth, &clustering.dominant(0.75, 3))
 }
 

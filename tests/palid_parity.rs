@@ -16,16 +16,11 @@ fn workload() -> (alid::data::LabeledDataset, AlidParams) {
 #[test]
 fn palid_quality_matches_sequential_alid() {
     let (ds, params) = workload();
-    let sequential = Peeler::new(&ds.data, params, CostModel::shared())
-        .detect_all()
-        .dominant(0.75, 3);
-    let parallel = palid_detect(
-        &ds.data,
-        &params,
-        &PalidParams::with_executors(2),
-        &CostModel::shared(),
-    )
-    .dominant(0.75, 3);
+    let sequential =
+        Peeler::new(&ds.data, params, CostModel::shared()).detect_all().dominant(0.75, 3);
+    let parallel =
+        palid_detect(&ds.data, &params, &PalidParams::with_executors(2), &CostModel::shared())
+            .dominant(0.75, 3);
     let seq_f = avg_f1(&ds.truth, &sequential);
     let par_f = avg_f1(&ds.truth, &parallel);
     assert!(seq_f > 0.9, "sequential AVG-F {seq_f}");
@@ -39,12 +34,7 @@ fn palid_output_invariant_to_executor_count() {
     let runs: Vec<Clustering> = [1usize, 2, 4]
         .iter()
         .map(|&e| {
-            palid_detect(
-                &ds.data,
-                &params,
-                &PalidParams::with_executors(e),
-                &CostModel::shared(),
-            )
+            palid_detect(&ds.data, &params, &PalidParams::with_executors(e), &CostModel::shared())
         })
         .collect();
     for other in &runs[1..] {
@@ -58,12 +48,8 @@ fn palid_output_invariant_to_executor_count() {
 #[test]
 fn palid_reducer_produces_disjoint_clusters() {
     let (ds, params) = workload();
-    let clustering = palid_detect(
-        &ds.data,
-        &params,
-        &PalidParams::with_executors(3),
-        &CostModel::shared(),
-    );
+    let clustering =
+        palid_detect(&ds.data, &params, &PalidParams::with_executors(3), &CostModel::shared());
     let mut seen = vec![false; ds.len()];
     for c in &clustering.clusters {
         for &m in &c.members {

@@ -24,9 +24,8 @@ fn streaming_matches_batch_on_burst_scenarios() {
     let params = params_for(sc.scale, 1);
 
     // Batch detection over the full stream.
-    let batch = Peeler::new(&sc.data, params, Arc::new(CostModel::new()))
-        .detect_all()
-        .dominant(0.75, 4);
+    let batch =
+        Peeler::new(&sc.data, params, Arc::new(CostModel::new())).detect_all().dominant(0.75, 4);
     let batch_f = avg_f1(&sc.truth, &batch);
 
     // Streaming ingestion, then a final sweep for the tail.
@@ -67,11 +66,7 @@ fn clusters_are_detected_within_their_burst_window() {
     // Nothing before the first burst completes.
     assert_eq!(clusters_at_t[9], 0, "no cluster before burst 1 data exists");
     // One cluster known well before burst 2 starts.
-    assert!(
-        clusters_at_t[55] >= 1,
-        "burst 1 must be promoted by t=55, got {}",
-        clusters_at_t[55]
-    );
+    assert!(clusters_at_t[55] >= 1, "burst 1 must be promoted by t=55, got {}", clusters_at_t[55]);
     // Both by the end.
     assert!(online.clusters().len() >= 2, "both bursts by the end");
 }

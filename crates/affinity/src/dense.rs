@@ -129,20 +129,39 @@ impl DenseAffinity {
     /// # Panics
     /// Panics in debug builds on length mismatches.
     pub fn matvec(&self, x: &[f64], out: &mut [f64]) {
+        self.matvec_with(x, out, ExecPolicy::sequential());
+    }
+
+    /// `out = A x` with rows fanned out over the exec layer. Row `i`'s
+    /// inner product is accumulated in the same element order by
+    /// exactly one worker, so every policy produces the byte-identical
+    /// vector (the spectral baseline's power iteration relies on this).
+    ///
+    /// # Panics
+    /// Panics in debug builds on length mismatches.
+    pub fn matvec_with(&self, x: &[f64], out: &mut [f64], exec: ExecPolicy) {
         debug_assert_eq!(x.len(), self.n);
         debug_assert_eq!(out.len(), self.n);
-        for (i, o) in out.iter_mut().enumerate() {
+        let shared = SharedSlice::new(out);
+        exec.for_each_index(self.n, |i| {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, &xv) in row.iter().zip(x) {
                 acc += a * xv;
             }
-            *o = acc;
-        }
+            // SAFETY: slot i is written only by the worker that owns
+            // index i.
+            unsafe { shared.write(i, acc) };
+        });
     }
 
     /// `A x` restricted to the support of `x`: skips zero weights, which
     /// makes peeling-phase mat-vecs proportional to the support size.
+    ///
+    /// Zero entries are filtered by the exact compare `x[j] == 0.0`
+    /// under the same contract as
+    /// [`crate::sparse::SparseAffinity::matvec_support`]: ±0.0 is
+    /// skipped (bit-exactly harmless), denormals are accumulated.
     pub fn matvec_support(&self, x: &[f64], support: &[usize], out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.n);
         out.fill(0.0);

@@ -9,6 +9,8 @@
 
 use std::sync::Arc;
 
+use alid_exec::{ExecPolicy, SharedSlice};
+
 use crate::cost::CostModel;
 use crate::fx::FxHashSet;
 use crate::kernel::LaplacianKernel;
@@ -67,11 +69,43 @@ impl SparseBuilder {
         kernel: &LaplacianKernel,
         cost: Arc<CostModel>,
     ) -> SparseAffinity {
+        self.build_with(ds, kernel, cost, ExecPolicy::sequential())
+    }
+
+    /// [`Self::build`] under an execution policy: kernel evaluations
+    /// fan out over the edge set on the exec layer, one evaluation per
+    /// edge with the value written to the edge's own slot, and CSR
+    /// assembly then runs over the canonically sorted edge list — so
+    /// every worker count (and every hash-set iteration order) yields
+    /// the byte-identical matrix and cost trace.
+    pub fn build_with(
+        self,
+        ds: &Dataset,
+        kernel: &LaplacianKernel,
+        cost: Arc<CostModel>,
+        exec: ExecPolicy,
+    ) -> SparseAffinity {
         assert_eq!(ds.len(), self.n, "data set size mismatch");
         let n = self.n;
+        // Canonical edge order: makes the CSR fill (and therefore the
+        // pre-sort entry layout) independent of FxHashSet iteration.
+        let mut edges: Vec<(u32, u32)> = self.edges.into_iter().collect();
+        edges.sort_unstable();
+        // One kernel evaluation per edge, parallel over the edge set.
+        let mut edge_vals = vec![0.0f64; edges.len()];
+        {
+            let shared = SharedSlice::new(&mut edge_vals);
+            exec.for_each_index(edges.len(), |e| {
+                let (i, j) = edges[e];
+                let v = kernel.eval(ds.get(i as usize), ds.get(j as usize));
+                // SAFETY: slot e is written only by the worker that
+                // owns index e (for_each_index partitions indices).
+                unsafe { shared.write(e, v) };
+            });
+        }
         // Count per-row degrees (both directions).
         let mut deg = vec![0usize; n];
-        for &(i, j) in &self.edges {
+        for &(i, j) in &edges {
             deg[i as usize] += 1;
             deg[j as usize] += 1;
         }
@@ -84,8 +118,7 @@ impl SparseBuilder {
         let mut col_idx = vec![0u32; nnz];
         let mut values = vec![0.0f64; nnz];
         let mut fill = row_ptr.clone();
-        for &(i, j) in &self.edges {
-            let v = kernel.eval(ds.get(i as usize), ds.get(j as usize));
+        for (&(i, j), &v) in edges.iter().zip(&edge_vals) {
             let pi = fill[i as usize];
             col_idx[pi] = j;
             values[pi] = v;
@@ -108,7 +141,7 @@ impl SparseBuilder {
                 values[lo + off] = v;
             }
         }
-        cost.record_kernel_evals(self.edges.len() as u64);
+        cost.record_kernel_evals(edges.len() as u64);
         cost.alloc_entries(nnz as u64);
         SparseAffinity { n, row_ptr, col_idx, values, cost }
     }
@@ -183,6 +216,17 @@ impl SparseAffinity {
     /// `A x` visiting only rows adjacent to the support of `x` — the
     /// sparse analogue of support-restricted mat-vec. Returns the result
     /// for all `n` rows (non-adjacent rows are zero).
+    ///
+    /// # Support contract
+    /// `support` must contain every index `j` with `x[j] != 0.0`
+    /// (supersets are fine). Entries are skipped by the exact IEEE-754
+    /// compare `x[j] == 0.0`, which matches **both** `+0.0` and `-0.0`
+    /// but **no** denormal: a subnormal weight, however tiny, is a real
+    /// contribution and is accumulated. Skipping an exact ±0.0 weight
+    /// is bit-exact — with `out` initialised to `+0.0`, adding
+    /// `v * ±0.0` can never change any accumulator bit — so this test
+    /// is a pure work filter, never an approximation, and parallel
+    /// sparse builds cannot shift results by producing `-0.0` weights.
     pub fn matvec_support(&self, x: &[f64], support: &[usize], out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.n);
         out.fill(0.0);
@@ -199,6 +243,11 @@ impl SparseAffinity {
     }
 
     /// `π(x) = xᵀ A x`.
+    ///
+    /// Rows with `x[i] == 0.0` are skipped under the same exact-zero
+    /// contract as [`Self::matvec_support`]: ±0.0 contributes an exact
+    /// zero term either way (the row's inner product is scaled by
+    /// `xi`), denormals are never skipped.
     pub fn quadratic_form(&self, x: &[f64]) -> f64 {
         let mut total = 0.0;
         for (i, &xi) in x.iter().enumerate() {
@@ -360,6 +409,60 @@ mod tests {
         let d = m.uniform_density(&[0, 1, 2]);
         let expect = 2.0 * m.get(0, 1) / 9.0;
         assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let (ds, k) = fixture();
+        let serial = full_builder(4).build(&ds, &k, CostModel::shared());
+        for workers in [1usize, 2, 3, 8] {
+            let cost = CostModel::shared();
+            let par = full_builder(4).build_with(
+                &ds,
+                &k,
+                Arc::clone(&cost),
+                alid_exec::ExecPolicy::workers(workers),
+            );
+            assert_eq!(par.nnz(), serial.nnz(), "{workers} workers");
+            for i in 0..4 {
+                let (sc, sv) = serial.row(i);
+                let (pc, pv) = par.row(i);
+                assert_eq!(sc, pc, "row {i} columns diverged at {workers} workers");
+                let sv: Vec<u64> = sv.iter().map(|v| v.to_bits()).collect();
+                let pv: Vec<u64> = pv.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(sv, pv, "row {i} values diverged at {workers} workers");
+            }
+            assert_eq!(cost.snapshot().kernel_evals, 6, "{workers} workers changed accounting");
+        }
+    }
+
+    #[test]
+    fn support_skip_handles_negative_zero_and_denormals() {
+        let (ds, k) = fixture();
+        let m = full_builder(4).build(&ds, &k, CostModel::shared());
+        // -0.0 must behave exactly like +0.0: skipped, same bits out.
+        let pos = vec![0.5, 0.0, 0.5, 0.0];
+        let neg = vec![0.5, -0.0, 0.5, -0.0];
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        m.matvec_support(&pos, &[0, 1, 2, 3], &mut a);
+        m.matvec_support(&neg, &[0, 1, 2, 3], &mut b);
+        let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "-0.0 weights must be skipped exactly like +0.0");
+        assert_eq!(m.quadratic_form(&pos).to_bits(), m.quadratic_form(&neg).to_bits());
+        // A denormal weight is NOT zero: it must contribute, i.e. the
+        // support-restricted product must still match the full matvec.
+        let tiny = f64::MIN_POSITIVE / 4.0; // subnormal
+        assert!(tiny > 0.0 && !tiny.is_normal());
+        let x = vec![0.5, tiny, 0.5, 0.0];
+        let mut full = vec![0.0; 4];
+        let mut sup = vec![0.0; 4];
+        m.matvec(&x, &mut full);
+        m.matvec_support(&x, &[0, 1, 2], &mut sup);
+        let fb: Vec<u64> = full.iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u64> = sup.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fb, sb, "denormal weights must not be skipped");
     }
 
     #[test]

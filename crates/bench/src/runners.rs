@@ -23,6 +23,7 @@ use alid_core::palid::{palid_detect, PalidParams};
 use alid_core::{AlidParams, Peeler};
 use alid_data::groundtruth::LabeledDataset;
 use alid_data::metrics::{avg_f1, precision_recall};
+use alid_exec::ExecPolicy;
 use alid_lsh::{LshIndex, LshParams};
 use serde::{Json, Serialize};
 
@@ -48,6 +49,12 @@ pub struct RunCfg {
     pub halt: HaltPolicy,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution policy threaded through every exec-layer phase (ALID
+    /// speculative peeling, sparse/LSH builds, spectral matrix work).
+    /// `Default` keeps it sequential so library tests compare the
+    /// paper's sequential cost traces; the figure binaries override it
+    /// from `--workers` (auto when absent) via [`Self::with_exec`].
+    pub exec: ExecPolicy,
 }
 
 impl Default for RunCfg {
@@ -60,11 +67,18 @@ impl Default for RunCfg {
             noise_floor: 0.35,
             halt: HaltPolicy::StopBelowDensity { threshold: 0.5, patience: 20 },
             seed: 0xbe7c,
+            exec: ExecPolicy::sequential(),
         }
     }
 }
 
 impl RunCfg {
+    /// Replaces the execution policy (builder form for the binaries).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// The calibrated kernel for a data set (intra-cluster affinity at
     /// `target_affinity`, noise affinity at most `noise_floor`).
     pub fn kernel(&self, ds: &LabeledDataset) -> LaplacianKernel {
@@ -93,6 +107,7 @@ impl RunCfg {
         p.density_threshold = self.dominant_density;
         p.min_cluster_size = self.dominant_min_size;
         p.lsh.seed = self.seed;
+        p.exec = self.exec;
         p
     }
 }
@@ -244,7 +259,7 @@ pub fn run_iid_dense(ds: &LabeledDataset, cfg: &RunCfg) -> RunRecord {
     let cost = CostModel::shared();
     let kernel = cfg.kernel(ds);
     let started = Instant::now();
-    let graph = DenseAffinity::build(&ds.data, &kernel, Arc::clone(&cost));
+    let graph = DenseAffinity::build_with(&ds.data, &kernel, Arc::clone(&cost), cfg.exec);
     let params = IidParams { halt: cfg.halt, ..Default::default() };
     let clustering = iid_detect_all(&graph, &params);
     let dominant = clustering.dominant(cfg.dominant_density, cfg.dominant_min_size);
@@ -259,7 +274,7 @@ pub fn run_ds_dense(ds: &LabeledDataset, cfg: &RunCfg) -> RunRecord {
     let cost = CostModel::shared();
     let kernel = cfg.kernel(ds);
     let started = Instant::now();
-    let graph = DenseAffinity::build(&ds.data, &kernel, Arc::clone(&cost));
+    let graph = DenseAffinity::build_with(&ds.data, &kernel, Arc::clone(&cost), cfg.exec);
     let params = RdParams { halt: cfg.halt, ..Default::default() };
     let clustering = ds_detect_all(&graph, &params);
     let dominant = clustering.dominant(cfg.dominant_density, cfg.dominant_min_size);
@@ -274,7 +289,7 @@ pub fn run_sea_dense(ds: &LabeledDataset, cfg: &RunCfg) -> RunRecord {
     let cost = CostModel::shared();
     let kernel = cfg.kernel(ds);
     let started = Instant::now();
-    let graph = DenseAffinity::build(&ds.data, &kernel, Arc::clone(&cost));
+    let graph = DenseAffinity::build_with(&ds.data, &kernel, Arc::clone(&cost), cfg.exec);
     let params = SeaParams { halt: cfg.halt, ..Default::default() };
     let clustering = sea_detect_all(&graph, &params);
     let dominant = clustering.dominant(cfg.dominant_density, cfg.dominant_min_size);
@@ -289,7 +304,7 @@ pub fn run_ap_dense(ds: &LabeledDataset, cfg: &RunCfg) -> RunRecord {
     let cost = CostModel::shared();
     let kernel = cfg.kernel(ds);
     let started = Instant::now();
-    let graph = DenseAffinity::build(&ds.data, &kernel, Arc::clone(&cost));
+    let graph = DenseAffinity::build_with(&ds.data, &kernel, Arc::clone(&cost), cfg.exec);
     let clustering = ap_detect_all(&graph, &cfg.ap_params(), &cost);
     let dominant = clustering.dominant(cfg.dominant_density, cfg.dominant_min_size);
     RunRecord::finish("AP", ds, started, &cost, &dominant, Some(0.0))
@@ -302,12 +317,13 @@ pub fn sparsify(
     kernel: &LaplacianKernel,
     lsh: LshParams,
     cost: &Arc<CostModel>,
+    exec: ExecPolicy,
 ) -> SparseAffinity {
-    let index = LshIndex::build(&ds.data, lsh, cost);
+    let index = LshIndex::build_with(&ds.data, lsh, cost, exec);
     let lists = index.neighbor_lists(&ds.data);
     let mut builder = SparseBuilder::new(ds.len());
     builder.add_neighbor_lists(&lists);
-    builder.build(&ds.data, kernel, Arc::clone(cost))
+    builder.build_with(&ds.data, kernel, Arc::clone(cost), exec)
 }
 
 /// IID / SEA / AP on an LSH-sparsified matrix (Fig. 6). `method` picks
@@ -321,7 +337,7 @@ pub fn run_sparse_baseline(
     let cost = CostModel::shared();
     let kernel = cfg.kernel(ds);
     let started = Instant::now();
-    let graph = sparsify(ds, &kernel, lsh, &cost);
+    let graph = sparsify(ds, &kernel, lsh, &cost, cfg.exec);
     if graph.nnz() as u64 * 8 * 3 > cfg.budget_bytes {
         return RunRecord::oom(method, ds);
     }
@@ -362,7 +378,7 @@ pub fn run_sc_full(ds: &LabeledDataset, cfg: &RunCfg) -> RunRecord {
     let cost = CostModel::shared();
     let kernel = cfg.kernel(ds);
     let started = Instant::now();
-    let params = SpectralParams { seed: cfg.seed, ..SpectralParams::with_k(k) };
+    let params = SpectralParams { seed: cfg.seed, exec: cfg.exec, ..SpectralParams::with_k(k) };
     let clustering = sc_full_detect_all(&ds.data, &kernel, &params, &cost);
     RunRecord::finish("SC-FL", ds, started, &cost, &clustering, None)
 }
@@ -373,7 +389,7 @@ pub fn run_sc_nystrom(ds: &LabeledDataset, cfg: &RunCfg) -> RunRecord {
     let cost = CostModel::shared();
     let kernel = cfg.kernel(ds);
     let started = Instant::now();
-    let params = SpectralParams { seed: cfg.seed, ..SpectralParams::with_k(k) };
+    let params = SpectralParams { seed: cfg.seed, exec: cfg.exec, ..SpectralParams::with_k(k) };
     let clustering = sc_nystrom_detect_all(&ds.data, &kernel, &params, &cost);
     RunRecord::finish("SC-NYS", ds, started, &cost, &clustering, None)
 }

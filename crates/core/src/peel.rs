@@ -29,13 +29,115 @@
 
 use std::sync::Arc;
 
-use alid_affinity::clustering::Clustering;
+use alid_affinity::clustering::{Clustering, DetectedCluster};
 use alid_affinity::cost::CostModel;
 use alid_affinity::vector::Dataset;
 use alid_lsh::LshIndex;
 
 use crate::alid::detect_one;
 use crate::config::AlidParams;
+
+/// One full detect-and-peel pass over the alive items of an existing
+/// index, honouring `params.exec` (sequential scan or speculative
+/// multi-seed rounds — see the module docs). Seeds scan ascending from
+/// `from`; every detection peels its members plus its seed. Returns
+/// `(seed, cluster)` pairs in detection order — for any worker count,
+/// exactly the pairs the sequential protocol produces.
+///
+/// Shared by [`Peeler::detect_all`] (fresh index over a batch) and
+/// `StreamingAlid::sweep` (the streaming index with attached items
+/// tombstoned), so both drivers ride the same speculative path.
+pub(crate) fn peel_pass(
+    ds: &Dataset,
+    params: &AlidParams,
+    index: &mut LshIndex,
+    cost: &Arc<CostModel>,
+    from: u32,
+) -> Vec<(u32, DetectedCluster)> {
+    let n = ds.len() as u32;
+    let mut next_seed = from;
+    let mut detections = Vec::new();
+    if params.exec.is_sequential() {
+        while let Some(seed) = next_alive_from(index, &mut next_seed, n) {
+            let out = detect_one(ds, params, index, seed, cost);
+            index.remove(seed);
+            for &m in &out.cluster.members {
+                index.remove(m);
+            }
+            detections.push((seed, out.cluster));
+        }
+        return detections;
+    }
+    let width = params.exec.worker_count();
+    while let Some(seeds) = next_alive_batch_from(index, &mut next_seed, n, width) {
+        let outcomes = params.exec.map_tasks(&seeds, |&s| detect_one(ds, params, index, s, cost));
+        // Accept speculative results in seed order while each
+        // detection's read set is untouched by this round's peels.
+        let mut resume = None;
+        for (k, out) in outcomes.into_iter().enumerate() {
+            let seed = seeds[k];
+            if k > 0 {
+                if !index.is_alive(seed) {
+                    // An accepted cluster absorbed this seed; the
+                    // sequential pass would never seed it. Its
+                    // speculative result is simply discarded.
+                    continue;
+                }
+                // Tombstones older than this round can never appear in
+                // `touched` (the detection could not retrieve them), so
+                // any dead read-set entry was peeled by an earlier
+                // acceptance *in this round* — the trace is stale and
+                // everything from here on must be re-run against the
+                // updated index.
+                if out.touched.iter().any(|&t| !index.is_alive(t)) {
+                    resume = Some(seed);
+                    break;
+                }
+            }
+            index.remove(seed);
+            for &m in &out.cluster.members {
+                index.remove(m);
+            }
+            detections.push((seed, out.cluster));
+        }
+        next_seed = resume.unwrap_or_else(|| seeds.last().map(|&s| s + 1).unwrap_or(next_seed));
+    }
+    detections
+}
+
+/// The lowest alive id `>= *cursor`, advancing the cursor past dead
+/// items. `None` once everything from the cursor on is peeled.
+fn next_alive_from(index: &LshIndex, cursor: &mut u32, n: u32) -> Option<u32> {
+    while *cursor < n {
+        let s = *cursor;
+        if index.is_alive(s) {
+            return Some(s);
+        }
+        *cursor += 1;
+    }
+    None
+}
+
+/// The next `width` alive seeds in ascending order, without advancing
+/// the cursor past the first (rejected speculations must be able to
+/// re-seed). `None` once everything is peeled.
+fn next_alive_batch_from(
+    index: &LshIndex,
+    cursor: &mut u32,
+    n: u32,
+    width: usize,
+) -> Option<Vec<u32>> {
+    let first = next_alive_from(index, cursor, n)?;
+    let mut seeds = vec![first];
+    let mut s = first + 1;
+    while s < n && seeds.len() < width {
+        if index.is_alive(s) {
+            seeds.push(s);
+        }
+        s += 1;
+    }
+    Some(seeds)
+}
 
 /// Owns the LSH index and the alive set for one full detection pass.
 pub struct Peeler<'a> {
@@ -88,49 +190,9 @@ impl<'a> Peeler<'a> {
     /// count.
     pub fn detect_all(mut self) -> Clustering {
         let mut clustering = Clustering::new(self.ds.len());
-        if self.params.exec.is_sequential() {
-            while let Some(cluster) = self.next_cluster() {
-                clustering.clusters.push(cluster);
-            }
-            return clustering;
-        }
-        let width = self.params.exec.worker_count();
-        while let Some(seeds) = self.next_alive_batch(width) {
-            let (ds, params, index, cost) = (self.ds, &self.params, &self.index, &self.cost);
-            let outcomes =
-                params.exec.map_tasks(&seeds, |&s| detect_one(ds, params, index, s, cost));
-            // Accept speculative results in seed order while each
-            // detection's read set is untouched by this round's peels.
-            let mut resume = None;
-            for (k, out) in outcomes.into_iter().enumerate() {
-                let seed = seeds[k];
-                if k > 0 {
-                    if !self.index.is_alive(seed) {
-                        // An accepted cluster absorbed this seed; the
-                        // sequential pass would never seed it. Its
-                        // speculative result is simply discarded.
-                        continue;
-                    }
-                    // Tombstones older than this round can never appear
-                    // in `touched` (the detection could not retrieve
-                    // them), so any dead read-set entry was peeled by an
-                    // earlier acceptance *in this round* — the trace is
-                    // stale and everything from here on must be re-run
-                    // against the updated index.
-                    if out.touched.iter().any(|&t| !self.index.is_alive(t)) {
-                        resume = Some(seed);
-                        break;
-                    }
-                }
-                self.index.remove(seed);
-                for &m in &out.cluster.members {
-                    self.index.remove(m);
-                }
-                clustering.clusters.push(out.cluster);
-            }
-            self.next_seed =
-                resume.unwrap_or_else(|| seeds.last().map(|&s| s + 1).unwrap_or(self.next_seed));
-        }
+        let detections =
+            peel_pass(self.ds, &self.params, &mut self.index, &self.cost, self.next_seed);
+        clustering.clusters.extend(detections.into_iter().map(|(_seed, cluster)| cluster));
         clustering
     }
 
@@ -148,32 +210,7 @@ impl<'a> Peeler<'a> {
     }
 
     fn next_alive(&mut self) -> Option<u32> {
-        let n = self.ds.len() as u32;
-        while self.next_seed < n {
-            let s = self.next_seed;
-            if self.index.is_alive(s) {
-                return Some(s);
-            }
-            self.next_seed += 1;
-        }
-        None
-    }
-
-    /// The next `width` alive seeds in ascending order, without
-    /// advancing the scan cursor (rejected speculations must be able to
-    /// re-seed). `None` once everything is peeled.
-    fn next_alive_batch(&mut self, width: usize) -> Option<Vec<u32>> {
-        let first = self.next_alive()?;
-        let n = self.ds.len() as u32;
-        let mut seeds = vec![first];
-        let mut s = first + 1;
-        while s < n && seeds.len() < width {
-            if self.index.is_alive(s) {
-                seeds.push(s);
-            }
-            s += 1;
-        }
-        Some(seeds)
+        next_alive_from(&self.index, &mut self.next_seed, self.ds.len() as u32)
     }
 }
 

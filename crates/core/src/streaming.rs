@@ -29,8 +29,8 @@ use alid_affinity::cost::CostModel;
 use alid_affinity::vector::Dataset;
 use alid_lsh::LshIndex;
 
-use crate::alid::detect_one;
 use crate::config::AlidParams;
+use crate::peel::peel_pass;
 
 /// What happened to one ingested item.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -205,43 +205,41 @@ impl StreamingAlid {
             return 0;
         }
         // Restrict detection to the residue: tombstone assigned items.
+        // The alive set is then exactly the pending buffer (every item
+        // is either assigned or pending), so the shared peel pass —
+        // lowest alive seed, detect, peel, repeat, speculative
+        // multi-seed rounds when `params.exec` is parallel — visits
+        // precisely the seeds the old per-buffer loop did, in the same
+        // order, for any worker count.
         for (i, a) in self.assigned.iter().enumerate() {
             if a.is_some() {
                 self.index.remove(i as u32);
             }
         }
+        self.pending.clear();
+        let detections = peel_pass(&self.data, &self.params, &mut self.index, &self.cost, 0);
         let mut promoted = 0;
         let mut still_pending: Vec<u32> = Vec::new();
-        let mut queue: Vec<u32> = std::mem::take(&mut self.pending);
-        while let Some(seed) = queue.first().copied() {
-            let out = detect_one(&self.data, &self.params, &self.index, seed, &self.cost);
-            let members = out.cluster.members.clone();
-            let density = out.cluster.density;
-            // Peel within this sweep either way.
-            for &m in &members {
-                self.index.remove(m);
-            }
-            self.index.remove(seed);
-            let is_dominant = density >= self.params.density_threshold
-                && members.len() >= self.params.min_cluster_size;
+        for (seed, cluster) in detections {
+            let is_dominant = cluster.density >= self.params.density_threshold
+                && cluster.members.len() >= self.params.min_cluster_size;
             if is_dominant {
                 let slot = self.clusters.len();
-                for &m in &members {
+                for &m in &cluster.members {
                     self.assigned[m as usize] = Some(slot);
                 }
                 // Pairwise sum from the density identity under the
                 // converged weights ~ uniform: Σpairs = π m² / 2.
-                let m = members.len() as f64;
-                self.pair_sums.push(density * m * m / 2.0);
-                self.clusters.push(out.cluster);
+                let m = cluster.members.len() as f64;
+                self.pair_sums.push(cluster.density * m * m / 2.0);
+                self.clusters.push(cluster);
                 promoted += 1;
             } else {
-                still_pending.extend(members.iter().copied());
-                if !members.contains(&seed) {
+                if !cluster.members.contains(&seed) {
                     still_pending.push(seed);
                 }
+                still_pending.extend(cluster.members);
             }
-            queue.retain(|q| !members.contains(q) && *q != seed);
         }
         still_pending.sort_unstable();
         still_pending.dedup();
@@ -372,5 +370,37 @@ mod tests {
     #[should_panic(expected = "sweep period")]
     fn zero_batch_rejected() {
         let _ = StreamingAlid::new(1, params(), 0, CostModel::shared());
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let run = |workers: usize| {
+            let p = params().with_exec(alid_exec::ExecPolicy::workers(workers));
+            let mut s = StreamingAlid::new(1, p, 8, CostModel::shared());
+            // Three interleaved clusters plus scattered noise so sweeps
+            // promote, reject and re-buffer across several rounds.
+            for i in 0..36 {
+                s.push(&[(i % 6) as f64 * 0.05 + (i / 6 % 3) as f64 * 40.0]);
+                if i % 7 == 0 {
+                    s.push(&[500.0 + i as f64 * 13.0]);
+                }
+            }
+            s.sweep();
+            s
+        };
+        let seq = run(1);
+        for workers in [2usize, 4] {
+            let par = run(workers);
+            assert_eq!(seq.pending(), par.pending(), "{workers} workers changed the buffer");
+            assert_eq!(seq.assignments(), par.assignments(), "{workers} workers");
+            assert_eq!(seq.clusters().len(), par.clusters().len(), "{workers} workers");
+            for (a, b) in seq.clusters().iter().zip(par.clusters()) {
+                assert_eq!(a.members, b.members, "{workers} workers changed members");
+                let aw: Vec<u64> = a.weights.iter().map(|w| w.to_bits()).collect();
+                let bw: Vec<u64> = b.weights.iter().map(|w| w.to_bits()).collect();
+                assert_eq!(aw, bw, "{workers} workers changed weights");
+                assert_eq!(a.density.to_bits(), b.density.to_bits(), "{workers} workers");
+            }
+        }
     }
 }

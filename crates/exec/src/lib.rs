@@ -25,8 +25,15 @@
 //! buffer (the dense-matrix pattern, where row ownership guarantees
 //! disjointness but the type system cannot see it).
 //!
-//! See DESIGN.md ("One execution substrate") for how this layer
-//! substitutes for the paper's Spark deployment.
+//! Parallel phases execute on a **lazily started persistent worker
+//! pool** (see [`pool`]): the first parallel phase spawns the workers,
+//! later phases reuse them, so per-phase cost is an enqueue and a
+//! wakeup instead of `workers - 1` thread spawns. `workers == 1` never
+//! touches the pool at all — the sequential fast path is a plain loop
+//! on the calling thread.
+//!
+//! See DESIGN.md ("One execution substrate", "Persistent worker pool")
+//! for how this layer substitutes for the paper's Spark deployment.
 
 #![warn(missing_docs)]
 
@@ -34,6 +41,10 @@ use std::cell::UnsafeCell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+mod pool;
+
+pub use pool::thread_count as pool_thread_count;
 
 /// How a parallel phase should execute: on how many workers.
 ///
@@ -64,6 +75,18 @@ impl ExecPolicy {
         Self { workers: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN) }
     }
 
+    /// [`Self::workers`] when an explicit count is given, [`Self::auto`]
+    /// otherwise — the shape of a CLI `--workers` override.
+    ///
+    /// # Panics
+    /// Panics if `n == Some(0)`.
+    pub fn auto_or(n: Option<usize>) -> Self {
+        match n {
+            Some(n) => Self::workers(n),
+            None => Self::auto(),
+        }
+    }
+
     /// The configured worker count (>= 1).
     #[inline]
     pub fn worker_count(&self) -> usize {
@@ -85,21 +108,39 @@ impl ExecPolicy {
     /// writes to pre-partitioned disjoint storage and needs no result
     /// collection.
     pub fn for_each_index<F: Fn(usize) + Sync>(&self, n: usize, f: F) {
-        let workers = self.workers.get().min(n.max(1));
+        self.for_each_index_with(n, || (), |(), i| f(i));
+    }
+
+    /// [`Self::for_each_index`] with a **per-worker scratch value**:
+    /// `init()` runs once per logical worker and the resulting scratch
+    /// is threaded through every `f(&mut scratch, i)` that worker runs.
+    ///
+    /// Use this when each evaluation needs a reusable buffer (e.g. an
+    /// LSH signature): the sequential path allocates one scratch total,
+    /// a `W`-worker phase allocates `W`, and determinism is untouched
+    /// because the scratch never carries information between indices —
+    /// `f` must leave the value it computes for index `i` independent
+    /// of the scratch's prior contents.
+    pub fn for_each_index_with<S, I, F>(&self, n: usize, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let workers = self.workers.get().min(n);
         if workers <= 1 || n <= 1 {
+            let mut scratch = init();
             for i in 0..n {
-                f(i);
+                f(&mut scratch, i);
             }
             return;
         }
-        std::thread::scope(|scope| {
-            let f = &f;
-            for t in 0..workers {
-                scope.spawn(move || {
-                    for i in (t..n).step_by(workers) {
-                        f(i);
-                    }
-                });
+        pool::global().run_phase(workers, &|t| {
+            let mut scratch = init();
+            for i in (t..n).step_by(workers) {
+                f(&mut scratch, i);
             }
         });
     }
@@ -124,21 +165,17 @@ impl ExecPolicy {
         }
         let cursor = AtomicUsize::new(0);
         let gathered: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + chunk).min(n);
-                        local.push((start, (start..end).map(&f).collect()));
-                    }
-                    gathered.lock().expect("result mutex").append(&mut local);
-                });
+        pool::global().run_phase(workers, &|_t| {
+            let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                local.push((start, (start..end).map(&f).collect()));
             }
+            gathered.lock().expect("result mutex").append(&mut local);
         });
         let mut batches = gathered.into_inner().expect("result mutex");
         batches.sort_unstable_by_key(|&(start, _)| start);

@@ -1,0 +1,292 @@
+//! The lazily started persistent worker pool behind every parallel
+//! phase.
+//!
+//! The PR-1 exec layer spawned `workers - 1` OS threads *per phase*
+//! via `std::thread::scope`; fine for long phases, wasteful for the
+//! many short ones a full detection pass issues (one per speculative
+//! peeling round, one per matrix build, ...). This module amortizes
+//! that cost:
+//!
+//! * **lifecycle** — the pool is a process-wide singleton created on
+//!   the first parallel phase. It grows lazily to the largest
+//!   `workers - 1` ever requested (capped at [`MAX_POOL_THREADS`]) and
+//!   its threads then live for the rest of the process, parked on a
+//!   condvar while idle. There is deliberately no shutdown: workers
+//!   hold no resources the OS does not reclaim at exit, and a
+//!   tear-down path would force every caller to prove no phase is in
+//!   flight. `ExecPolicy` with `workers == 1` never touches the pool.
+//! * **phases** — a phase hands the pool one `Fn(usize) + Sync` body;
+//!   logical worker 0 runs on the *calling* thread and workers
+//!   `1..W` are enqueued as jobs. The call returns only when every
+//!   logical worker has finished (a latch), which is what makes it
+//!   sound to give pool threads a raw, lifetime-erased pointer to a
+//!   stack-borrowed closure.
+//! * **determinism** — unchanged from the scoped version: the pool
+//!   decides *where* a logical worker runs, never *what* it computes.
+//!   Logical worker `t` executes the same index set (strided
+//!   partition) or drains the same atomic cursor as before, so any
+//!   mapping of logical workers onto pool threads — including all of
+//!   them running serially on one thread — produces identical bytes.
+//! * **nesting / panics** — a phase waiter helps drain the shared job
+//!   queue while it waits, so a phase started from inside a pool job
+//!   cannot deadlock the pool; a panicking body is caught, the latch
+//!   still counts down, and the payload is rethrown on the calling
+//!   thread once the phase has fully drained.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Ceiling on pool threads: far above any sane `ExecPolicy`, low
+/// enough that a pathological `workers(1_000_000)` cannot exhaust OS
+/// threads (excess logical workers just queue behind the cap).
+const MAX_POOL_THREADS: usize = 256;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals both "a job was enqueued" (wakes idle workers and
+    /// helping waiters) and "a phase latch reached zero" (wakes that
+    /// phase's waiter).
+    signal: Condvar,
+}
+
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    spawned: Mutex<usize>,
+}
+
+/// Lifetime-erased pointer to a phase body. Sound to send across
+/// threads because [`Pool::run_phase`] never returns (or unwinds)
+/// while a job that could dereference it is outstanding.
+struct BodyPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (so `&body` may be used from any
+// thread) and `run_phase`'s latch guarantees it outlives every use.
+unsafe impl Send for BodyPtr {}
+unsafe impl Sync for BodyPtr {}
+
+struct Phase {
+    body: BodyPtr,
+    /// Pool jobs of this phase still running or queued.
+    remaining: AtomicUsize,
+    /// First panic payload from a pool-side logical worker.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    shared: Arc<Shared>,
+}
+
+impl Phase {
+    fn finish_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Take the queue lock before notifying so the waiter cannot
+            // observe `remaining > 0` and block between our decrement
+            // and this wakeup.
+            let _guard = self.shared.queue.lock().expect("pool queue");
+            self.shared.signal.notify_all();
+        }
+    }
+}
+
+/// Waits for a phase's outstanding pool jobs on drop — even when the
+/// calling thread's own body panics, since queued jobs hold a pointer
+/// into the unwinding stack frame. Helps run other queued jobs while
+/// waiting, so phases started from inside pool jobs make progress.
+struct PhaseWait<'a>(&'a Phase);
+
+impl Drop for PhaseWait<'_> {
+    fn drop(&mut self) {
+        let shared = &self.0.shared;
+        let mut queue = shared.queue.lock().expect("pool queue");
+        while self.0.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(job) = queue.pop_front() {
+                drop(queue);
+                job();
+                queue = shared.queue.lock().expect("pool queue");
+            } else {
+                queue = shared.signal.wait(queue).expect("pool queue");
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue");
+            loop {
+                match queue.pop_front() {
+                    Some(job) => break job,
+                    None => queue = shared.signal.wait(queue).expect("pool queue"),
+                }
+            }
+        };
+        job();
+    }
+}
+
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared { queue: Mutex::new(VecDeque::new()), signal: Condvar::new() }),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Number of persistent pool threads spawned so far in this process
+/// (diagnostics; 0 until the first parallel phase runs).
+pub fn thread_count() -> usize {
+    *global().spawned.lock().expect("pool size")
+}
+
+impl Pool {
+    fn ensure_threads(&self, wanted: usize) {
+        let wanted = wanted.min(MAX_POOL_THREADS);
+        let mut spawned = self.spawned.lock().expect("pool size");
+        while *spawned < wanted {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("alid-exec-{}", *spawned))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn exec pool worker");
+            *spawned += 1;
+        }
+    }
+
+    /// Runs one parallel phase: `body(t)` for every logical worker
+    /// `t in 0..workers`, with worker 0 on the calling thread and the
+    /// rest on pool threads. Returns — rethrowing any worker panic —
+    /// only after every logical worker has finished.
+    pub(crate) fn run_phase(&self, workers: usize, body: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(workers >= 2, "the sequential fast path is the caller's job");
+        let extra = workers - 1;
+        self.ensure_threads(extra);
+        // SAFETY: pure lifetime erasure on a fat reference; the latch
+        // below keeps the pointee alive across every dereference.
+        let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+        let phase = Arc::new(Phase {
+            body: BodyPtr(body_static as *const _),
+            remaining: AtomicUsize::new(extra),
+            panic: Mutex::new(None),
+            shared: Arc::clone(&self.shared),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue");
+            for t in 1..workers {
+                let phase = Arc::clone(&phase);
+                queue.push_back(Box::new(move || {
+                    // SAFETY: `PhaseWait` keeps `run_phase` from
+                    // returning or unwinding until `remaining` hits
+                    // zero, i.e. until after this dereference.
+                    let body = unsafe { &*phase.body.0 };
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(t))) {
+                        let mut slot = phase.panic.lock().expect("phase panic slot");
+                        slot.get_or_insert(payload);
+                    }
+                    phase.finish_one();
+                }));
+            }
+        }
+        self.shared.signal.notify_all();
+        {
+            let _wait = PhaseWait(&phase);
+            body(0);
+        }
+        let payload = phase.panic.lock().expect("phase panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ExecPolicy;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_starts_lazily_and_persists_across_phases() {
+        ExecPolicy::workers(4).for_each_index(64, |_| {});
+        let after_first = super::thread_count();
+        assert!(after_first >= 3, "a 4-worker phase needs >= 3 pool threads");
+        for _ in 0..32 {
+            ExecPolicy::workers(4).for_each_index(64, |_| {});
+        }
+        // Repeat phases at the same width reuse the parked workers;
+        // other concurrently running tests may grow the pool, but a
+        // 4-worker phase itself never needs to.
+        assert!(super::thread_count() <= super::MAX_POOL_THREADS);
+    }
+
+    #[test]
+    fn sequential_policy_never_touches_the_pool() {
+        // Can't assert a global count of zero (other tests share the
+        // pool), but the sequential path must run on this very thread.
+        let here = std::thread::current().id();
+        ExecPolicy::sequential().for_each_index(8, |_| {
+            assert_eq!(std::thread::current().id(), here);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            ExecPolicy::workers(3).for_each_index(30, |i| {
+                if i == 17 {
+                    panic!("boom at {i}");
+                }
+            });
+        });
+        assert!(caught.is_err(), "a worker panic must reach the caller");
+        // The pool is still serviceable after a panicked phase.
+        let hits = AtomicUsize::new(0);
+        ExecPolicy::workers(3).for_each_index(30, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn nested_phases_do_not_deadlock() {
+        let outer = ExecPolicy::workers(2);
+        let inner = ExecPolicy::workers(2);
+        let results = outer.map_indexed(4, |i| {
+            let hits = AtomicUsize::new(0);
+            inner.for_each_index(16, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            i + hits.load(Ordering::Relaxed)
+        });
+        assert_eq!(results, vec![16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_results_match_sequential() {
+        let n = 200;
+        let compute = |scratch: &mut Vec<u64>, i: usize| -> u64 {
+            scratch.clear();
+            scratch.extend((0..8).map(|k| (i as u64).wrapping_mul(k + 1)));
+            scratch.iter().sum()
+        };
+        let mut seq = vec![0u64; n];
+        {
+            let mut scratch = Vec::new();
+            for (i, s) in seq.iter_mut().enumerate() {
+                *s = compute(&mut scratch, i);
+            }
+        }
+        for workers in [1usize, 2, 5] {
+            let mut par = vec![0u64; n];
+            {
+                let shared = crate::SharedSlice::new(&mut par);
+                ExecPolicy::workers(workers).for_each_index_with(n, Vec::new, |scratch, i| {
+                    let v = compute(scratch, i);
+                    // SAFETY: index i is written only by its owner.
+                    unsafe { shared.write(i, v) };
+                });
+            }
+            assert_eq!(par, seq, "{workers} workers");
+        }
+    }
+}

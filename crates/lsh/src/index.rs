@@ -6,6 +6,7 @@ use std::sync::Arc;
 use alid_affinity::cost::CostModel;
 use alid_affinity::fx::{mix_words, FxHashMap};
 use alid_affinity::vector::Dataset;
+use alid_exec::{ExecPolicy, SharedSlice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,6 +39,12 @@ pub struct LshIndex {
     tables: Vec<Table>,
     alive: Vec<bool>,
     alive_count: usize,
+    /// Shared cost model: build records the O(n*l) hash-table memory,
+    /// and every streaming insert records its own growth so Section 4.3
+    /// memory reports stay truthful as the stream runs.
+    cost: Arc<CostModel>,
+    /// Reusable signature scratch for the streaming-ingest path.
+    scratch: Vec<u64>,
 }
 
 impl LshIndex {
@@ -47,6 +54,20 @@ impl LshIndex {
     /// bucket lists (reported to `cost` as the paper's hash-table
     /// memory, Section 4.3).
     pub fn build(ds: &Dataset, params: LshParams, cost: &Arc<CostModel>) -> Self {
+        Self::build_with(ds, params, cost, ExecPolicy::sequential())
+    }
+
+    /// [`Self::build`] under an execution policy: bucket keys are
+    /// computed in parallel over the items (one reusable signature
+    /// buffer per worker), then inserted sequentially in item order —
+    /// so bucket contents, and therefore every query, are
+    /// byte-identical for any worker count.
+    pub fn build_with(
+        ds: &Dataset,
+        params: LshParams,
+        cost: &Arc<CostModel>,
+        exec: ExecPolicy,
+    ) -> Self {
         let dim = ds.dim();
         let n = ds.len();
         let mut rng = StdRng::seed_from_u64(params.seed);
@@ -58,12 +79,41 @@ impl LshIndex {
                 (0..params.projections).map(|_| rng.gen::<f64>() * params.r).collect();
             tables.push(Table { proj, offsets, buckets: FxHashMap::default() });
         }
-        let mut index = Self { params, dim, n, tables, alive: vec![true; n], alive_count: n };
-        let mut signature = vec![0u64; params.projections];
-        for (id, row) in ds.iter().enumerate() {
-            for t in 0..index.tables.len() {
-                let key = index.key_into(t, row, &mut signature);
-                index.tables[t].buckets.entry(key).or_default().push(id as u32);
+        let mut index = Self {
+            params,
+            dim,
+            n,
+            tables,
+            alive: vec![true; n],
+            alive_count: n,
+            cost: Arc::clone(cost),
+            scratch: vec![0u64; params.projections],
+        };
+        // Phase 1 (parallel): the key of item `id` in table `t` depends
+        // only on (id, t), so keys fan out over the items.
+        let table_count = index.tables.len();
+        let mut keys = vec![0u64; n * table_count];
+        {
+            let shared = SharedSlice::new(&mut keys);
+            exec.for_each_index_with(
+                n,
+                || vec![0u64; params.projections],
+                |signature, id| {
+                    let row = ds.get(id);
+                    for t in 0..table_count {
+                        let key = index.key_into(t, row, signature);
+                        // SAFETY: the (id, t) slots of item `id` are
+                        // written only by the worker that owns `id`.
+                        unsafe { shared.write(id * table_count + t, key) };
+                    }
+                },
+            );
+        }
+        // Phase 2 (sequential): deterministic bucket fill in item order,
+        // matching the pushes a fully sequential build performs.
+        for id in 0..n {
+            for (t, table) in index.tables.iter_mut().enumerate() {
+                table.buckets.entry(keys[id * table_count + t]).or_default().push(id as u32);
             }
         }
         // Hash-table memory: one u32 id per (item, table) in the bucket
@@ -103,24 +153,37 @@ impl LshIndex {
     /// the online ALID extension; the vector must also be appended to
     /// the backing [`Dataset`] by the caller.
     ///
+    /// The signature scratch buffer is owned by the index, so steady
+    /// ingest performs no per-item allocation (bucket growth aside),
+    /// and each insert records its own aux-byte growth — `4l` bucket
+    /// bytes plus one tombstone byte — keeping the Section 4.3 memory
+    /// accounting truthful as the stream grows.
+    ///
     /// # Panics
     /// Panics if `v`'s dimensionality differs from the index's.
     pub fn insert(&mut self, v: &[f64]) -> u32 {
         assert_eq!(v.len(), self.dim, "inserted vector dimensionality mismatch");
         let id = self.n as u32;
-        let mut signature = vec![0u64; self.params.projections];
+        let mut signature = std::mem::take(&mut self.scratch);
         for t in 0..self.tables.len() {
             let key = self.key_into(t, v, &mut signature);
             self.tables[t].buckets.entry(key).or_default().push(id);
         }
+        self.scratch = signature;
         self.n += 1;
         self.alive.push(true);
         self.alive_count += 1;
+        self.cost.record_aux_bytes((self.params.tables * 4 + 1) as u64);
         id
     }
 
     /// Tombstones item `id` (idempotent). Peeled clusters call this for
     /// every member.
+    ///
+    /// Tombstoning frees **no** aux bytes, deliberately: the id stays
+    /// in every bucket list (queries filter it), so the hash-table
+    /// memory of Section 4.3 is still held — the accounting matches the
+    /// allocation exactly. Only dropping the whole index returns it.
     pub fn remove(&mut self, id: u32) {
         let slot = &mut self.alive[id as usize];
         if *slot {
@@ -432,6 +495,48 @@ mod tests {
         let _idx = LshIndex::build(&ds, LshParams::new(4, 3, 1.0, 7), &cost);
         let expect = (ds.len() * 4 * 4 + ds.len()) as u64;
         assert_eq!(cost.snapshot().aux_bytes, expect);
+    }
+
+    #[test]
+    fn insert_records_aux_growth_and_tombstones_free_nothing() {
+        let ds = blob_dataset();
+        let cost = CostModel::shared();
+        let mut idx = LshIndex::build(&ds, LshParams::new(4, 3, 1.0, 7), &cost);
+        let base = cost.snapshot().aux_bytes;
+        for i in 0..10 {
+            idx.insert(&[i as f64 * 0.01, -(i as f64) * 0.01]);
+        }
+        let per_insert = (4 * 4 + 1) as u64; // 4 tables x u32 id + tombstone byte
+        assert_eq!(cost.snapshot().aux_bytes, base + 10 * per_insert);
+        // Tombstoning keeps the ids in the bucket lists, so the bytes
+        // stay allocated — no free is recorded.
+        idx.remove(0);
+        idx.remove(41);
+        assert_eq!(cost.snapshot().aux_bytes, base + 10 * per_insert);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let ds = blob_dataset();
+        let params = LshParams::new(8, 6, 1.0, 42);
+        let serial = LshIndex::build(&ds, params, &CostModel::shared());
+        for workers in [2usize, 4, 8] {
+            let cost = CostModel::shared();
+            let par = LshIndex::build_with(&ds, params, &cost, ExecPolicy::workers(workers));
+            assert_eq!(par.bucket_count(), serial.bucket_count(), "{workers} workers");
+            for probe in 0..ds.len() {
+                assert_eq!(
+                    par.query(ds.get(probe)),
+                    serial.query(ds.get(probe)),
+                    "query {probe} diverged at {workers} workers"
+                );
+            }
+            assert_eq!(
+                cost.snapshot().aux_bytes,
+                (ds.len() * 8 * 4 + ds.len()) as u64,
+                "{workers} workers changed accounting"
+            );
+        }
     }
 
     #[test]

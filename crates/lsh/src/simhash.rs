@@ -17,6 +17,7 @@ use std::sync::Arc;
 use alid_affinity::cost::CostModel;
 use alid_affinity::fx::{mix_words, FxHashMap};
 use alid_affinity::vector::Dataset;
+use alid_exec::{ExecPolicy, SharedSlice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,11 +65,26 @@ pub struct SimHashIndex {
     tables: Vec<Table>,
     alive: Vec<bool>,
     alive_count: usize,
+    /// Shared cost model: build records the O(n*l) bucket memory and
+    /// every streaming insert records its own growth (Section 4.3).
+    cost: Arc<CostModel>,
 }
 
 impl SimHashIndex {
     /// Builds the index for every item of `ds`.
     pub fn build(ds: &Dataset, params: SimHashParams, cost: &Arc<CostModel>) -> Self {
+        Self::build_with(ds, params, cost, ExecPolicy::sequential())
+    }
+
+    /// [`Self::build`] under an execution policy: sign-bit keys are
+    /// computed in parallel over the items, then inserted sequentially
+    /// in item order — byte-identical buckets for any worker count.
+    pub fn build_with(
+        ds: &Dataset,
+        params: SimHashParams,
+        cost: &Arc<CostModel>,
+        exec: ExecPolicy,
+    ) -> Self {
         let dim = ds.dim();
         let n = ds.len();
         let mut rng = StdRng::seed_from_u64(params.seed);
@@ -78,15 +94,59 @@ impl SimHashIndex {
                 (0..params.bits * dim).map(|_| sample_standard_normal(&mut rng)).collect();
             tables.push(Table { planes, buckets: FxHashMap::default() });
         }
-        let mut index = Self { params, dim, n, tables, alive: vec![true; n], alive_count: n };
-        for (id, row) in ds.iter().enumerate() {
-            for t in 0..index.tables.len() {
-                let key = index.key(t, row);
-                index.tables[t].buckets.entry(key).or_default().push(id as u32);
+        let mut index = Self {
+            params,
+            dim,
+            n,
+            tables,
+            alive: vec![true; n],
+            alive_count: n,
+            cost: Arc::clone(cost),
+        };
+        let table_count = index.tables.len();
+        let mut keys = vec![0u64; n * table_count];
+        {
+            let shared = SharedSlice::new(&mut keys);
+            exec.for_each_index(n, |id| {
+                let row = ds.get(id);
+                for t in 0..table_count {
+                    let key = index.key(t, row);
+                    // SAFETY: the (id, t) slots of item `id` are written
+                    // only by the worker that owns `id`.
+                    unsafe { shared.write(id * table_count + t, key) };
+                }
+            });
+        }
+        for id in 0..n {
+            for (t, table) in index.tables.iter_mut().enumerate() {
+                table.buckets.entry(keys[id * table_count + t]).or_default().push(id as u32);
             }
         }
         cost.record_aux_bytes((n * params.tables * 4 + n) as u64);
         index
+    }
+
+    /// Inserts a new item with the next id, hashing it into every
+    /// table — the streaming-ingest path, mirroring
+    /// [`crate::index::LshIndex::insert`]. Records the per-item
+    /// aux-byte growth (`4l` bucket bytes + 1 tombstone byte); like the
+    /// p-stable index, tombstoning later frees nothing because the id
+    /// stays in the bucket lists.
+    ///
+    /// # Panics
+    /// Panics if `v`'s dimensionality differs from the index's.
+    pub fn insert(&mut self, v: &[f64]) -> u32 {
+        assert_eq!(v.len(), self.dim, "inserted vector dimensionality mismatch");
+        let id = self.n as u32;
+        for t in 0..self.tables.len() {
+            let key = self.key(t, v);
+            self.tables[t].buckets.entry(key).or_default().push(id);
+        }
+        self.n += 1;
+        self.alive.push(true);
+        self.alive_count += 1;
+        self.cost.record_aux_bytes((self.params.tables * 4 + 1) as u64);
+        id
     }
 
     /// Number of indexed items.
@@ -226,6 +286,47 @@ mod tests {
         idx.remove(1);
         assert!(!idx.query(ds.get(0)).contains(&1));
         assert_eq!(idx.alive_count(), ds.len() - 1);
+    }
+
+    #[test]
+    fn insert_is_queryable_and_records_aux_growth() {
+        let ds = sphere_dataset();
+        let cost = CostModel::shared();
+        let mut idx = SimHashIndex::build(&ds, SimHashParams::new(10, 10, 3), &cost);
+        let base = cost.snapshot().aux_bytes;
+        // Insert a copy of an existing cone-A member: must collide.
+        let v: Vec<f64> = ds.get(0).to_vec();
+        let id = idx.insert(&v);
+        assert_eq!(id as usize, ds.len());
+        assert_eq!(idx.len(), ds.len() + 1);
+        assert!(idx.query(&v).contains(&id));
+        assert!(idx.query(ds.get(0)).contains(&id));
+        assert_eq!(cost.snapshot().aux_bytes, base + (10 * 4 + 1) as u64);
+        // Tombstoning frees nothing (the id stays in the buckets).
+        idx.remove(id);
+        assert_eq!(cost.snapshot().aux_bytes, base + (10 * 4 + 1) as u64);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let ds = sphere_dataset();
+        let params = SimHashParams::new(10, 10, 3);
+        let serial = SimHashIndex::build(&ds, params, &CostModel::shared());
+        for workers in [2usize, 4] {
+            let par = SimHashIndex::build_with(
+                &ds,
+                params,
+                &CostModel::shared(),
+                ExecPolicy::workers(workers),
+            );
+            for probe in 0..ds.len() {
+                assert_eq!(
+                    par.query(ds.get(probe)),
+                    serial.query(ds.get(probe)),
+                    "query {probe} diverged at {workers} workers"
+                );
+            }
+        }
     }
 
     #[test]

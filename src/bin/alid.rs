@@ -26,6 +26,7 @@ struct Options {
     min_size: usize,
     delta: usize,
     parallel: Option<usize>,
+    workers: Option<usize>,
     seed: u64,
     assignments: bool,
 }
@@ -46,6 +47,9 @@ fn usage() -> &'static str {
        --min-size <m>          minimum cluster size (default 3)\n\
        --delta <n>             CIVS candidate cap (default 800)\n\
        --parallel <e>          run PALID with e executors instead of peeling\n\
+       --workers <w>           worker threads for the parallel phases\n\
+                               (default: auto = all cores; 1 = sequential;\n\
+                               output is byte-identical for any count)\n\
        --seed <s>              LSH/PALID seed (default 42)\n\
        --assignments           also print one `item cluster` line per item\n\
        --help"
@@ -63,6 +67,7 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         min_size: 3,
         delta: 800,
         parallel: None,
+        workers: None,
         seed: 42,
         assignments: false,
     };
@@ -83,6 +88,13 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
             "--parallel" => {
                 o.parallel =
                     Some(take("--parallel")?.parse().map_err(|e| format!("--parallel: {e}"))?)
+            }
+            "--workers" => {
+                let w: usize = take("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                o.workers = Some(w);
             }
             "--seed" => o.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--assignments" => o.assignments = true,
@@ -154,6 +166,10 @@ fn main() -> ExitCode {
     params.density_threshold = opts.min_density;
     params.min_cluster_size = opts.min_size;
     params.lsh.seed = opts.seed;
+    // Auto-parallelism is on by default (results are byte-identical for
+    // any worker count); --workers pins the count, --workers 1 restores
+    // the sequential pass and its minimal cost trace.
+    params.exec = ExecPolicy::auto_or(opts.workers);
     let cost = CostModel::shared();
     let clustering = match opts.parallel {
         Some(executors) => {

@@ -20,7 +20,7 @@
 //! | [`lsh`] | `alid-lsh` | p-stable LSH (Datar et al. 2004) with tombstones and inverted lists |
 //! | [`linalg`] | `alid-linalg` | Jacobi eigensolver, orthogonal iteration |
 //! | [`core`] | `alid-core` | LID, ROI, CIVS, the ALID driver, peeling, PALID |
-//! | [`exec`] | `alid-exec` | the shared parallel-execution layer: [`ExecPolicy`](prelude::ExecPolicy), deterministic parallel map, work stealing |
+//! | [`exec`] | `alid-exec` | the shared parallel-execution layer: [`ExecPolicy`](prelude::ExecPolicy), deterministic parallel map, work stealing, the persistent worker pool |
 //! | [`baselines`] | `alid-baselines` | IID, replicator dynamics / dominant sets, SEA, affinity propagation, k-means, spectral clustering (full + Nyström), mean shift |
 //! | [`data`] | `alid-data` | NART / NDI / SIFT simulators, the synthetic regimes, noise injection, AVG-F metrics |
 //!

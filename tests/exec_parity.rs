@@ -2,10 +2,34 @@
 //! layer must produce byte-identical output for every worker count.
 //! Parallelism in this workspace buys wall-clock time only — never a
 //! different answer.
+//!
+//! Each case computes its 1-worker baseline once and sweeps the
+//! multi-worker counts `{2, 4, 8}` against it; CI sets
+//! `ALID_TEST_WORKERS=<n>` (a count outside that set) to run the whole
+//! suite a second time with an extra worker count, so regressions that
+//! only bite off the single-CPU path cannot slip in silently.
 
 use alid::affinity::dense::DenseAffinity;
+use alid::affinity::sparse::SparseBuilder;
+use alid::baselines::spectral::{sc_full_detect_all, sc_nystrom_detect_all, SpectralParams};
 use alid::data::sift::{sift, SiftConfig};
 use alid::prelude::*;
+
+/// Multi-worker counts every parity case sweeps against its 1-worker
+/// baseline: `{2, 4, 8}` plus an optional `ALID_TEST_WORKERS` extra
+/// from the environment (1 itself would only compare the baseline with
+/// itself, so it is not in the sweep).
+fn parity_workers() -> Vec<usize> {
+    let mut counts = vec![2usize, 4, 8];
+    if let Ok(v) = std::env::var("ALID_TEST_WORKERS") {
+        let extra: usize = v.parse().expect("ALID_TEST_WORKERS must be a positive integer");
+        assert!(extra >= 1, "ALID_TEST_WORKERS must be at least 1");
+        if !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
 
 fn workload() -> (alid::data::LabeledDataset, AlidParams) {
     let ds = sift(&SiftConfig { words: 4, word_size: 25, noise: 150, seed: 23 });
@@ -20,7 +44,7 @@ fn palid_clustering_is_byte_identical_across_executor_counts() {
     let (ds, params) = workload();
     let one =
         palid_detect(&ds.data, &params, &PalidParams::with_executors(1), &CostModel::shared());
-    for executors in [2usize, 4, 8] {
+    for executors in parity_workers() {
         let many = palid_detect(
             &ds.data,
             &params,
@@ -50,7 +74,7 @@ fn dense_affinity_matrix_is_identical_across_policies() {
     let (ds, params) = workload();
     let kernel = params.kernel;
     let serial = DenseAffinity::build(&ds.data, &kernel, CostModel::shared());
-    for workers in [1usize, 2, 3, 8] {
+    for workers in parity_workers() {
         let cost = CostModel::shared();
         let par = DenseAffinity::build_with(
             &ds.data,
@@ -77,7 +101,7 @@ fn dense_affinity_matrix_is_identical_across_policies() {
 fn speculative_parallel_peeling_matches_sequential_on_sift() {
     let (ds, params) = workload();
     let sequential = Peeler::new(&ds.data, params, CostModel::shared()).detect_all();
-    for workers in [2usize, 4] {
+    for workers in parity_workers() {
         let p = params.with_exec(ExecPolicy::workers(workers));
         let parallel = Peeler::new(&ds.data, p, CostModel::shared()).detect_all();
         assert_eq!(
@@ -99,4 +123,146 @@ fn speculative_parallel_peeling_matches_sequential_on_sift() {
 fn exec_policy_auto_reports_at_least_one_worker() {
     assert!(ExecPolicy::auto().worker_count() >= 1);
     assert!(ExecPolicy::default().is_sequential());
+    assert_eq!(ExecPolicy::auto_or(Some(3)).worker_count(), 3);
+    assert_eq!(ExecPolicy::auto_or(None), ExecPolicy::auto());
+}
+
+#[test]
+fn sparse_build_is_byte_identical_across_worker_counts() {
+    let (ds, params) = workload();
+    let kernel = params.kernel;
+    let make_lists = || {
+        let index = LshIndex::build(&ds.data, params.lsh, &CostModel::shared());
+        index.neighbor_lists(&ds.data)
+    };
+    let lists = make_lists();
+    let build = |workers: usize| {
+        let mut b = SparseBuilder::new(ds.data.len());
+        b.add_neighbor_lists(&lists);
+        let cost = CostModel::shared();
+        let m = b.build_with(
+            &ds.data,
+            &kernel,
+            std::sync::Arc::clone(&cost),
+            ExecPolicy::workers(workers),
+        );
+        (m, cost)
+    };
+    let (serial, serial_cost) = build(1);
+    for workers in parity_workers() {
+        let (par, cost) = build(workers);
+        assert_eq!(par.nnz(), serial.nnz(), "{workers} workers changed nnz");
+        for i in 0..ds.data.len() {
+            let (sc, sv) = serial.row(i);
+            let (pc, pv) = par.row(i);
+            assert_eq!(sc, pc, "row {i} columns diverged at {workers} workers");
+            let sv: Vec<u64> = sv.iter().map(|v| v.to_bits()).collect();
+            let pv: Vec<u64> = pv.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sv, pv, "row {i} values diverged at {workers} workers");
+        }
+        assert_eq!(
+            cost.snapshot().kernel_evals,
+            serial_cost.snapshot().kernel_evals,
+            "{workers} workers changed the kernel-eval count"
+        );
+    }
+}
+
+#[test]
+fn lsh_and_simhash_builds_are_byte_identical_across_worker_counts() {
+    let (ds, params) = workload();
+    let serial_lsh = LshIndex::build(&ds.data, params.lsh, &CostModel::shared());
+    let serial_sim = SimHashIndex::build(&ds.data, SimHashParams::default(), &CostModel::shared());
+    for workers in parity_workers() {
+        let exec = ExecPolicy::workers(workers);
+        let cost = CostModel::shared();
+        let lsh = LshIndex::build_with(&ds.data, params.lsh, &cost, exec);
+        assert_eq!(lsh.bucket_count(), serial_lsh.bucket_count(), "{workers} workers");
+        let sim = SimHashIndex::build_with(&ds.data, SimHashParams::default(), &cost, exec);
+        for probe in 0..ds.data.len() {
+            assert_eq!(
+                lsh.query(ds.data.get(probe)),
+                serial_lsh.query(ds.data.get(probe)),
+                "LSH query {probe} diverged at {workers} workers"
+            );
+            assert_eq!(
+                sim.query(ds.data.get(probe)),
+                serial_sim.query(ds.data.get(probe)),
+                "SimHash query {probe} diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn spectral_baselines_are_byte_identical_across_worker_counts() {
+    let (ds, params) = workload();
+    let kernel = params.kernel;
+    let mut base = SpectralParams::with_k(5);
+    base.landmarks = 40;
+    let full_seq = sc_full_detect_all(&ds.data, &kernel, &base, &CostModel::shared());
+    let nys_seq = sc_nystrom_detect_all(&ds.data, &kernel, &base, &CostModel::shared());
+    for workers in parity_workers() {
+        let mut p = base;
+        p.exec = ExecPolicy::workers(workers);
+        let full = sc_full_detect_all(&ds.data, &kernel, &p, &CostModel::shared());
+        let nys = sc_nystrom_detect_all(&ds.data, &kernel, &p, &CostModel::shared());
+        assert_eq!(full.labels(), full_seq.labels(), "SC-FL diverged at {workers} workers");
+        assert_eq!(nys.labels(), nys_seq.labels(), "SC-NYS diverged at {workers} workers");
+    }
+}
+
+/// Replays the same arrival sequence through `StreamingAlid` under a
+/// given policy; the mid-stream and final states must be worker-count
+/// invariant because every sweep rides the speculative peel pass.
+fn run_stream(params: AlidParams, workers: usize) -> StreamingAlid {
+    let p = params.with_exec(ExecPolicy::workers(workers));
+    let (ds, _) = workload();
+    let mut s = StreamingAlid::new(ds.data.dim(), p, 16, CostModel::shared());
+    for i in 0..ds.data.len().min(220) {
+        s.push(ds.data.get(i));
+    }
+    s.sweep();
+    s
+}
+
+#[test]
+fn streaming_sweep_is_byte_identical_across_worker_counts() {
+    let (_, params) = workload();
+    let seq = run_stream(params, 1);
+    for workers in parity_workers() {
+        let par = run_stream(params, workers);
+        assert_eq!(par.pending(), seq.pending(), "{workers} workers changed the buffer");
+        assert_eq!(par.assignments(), seq.assignments(), "{workers} workers");
+        assert_eq!(par.clusters().len(), seq.clusters().len(), "{workers} workers");
+        for (a, b) in seq.clusters().iter().zip(par.clusters()) {
+            assert_eq!(a.members, b.members, "{workers} workers changed members");
+            let aw: Vec<u64> = a.weights.iter().map(|w| w.to_bits()).collect();
+            let bw: Vec<u64> = b.weights.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(aw, bw, "{workers} workers changed weights");
+            assert_eq!(a.density.to_bits(), b.density.to_bits(), "{workers} workers");
+        }
+    }
+}
+
+#[test]
+fn streaming_aux_bytes_match_recomputed_ground_truth_after_1k_inserts() {
+    let (ds, mut params) = workload();
+    params.lsh.tables = 6;
+    params.lsh.projections = 4;
+    let cost = CostModel::shared();
+    let mut s = StreamingAlid::new(ds.data.dim(), params, 64, std::sync::Arc::clone(&cost));
+    let n = 1000;
+    for i in 0..n {
+        s.push(ds.data.get(i % ds.data.len()));
+    }
+    s.sweep();
+    s.sweep();
+    // Ground truth for the Section 4.3 hash-table memory: the index
+    // started empty (0 bytes at build) and each of the n ingested items
+    // holds one u32 bucket id per table plus one tombstone byte —
+    // forever, because tombstoning (sweeps included) never evicts ids
+    // from the bucket lists. Sweeps must not drift the counter.
+    let per_insert = (params.lsh.tables * 4 + 1) as u64;
+    assert_eq!(cost.snapshot().aux_bytes, n as u64 * per_insert);
 }

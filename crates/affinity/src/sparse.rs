@@ -9,7 +9,13 @@
 
 use std::sync::Arc;
 
-use alid_exec::{ExecPolicy, SharedSlice};
+use alid_exec::{ExecPolicy, SharedSlice, TuneState};
+
+/// Chunk autotuner for the parallel edge-evaluation phase of
+/// [`SparseBuilder::build_with`] — one handle for this call site,
+/// shared by every sparse build in the process. Public for harness
+/// telemetry (`bench_speculation` emits its snapshot).
+pub static SPARSE_BUILD_TUNE: TuneState = TuneState::new();
 
 use crate::cost::CostModel;
 use crate::fx::FxHashSet;
@@ -95,13 +101,19 @@ impl SparseBuilder {
         let mut edge_vals = vec![0.0f64; edges.len()];
         {
             let shared = SharedSlice::new(&mut edge_vals);
-            exec.for_each_index(edges.len(), |e| {
-                let (i, j) = edges[e];
-                let v = kernel.eval(ds.get(i as usize), ds.get(j as usize));
-                // SAFETY: slot e is written only by the worker that
-                // owns index e (for_each_index partitions indices).
-                unsafe { shared.write(e, v) };
-            });
+            exec.for_each_index_tuned_with(
+                &SPARSE_BUILD_TUNE,
+                edges.len(),
+                || (),
+                |(), e| {
+                    let (i, j) = edges[e];
+                    let v = kernel.eval(ds.get(i as usize), ds.get(j as usize));
+                    // SAFETY: slot e is written only by the worker that
+                    // owns index e (each index is handed to exactly one
+                    // worker).
+                    unsafe { shared.write(e, v) };
+                },
+            );
         }
         // Count per-row degrees (both directions).
         let mut deg = vec![0usize; n];

@@ -54,9 +54,9 @@ pub mod seeding;
 pub mod streaming;
 
 pub use alid::{detect_one, AlidOutcome};
-pub use config::AlidParams;
+pub use config::{AlidParams, SpeculationParams};
 pub use lid::{LidOutcome, LidState};
 pub use palid::{palid_detect, PalidParams};
-pub use peel::Peeler;
+pub use peel::{PeelStats, Peeler, RoundStats};
 pub use roi::Roi;
 pub use streaming::{StreamUpdate, StreamingAlid};

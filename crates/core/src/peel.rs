@@ -26,6 +26,23 @@
 //! speculations, and `W` concurrent detections raise the live-entries
 //! peak — cost-measured harnesses comparing growth orders should keep
 //! the sequential policy (the default).
+//!
+//! # Adaptive round width
+//!
+//! A fixed `W = worker_count` wastes whole rounds on overlapping
+//! clusters (every speculation past the first conflicts or is
+//! absorbed) and is exactly right on well-separated ones. Since the
+//! acceptance rule is width-agnostic — any prefix of the alive-seed
+//! sequence speculated together commits the same accepted clusters —
+//! the round width is free to track the observed conflict structure.
+//! [`SpeculationParams`] (default: adaptive) applies AIMD: a fully
+//! clean round doubles the width, a round with discarded work (an
+//! absorbed seed or a conflict re-run) halves it, always within
+//! `[1, worker_count]`. Every round is recorded in [`PeelStats`]
+//! (speculated / accepted / absorbed / re-run per round), surfaced via
+//! [`Peeler::detect_all_with_stats`] and
+//! `StreamingAlid::peel_stats`, and summarized by the
+//! `bench_speculation` harness.
 
 use std::sync::Arc;
 
@@ -35,30 +52,138 @@ use alid_affinity::vector::Dataset;
 use alid_lsh::LshIndex;
 
 use crate::alid::detect_one;
-use crate::config::AlidParams;
+use crate::config::{AlidParams, SpeculationParams};
+
+/// Telemetry of one speculative peeling round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Seeds speculated this round (the round's width).
+    pub speculated: usize,
+    /// Speculations committed as clusters.
+    pub accepted: usize,
+    /// Speculations discarded because an earlier acceptance in the
+    /// round absorbed their seed (the sequential pass would never have
+    /// seeded them — nothing is re-run).
+    pub absorbed: usize,
+    /// Speculations discarded because their read set went stale (a
+    /// conflict); they re-run against the updated index next round.
+    pub rerun: usize,
+}
+
+impl RoundStats {
+    /// Speculations whose detection work was thrown away.
+    pub fn wasted(&self) -> usize {
+        self.absorbed + self.rerun
+    }
+}
+
+/// Conflict telemetry of one or more peel passes.
+///
+/// Totals cover sequential passes too (each sequential detection is
+/// one speculated-and-accepted seed); `rounds` records only the
+/// speculative multi-seed rounds a parallel policy ran, in order.
+/// The telemetry is a *byproduct* of the schedule and — unlike the
+/// clustering — not worker-count invariant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PeelStats {
+    /// Per-round telemetry of every speculative round, in order.
+    pub rounds: Vec<RoundStats>,
+    /// Total seeds whose detection was launched.
+    pub speculated: u64,
+    /// Total detections committed as clusters.
+    pub accepted: u64,
+    /// Total speculations discarded as absorbed.
+    pub absorbed: u64,
+    /// Total speculations discarded to a conflict re-run.
+    pub rerun: u64,
+}
+
+impl PeelStats {
+    /// Speculative rounds that hit at least one conflict re-run.
+    pub fn conflict_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.rerun > 0).count()
+    }
+
+    /// Fraction of speculative rounds with a conflict (0.0 when no
+    /// speculative round ran).
+    pub fn conflict_rate(&self) -> f64 {
+        if self.rounds.is_empty() {
+            0.0
+        } else {
+            self.conflict_rounds() as f64 / self.rounds.len() as f64
+        }
+    }
+
+    /// Total detections whose work was thrown away.
+    pub fn wasted(&self) -> u64 {
+        self.absorbed + self.rerun
+    }
+
+    /// Mean speculative round width (0.0 when no speculative round
+    /// ran).
+    pub fn mean_width(&self) -> f64 {
+        if self.rounds.is_empty() {
+            0.0
+        } else {
+            self.rounds.iter().map(|r| r.speculated as f64).sum::<f64>() / self.rounds.len() as f64
+        }
+    }
+
+    /// Drops all but the most recent `keep` per-round entries. The
+    /// totals are untouched — long-lived accumulators (the streaming
+    /// driver) call this after every pass so `rounds` stays a bounded
+    /// window of recent history instead of growing with the stream.
+    pub fn trim_rounds(&mut self, keep: usize) {
+        if self.rounds.len() > keep {
+            self.rounds.drain(..self.rounds.len() - keep);
+        }
+    }
+
+    fn record_round(&mut self, round: RoundStats) {
+        self.speculated += round.speculated as u64;
+        self.accepted += round.accepted as u64;
+        self.absorbed += round.absorbed as u64;
+        self.rerun += round.rerun as u64;
+        self.rounds.push(round);
+    }
+
+    fn record_sequential(&mut self, detections: u64) {
+        self.speculated += detections;
+        self.accepted += detections;
+    }
+}
 
 /// One full detect-and-peel pass over the alive items of an existing
 /// index, honouring `params.exec` (sequential scan or speculative
-/// multi-seed rounds — see the module docs). Seeds scan ascending from
-/// `from`; every detection peels its members plus its seed. Returns
-/// `(seed, cluster)` pairs in detection order — for any worker count,
-/// exactly the pairs the sequential protocol produces.
+/// multi-seed rounds — see the module docs) and `params.speculation`
+/// (round-width schedule). Seeds scan ascending from `from`; every
+/// detection peels its members plus its seed; the pass stops early
+/// once `limit` detections are committed. Returns `(seed, cluster)`
+/// pairs in detection order — for any worker count and width schedule,
+/// exactly the pairs (and, under a `limit`, exactly the prefix) the
+/// sequential protocol produces. Round telemetry accumulates into
+/// `stats`.
 ///
-/// Shared by [`Peeler::detect_all`] (fresh index over a batch) and
-/// `StreamingAlid::sweep` (the streaming index with attached items
-/// tombstoned), so both drivers ride the same speculative path.
+/// Shared by [`Peeler::detect_all`] / [`Peeler::detect_up_to`] (fresh
+/// index over a batch) and `StreamingAlid::sweep` (the streaming index
+/// with attached items tombstoned), so all drivers ride the same
+/// speculative path.
 pub(crate) fn peel_pass(
     ds: &Dataset,
     params: &AlidParams,
     index: &mut LshIndex,
     cost: &Arc<CostModel>,
     from: u32,
+    limit: Option<usize>,
+    stats: &mut PeelStats,
 ) -> Vec<(u32, DetectedCluster)> {
     let n = ds.len() as u32;
+    let limit = limit.unwrap_or(usize::MAX);
     let mut next_seed = from;
     let mut detections = Vec::new();
     if params.exec.is_sequential() {
-        while let Some(seed) = next_alive_from(index, &mut next_seed, n) {
+        while detections.len() < limit {
+            let Some(seed) = next_alive_from(index, &mut next_seed, n) else { break };
             let out = detect_one(ds, params, index, seed, cost);
             index.remove(seed);
             for &m in &out.cluster.members {
@@ -66,13 +191,21 @@ pub(crate) fn peel_pass(
             }
             detections.push((seed, out.cluster));
         }
+        stats.record_sequential(detections.len() as u64);
         return detections;
     }
-    let width = params.exec.worker_count();
-    while let Some(seeds) = next_alive_batch_from(index, &mut next_seed, n, width) {
+    let spec: SpeculationParams = params.speculation;
+    let max_width = params.exec.worker_count();
+    let mut width = spec.start_width(max_width);
+    while detections.len() < limit {
+        // Never speculate past the detection budget: the trailing
+        // speculations could only be thrown away.
+        let want = width.min(limit - detections.len());
+        let Some(seeds) = next_alive_batch_from(index, &mut next_seed, n, want) else { break };
         let outcomes = params.exec.map_tasks(&seeds, |&s| detect_one(ds, params, index, s, cost));
         // Accept speculative results in seed order while each
         // detection's read set is untouched by this round's peels.
+        let mut round = RoundStats { speculated: seeds.len(), ..RoundStats::default() };
         let mut resume = None;
         for (k, out) in outcomes.into_iter().enumerate() {
             let seed = seeds[k];
@@ -81,6 +214,7 @@ pub(crate) fn peel_pass(
                     // An accepted cluster absorbed this seed; the
                     // sequential pass would never seed it. Its
                     // speculative result is simply discarded.
+                    round.absorbed += 1;
                     continue;
                 }
                 // Tombstones older than this round can never appear in
@@ -91,6 +225,18 @@ pub(crate) fn peel_pass(
                 // updated index.
                 if out.touched.iter().any(|&t| !index.is_alive(t)) {
                     resume = Some(seed);
+                    // The conflicting seed and every *alive* seed after
+                    // it re-run next round; trailing seeds already
+                    // peeled by this round's acceptances never will —
+                    // the sequential protocol classifies them absorbed.
+                    round.rerun = 1;
+                    for &s in &seeds[k + 1..] {
+                        if index.is_alive(s) {
+                            round.rerun += 1;
+                        } else {
+                            round.absorbed += 1;
+                        }
+                    }
                     break;
                 }
             }
@@ -99,8 +245,11 @@ pub(crate) fn peel_pass(
                 index.remove(m);
             }
             detections.push((seed, out.cluster));
+            round.accepted += 1;
         }
         next_seed = resume.unwrap_or_else(|| seeds.last().map(|&s| s + 1).unwrap_or(next_seed));
+        width = spec.next_width(seeds.len(), round.wasted(), max_width);
+        stats.record_round(round);
     }
     detections
 }
@@ -188,25 +337,44 @@ impl<'a> Peeler<'a> {
     /// speculative multi-seed detection (see the module docs); the
     /// output is byte-identical to the sequential pass for every worker
     /// count.
-    pub fn detect_all(mut self) -> Clustering {
-        let mut clustering = Clustering::new(self.ds.len());
-        let detections =
-            peel_pass(self.ds, &self.params, &mut self.index, &self.cost, self.next_seed);
-        clustering.clusters.extend(detections.into_iter().map(|(_seed, cluster)| cluster));
-        clustering
+    pub fn detect_all(self) -> Clustering {
+        self.detect_all_with_stats().0
+    }
+
+    /// [`Self::detect_all`] plus the pass's conflict telemetry. The
+    /// clustering is worker-count invariant; the [`PeelStats`] are a
+    /// property of the schedule that ran (sequential passes report
+    /// totals only, no rounds).
+    pub fn detect_all_with_stats(self) -> (Clustering, PeelStats) {
+        self.detect_up_to_with_stats(usize::MAX)
     }
 
     /// Like [`Self::detect_all`] but stops after `max_clusters`
     /// detections (useful when only the top clusters matter).
-    pub fn detect_up_to(mut self, max_clusters: usize) -> Clustering {
+    ///
+    /// Honours `params.exec` exactly like [`Self::detect_all`]: a
+    /// parallel policy runs capped speculative rounds whose committed
+    /// prefix is byte-identical to the sequential pass's first
+    /// `max_clusters` detections.
+    pub fn detect_up_to(self, max_clusters: usize) -> Clustering {
+        self.detect_up_to_with_stats(max_clusters).0
+    }
+
+    /// [`Self::detect_up_to`] plus the pass's conflict telemetry.
+    pub fn detect_up_to_with_stats(mut self, max_clusters: usize) -> (Clustering, PeelStats) {
+        let mut stats = PeelStats::default();
         let mut clustering = Clustering::new(self.ds.len());
-        while clustering.clusters.len() < max_clusters {
-            match self.next_cluster() {
-                Some(c) => clustering.clusters.push(c),
-                None => break,
-            }
-        }
-        clustering
+        let detections = peel_pass(
+            self.ds,
+            &self.params,
+            &mut self.index,
+            &self.cost,
+            self.next_seed,
+            Some(max_clusters),
+            &mut stats,
+        );
+        clustering.clusters.extend(detections.into_iter().map(|(_seed, cluster)| cluster));
+        (clustering, stats)
     }
 
     fn next_alive(&mut self) -> Option<u32> {
@@ -284,6 +452,97 @@ mod tests {
         let ds = fixture();
         let clustering = Peeler::new(&ds, params(&ds), CostModel::shared()).detect_up_to(1);
         assert_eq!(clustering.len(), 1);
+    }
+
+    /// Regression for the satellite bugfix: `detect_up_to` used to
+    /// silently ignore a parallel `params.exec` and always run the
+    /// sequential loop. It must now honour the policy *and* stay
+    /// byte-identical to the sequential prefix at every cap below the
+    /// total cluster count.
+    #[test]
+    fn detect_up_to_honours_parallel_exec_and_matches_sequential_prefix() {
+        let ds = fixture();
+        let all = Peeler::new(&ds, params(&ds), CostModel::shared()).detect_all();
+        assert!(all.len() > 2, "fixture must produce several clusters");
+        for max in 1..all.len() {
+            let seq = Peeler::new(&ds, params(&ds), CostModel::shared()).detect_up_to(max);
+            assert_eq!(seq.len(), max);
+            for (a, b) in all.clusters.iter().zip(&seq.clusters) {
+                assert_eq!(a.members, b.members, "sequential cap {max} is not a prefix");
+            }
+            for workers in [2usize, 4, 8] {
+                let p = params(&ds).with_exec(alid_exec::ExecPolicy::workers(workers));
+                let (par, stats) =
+                    Peeler::new(&ds, p, CostModel::shared()).detect_up_to_with_stats(max);
+                assert_eq!(par.clusters.len(), max, "{workers} workers, cap {max}");
+                assert!(
+                    stats.accepted == max as u64 && !stats.rounds.is_empty(),
+                    "{workers} workers must run speculative rounds, got {stats:?}"
+                );
+                for (a, b) in seq.clusters.iter().zip(&par.clusters) {
+                    assert_eq!(a.members, b.members, "{workers} workers, cap {max}");
+                    let aw: Vec<u64> = a.weights.iter().map(|w| w.to_bits()).collect();
+                    let bw: Vec<u64> = b.weights.iter().map(|w| w.to_bits()).collect();
+                    assert_eq!(aw, bw, "{workers} workers, cap {max}");
+                    assert_eq!(a.density.to_bits(), b.density.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent_and_sequential_pass_reports_no_rounds() {
+        let ds = fixture();
+        let (clustering, stats) =
+            Peeler::new(&ds, params(&ds), CostModel::shared()).detect_all_with_stats();
+        assert!(stats.rounds.is_empty(), "sequential pass must not record rounds");
+        assert_eq!(stats.accepted, clustering.len() as u64);
+        assert_eq!(stats.speculated, stats.accepted);
+        assert_eq!(stats.wasted(), 0);
+        assert_eq!(stats.conflict_rate(), 0.0);
+        assert_eq!(stats.mean_width(), 0.0);
+    }
+
+    #[test]
+    fn speculative_stats_account_for_every_speculation() {
+        let ds = fixture();
+        for workers in [2usize, 4, 8] {
+            let p = params(&ds).with_exec(alid_exec::ExecPolicy::workers(workers));
+            let (clustering, stats) =
+                Peeler::new(&ds, p, CostModel::shared()).detect_all_with_stats();
+            assert_eq!(stats.accepted, clustering.len() as u64, "{workers} workers");
+            assert!(!stats.rounds.is_empty(), "{workers} workers");
+            assert_eq!(
+                stats.speculated,
+                stats.accepted + stats.absorbed + stats.rerun,
+                "{workers} workers: every speculation is accepted, absorbed or re-run"
+            );
+            for r in &stats.rounds {
+                assert!(r.speculated >= 1 && r.speculated <= workers, "{workers} workers: {r:?}");
+                assert_eq!(r.speculated, r.accepted + r.absorbed + r.rerun, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_width_schedule_is_byte_identical() {
+        let ds = fixture();
+        let sequential = Peeler::new(&ds, params(&ds), CostModel::shared()).detect_all();
+        let schedules = [
+            crate::config::SpeculationParams { adaptive: true, initial_width: 0 },
+            crate::config::SpeculationParams { adaptive: true, initial_width: 1 },
+            crate::config::SpeculationParams { adaptive: false, initial_width: 0 },
+            crate::config::SpeculationParams { adaptive: false, initial_width: 3 },
+        ];
+        for spec in schedules {
+            let p = params(&ds).with_exec(alid_exec::ExecPolicy::workers(4)).with_speculation(spec);
+            let parallel = Peeler::new(&ds, p, CostModel::shared()).detect_all();
+            assert_eq!(sequential.clusters.len(), parallel.clusters.len(), "{spec:?}");
+            for (a, b) in sequential.clusters.iter().zip(&parallel.clusters) {
+                assert_eq!(a.members, b.members, "{spec:?} changed members");
+                assert_eq!(a.density.to_bits(), b.density.to_bits(), "{spec:?}");
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,15 @@ impl Roi {
     /// weights of `x̂`, `density` is `π(x̂) > 0`. Radii are clamped to
     /// `[0, ∞)`; `R_out >= R_in` always holds since `λ_out >= λ_in`.
     ///
+    /// `λ_out` sums `e^{+k·d}` terms, which overflow `f64` once
+    /// `k·d > ~709` — a far-flung support item (or a sharply calibrated
+    /// kernel) would make `R_out = ∞` and the ROI degenerate to
+    /// cover-everything *forever*. The estimate therefore saturates the
+    /// exponent and, when it had to, falls back to the tightest radius
+    /// whose immunity claim is vacuously true: the distance from `D` to
+    /// the farthest data item (no item lies beyond it, so the Eq. 16
+    /// schedule still terminates at a finite, certifiable outer ball).
+    ///
     /// # Panics
     /// Panics if `alpha`/`weights` lengths differ, `alpha` is empty or
     /// `density <= 0` (iteration 1 must use
@@ -62,15 +71,39 @@ impl Roi {
         let idx: Vec<usize> = alpha.iter().map(|&a| a as usize).collect();
         let center = ds.weighted_centroid(&idx, weights);
         let k = kernel.k;
+        // exp() overflows f64 just above 709.78; saturating keeps
+        // λ_out finite per term (sums may still reach ∞, caught below).
+        // The threshold sits as close to the overflow point as is safe
+        // so the exact Eq. 15 radius survives everywhere it is
+        // representable — the diameter fallback only fires on true
+        // overflow.
+        const MAX_EXPONENT: f64 = 709.0;
         let mut lambda_in = 0.0;
         let mut lambda_out = 0.0;
+        let mut saturated = false;
         for (&i, &w) in idx.iter().zip(weights) {
             let d = kernel.norm.distance(ds.get(i), &center);
-            lambda_in += w * (-k * d).exp();
-            lambda_out += w * (k * d).exp();
+            let e = k * d;
+            if e > MAX_EXPONENT {
+                saturated = true;
+            }
+            lambda_in += w * (-e).exp();
+            lambda_out += w * e.min(MAX_EXPONENT).exp();
         }
         let r_in = ((lambda_in / density).ln() / k).max(0.0);
-        let r_out = ((lambda_out / density).ln() / k).max(r_in);
+        let r_out_raw = (lambda_out / density).ln() / k;
+        let r_out = if saturated || !r_out_raw.is_finite() {
+            // The Eq. 15 bound blew past anything representable: fall
+            // back to the dataset diameter bound — the farthest any
+            // data item lies from the center, beyond which immunity is
+            // vacuous. O(n·d), but only on this (rare) overflow path.
+            let farthest = (0..ds.len())
+                .map(|i| kernel.norm.distance(ds.get(i), &center))
+                .fold(0.0f64, f64::max);
+            farthest.max(r_in)
+        } else {
+            r_out_raw.max(r_in)
+        };
         Self { center, r_in, r_out }
     }
 
@@ -190,6 +223,57 @@ mod tests {
         let roi = Roi { center: vec![0.0, 0.0], r_in: 0.0, r_out: 0.0 };
         assert!(roi.contains(&kernel, &[0.3, 0.4], 0.5 + 1e-12));
         assert!(!roi.contains(&kernel, &[0.3, 0.4], 0.5 - 1e-9));
+    }
+
+    /// Regression for the satellite bugfix: a far-flung support item
+    /// under a sharp kernel used to overflow `(k·d).exp()` to `+inf`,
+    /// making `R_out = ∞` — the ROI never stopped growing and the
+    /// certification probe scanned everything forever. The radius must
+    /// stay finite and still cover the whole data set (immunity beyond
+    /// it is vacuous).
+    #[test]
+    fn estimate_survives_extreme_distance_support() {
+        // k = 500 and support items 4 apart: k·d = 1000 > 709 at both
+        // support points, so the naive λ_out is +inf.
+        let ds = Dataset::from_flat(1, vec![0.0, 4.0, 1.0, 9.5]);
+        let kernel = LaplacianKernel::l2(500.0);
+        let roi = Roi::estimate(&ds, &kernel, &[0, 1], &[0.5, 0.5], 0.1);
+        assert!(roi.r_out.is_finite(), "R_out must never be infinite, got {}", roi.r_out);
+        assert!(roi.r_in.is_finite() && roi.r_in >= 0.0);
+        assert!(roi.r_out >= roi.r_in);
+        // The fallback covers the whole data set from the center
+        // (centroid 2.0; the farthest item is 9.5, distance 7.5).
+        for i in 0..ds.len() {
+            let d = kernel.norm.distance(ds.get(i), &roi.center);
+            assert!(roi.r_out >= d, "item {i} at distance {d} lies outside R_out {}", roi.r_out);
+        }
+        // The growth schedule stays usable: finite at every iteration.
+        assert!(roi.radius_at(1).is_finite());
+        assert!(roi.radius_at(40).is_finite());
+    }
+
+    /// The clamp must not disturb well-conditioned estimates: same
+    /// inputs, no saturation, identical formula as before.
+    #[test]
+    fn estimate_unchanged_when_exponents_are_sane() {
+        let ds = Dataset::from_flat(1, vec![0.0, 1.0, 8.0]);
+        let kernel = LaplacianKernel::l2(1.0);
+        let (alpha, weights, density) = converged_subgraph(&ds, kernel);
+        let roi = Roi::estimate(&ds, &kernel, &alpha, &weights, density);
+        // Direct recomputation of Eq. 15 without any clamping.
+        let idx: Vec<usize> = alpha.iter().map(|&a| a as usize).collect();
+        let center = ds.weighted_centroid(&idx, &weights);
+        let k = kernel.k;
+        let (mut li, mut lo) = (0.0, 0.0);
+        for (&i, &w) in idx.iter().zip(&weights) {
+            let d = kernel.norm.distance(ds.get(i), &center);
+            li += w * (-k * d).exp();
+            lo += w * (k * d).exp();
+        }
+        let r_in = ((li / density).ln() / k).max(0.0);
+        let r_out = ((lo / density).ln() / k).max(r_in);
+        assert_eq!(roi.r_in.to_bits(), r_in.to_bits());
+        assert_eq!(roi.r_out.to_bits(), r_out.to_bits());
     }
 
     #[test]

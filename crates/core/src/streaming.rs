@@ -30,18 +30,24 @@ use alid_affinity::vector::Dataset;
 use alid_lsh::LshIndex;
 
 use crate::config::AlidParams;
-use crate::peel::peel_pass;
+use crate::peel::{peel_pass, PeelStats};
 
 /// What happened to one ingested item.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StreamUpdate {
     /// Joined an existing dominant cluster (index into
-    /// [`StreamingAlid::clusters`]).
+    /// [`StreamingAlid::clusters`]) — either directly on the ingest
+    /// path, or through the second-chance re-test of the sweep the
+    /// ingest triggered (when that sweep promoted nothing new).
     Attached(usize),
-    /// Buffered as unexplained; a later sweep may promote it.
+    /// Buffered as unexplained; a later sweep may promote it. Never
+    /// returned while [`StreamingAlid::assignments`] explains the item
+    /// — `Buffered` and a `Some` assignment are mutually exclusive.
     Buffered,
     /// The ingest triggered a sweep that promoted this many new
-    /// dominant clusters (the item itself may be in one of them).
+    /// dominant clusters. The item itself may be in one of them, or
+    /// attached to an older cluster — consult
+    /// [`StreamingAlid::assignments`] for its fate.
     SweptNewClusters(usize),
 }
 
@@ -58,6 +64,7 @@ pub struct StreamingAlid {
     pending: Vec<u32>,
     batch: usize,
     since_sweep: usize,
+    stats: PeelStats,
 }
 
 impl StreamingAlid {
@@ -81,6 +88,7 @@ impl StreamingAlid {
             pending: Vec::new(),
             batch,
             since_sweep: 0,
+            stats: PeelStats::default(),
         }
     }
 
@@ -109,6 +117,19 @@ impl StreamingAlid {
         &self.pending
     }
 
+    /// Most recent speculative rounds retained in
+    /// [`Self::peel_stats`]'s per-round history (totals are never
+    /// trimmed) — keeps a long-lived stream's telemetry bounded.
+    pub const MAX_STATS_ROUNDS: usize = 256;
+
+    /// Conflict telemetry accumulated across every sweep's peel pass
+    /// (see [`PeelStats`]; empty until the first sweep detects). The
+    /// totals cover the stream's whole lifetime; the per-round history
+    /// holds at most [`Self::MAX_STATS_ROUNDS`] recent rounds.
+    pub fn peel_stats(&self) -> &PeelStats {
+        &self.stats
+    }
+
     /// The current state as a [`Clustering`] over all items seen.
     pub fn snapshot(&self) -> Clustering {
         Clustering { n: self.data.len(), clusters: self.clusters.clone() }
@@ -129,6 +150,14 @@ impl StreamingAlid {
             let promoted = self.sweep();
             if promoted > 0 {
                 return StreamUpdate::SweptNewClusters(promoted);
+            }
+            // The sweep promoted nothing, but its second-chance re-test
+            // (which sees *all* clusters, not just the ingest path's
+            // LSH collisions) may still have attached this very item —
+            // report that, not `Buffered`, so the return value never
+            // contradicts `assignments()`.
+            if let Some(c) = self.assigned[id as usize] {
+                return StreamUpdate::Attached(c);
             }
         }
         StreamUpdate::Buffered
@@ -217,7 +246,18 @@ impl StreamingAlid {
             }
         }
         self.pending.clear();
-        let detections = peel_pass(&self.data, &self.params, &mut self.index, &self.cost, 0);
+        let detections = peel_pass(
+            &self.data,
+            &self.params,
+            &mut self.index,
+            &self.cost,
+            0,
+            None,
+            &mut self.stats,
+        );
+        // The stream is unbounded; keep the per-round history a
+        // bounded window (totals keep accumulating forever).
+        self.stats.trim_rounds(Self::MAX_STATS_ROUNDS);
         let mut promoted = 0;
         let mut still_pending: Vec<u32> = Vec::new();
         for (seed, cluster) in detections {
@@ -370,6 +410,123 @@ mod tests {
     #[should_panic(expected = "sweep period")]
     fn zero_batch_rejected() {
         let _ = StreamingAlid::new(1, params(), 0, CostModel::shared());
+    }
+
+    /// Regression for the satellite bugfix: when the sweep a push
+    /// triggered attached the item through the second-chance re-test
+    /// (the ingest path's LSH lookup missed every cluster member),
+    /// `push` used to return `Buffered` while `assignments()` already
+    /// said `Some(c)`. The return value must report the attachment.
+    #[test]
+    fn sweep_second_chance_attachment_is_reported_not_buffered() {
+        // A 1-table, 2-projection index makes an in-cluster item able
+        // to miss every member's bucket; we sweep LSH seeds until one
+        // produces that miss (everything is deterministic per seed, so
+        // the scenario reproduces exactly).
+        let mut exercised = 0usize;
+        for lsh_seed in 0..100u64 {
+            let kernel = LaplacianKernel::l2(1.0);
+            let mut p = AlidParams::new(kernel);
+            p.first_roi_radius = kernel.distance_at(0.5);
+            p.density_threshold = 0.7;
+            p.min_cluster_size = 3;
+            p.lsh = alid_lsh::LshParams::new(1, 2, 0.05, lsh_seed);
+            let mut s = StreamingAlid::new(1, p, 8, CostModel::shared());
+            // A tight 8-item cluster; the 8th push triggers the
+            // promoting sweep.
+            for i in 0..8 {
+                s.push(&[i as f64 * 0.01]);
+            }
+            if s.clusters().len() != 1 || s.clusters()[0].members.len() < 3 {
+                continue; // this seed's index never assembled the cluster
+            }
+            // Seven far-noise arrivals re-arm the sweep counter so the
+            // 16th push (id 15) sweeps again.
+            for i in 0..7 {
+                s.push(&[50.0 + i as f64 * 37.0]);
+            }
+            let x = 0.12; // infective against the cluster (π ≈ 0.84, mean affinity ≈ 0.9)
+                          // The second-chance path only runs when the ingest path's
+                          // LSH lookup surfaces no assigned item.
+            if s.index.query(&[x]).iter().any(|&h| s.assigned[h as usize].is_some()) {
+                continue; // direct attachment; not the path under test
+            }
+            let upd = s.push(&[x]);
+            if s.assignments()[15] == Some(0) {
+                exercised += 1;
+                assert_eq!(
+                    upd,
+                    StreamUpdate::Attached(0),
+                    "seed {lsh_seed}: the sweep attached the item but push reported {upd:?}"
+                );
+            }
+        }
+        assert!(exercised > 0, "no LSH seed exercised the second-chance path; retune the fixture");
+    }
+
+    /// The promoted-to-a-new-cluster flank of the same bugfix: when
+    /// the triggered sweep promotes the cluster the pushed item itself
+    /// belongs to, `push` reports the promotion and `assignments()`
+    /// explains the item — never `Buffered`.
+    #[test]
+    fn sweep_promotion_of_the_pushed_item_is_reported() {
+        let mut s = stream();
+        for i in 0..7 {
+            assert_eq!(s.push(&[i as f64 * 0.05]), StreamUpdate::Buffered);
+            assert_eq!(s.assignments()[i], None);
+        }
+        // The 8th arrival completes the batch; the sweep it triggers
+        // promotes the cluster containing this very item.
+        let upd = s.push(&[7.0 * 0.05]);
+        assert_eq!(upd, StreamUpdate::SweptNewClusters(1));
+        assert_eq!(s.assignments()[7], Some(0), "the pushed item is in the promoted cluster");
+    }
+
+    /// Invariant the bugfix establishes: `Buffered` and a `Some`
+    /// assignment are mutually exclusive, for every push in a long
+    /// mixed stream.
+    #[test]
+    fn push_outcome_never_contradicts_assignments() {
+        let mut s = stream();
+        for i in 0..60 {
+            // Two clusters, interleaved noise: pushes hit every branch
+            // (direct attach, buffer, promoting and non-promoting
+            // sweeps).
+            let v = match i % 5 {
+                0 | 1 => (i % 10) as f64 * 0.04,
+                2 | 3 => 30.0 + (i % 10) as f64 * 0.04,
+                _ => 500.0 + i as f64 * 13.0,
+            };
+            let id = s.len();
+            let upd = s.push(&[v]);
+            let assigned = s.assignments()[id];
+            match upd {
+                StreamUpdate::Buffered => {
+                    assert_eq!(assigned, None, "push {id} said Buffered but item is assigned")
+                }
+                StreamUpdate::Attached(c) => assert_eq!(assigned, Some(c), "push {id}"),
+                StreamUpdate::SweptNewClusters(k) => assert!(k > 0, "push {id}"),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_sweeps_accumulate_peel_stats() {
+        let mut s = stream();
+        assert_eq!(s.peel_stats().speculated, 0, "no sweep has detected yet");
+        for i in 0..8 {
+            s.push(&[i as f64 * 0.05]);
+        }
+        let after_first = s.peel_stats().speculated;
+        assert!(after_first > 0, "the promoting sweep ran detections");
+        for i in 0..8 {
+            s.push(&[100.0 + i as f64 * 29.0]); // noise: swept but never promoted
+        }
+        assert!(
+            s.peel_stats().speculated > after_first,
+            "later sweeps keep accumulating into the same stats"
+        );
+        assert_eq!(s.peel_stats().rounds.len(), 0, "sequential sweeps record no rounds");
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //! same output, and `workers == 1` degenerates to a plain loop on the
 //! calling thread with zero thread overhead (the sequential fallback).
 //!
+//! Uniform work-stealing phases can additionally *autotune* their chunk
+//! size: [`ExecPolicy::map_indexed_tuned`] and
+//! [`ExecPolicy::for_each_index_tuned_with`] time each chunk they run
+//! and feed the observed per-item cost back into a per-call-site
+//! [`TuneState`] handle, so cheap bodies get large chunks (amortizing
+//! the shared cursor) and expensive bodies small ones (load balance) —
+//! without the caller guessing. See [`tune`] for why timing noise can
+//! never reach the output bytes.
+//!
 //! [`SharedSlice`] is the escape hatch for partitioned writes into one
 //! buffer (the dense-matrix pattern, where row ownership guarantees
 //! disjointness but the type system cannot see it).
@@ -39,12 +48,15 @@
 
 use std::cell::UnsafeCell;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 mod pool;
+pub mod tune;
 
 pub use pool::thread_count as pool_thread_count;
+pub use tune::{TuneSnapshot, TuneState};
 
 /// How a parallel phase should execute: on how many workers.
 ///
@@ -158,25 +170,77 @@ impl ExecPolicy {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.map_indexed_inner(n, chunk, f, None)
+    }
+
+    /// [`Self::map_indexed_chunked`] with the chunk size drawn from —
+    /// and the phase's measured per-item cost fed back into — a
+    /// per-call-site [`TuneState`] (see [`tune`] for the feedback loop
+    /// and why determinism is untouched).
+    pub fn map_indexed_tuned<R, F>(&self, tune: &TuneState, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.workers.get();
+        let chunk = tune.chunk_for(n, workers);
+        self.map_indexed_inner(n, chunk, f, Some(tune))
+    }
+
+    /// The shared chunked-map engine: a work-stealing cursor over
+    /// `0..n` in steps of `chunk`, results restored to index order.
+    /// With `tune` set, each chunk's duration is measured and the
+    /// phase's total (items, busy-nanos) is folded into the handle.
+    fn map_indexed_inner<R, F>(
+        &self,
+        n: usize,
+        chunk: usize,
+        f: F,
+        tune: Option<&TuneState>,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
         assert!(chunk >= 1, "chunk size must be at least 1");
         let workers = self.workers.get().min(n.max(1));
         if workers <= 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            // Untuned phases skip the clock entirely — the sequential
+            // fallback is the hot path for latency-bound fan-out.
+            let Some(tune) = tune else { return (0..n).map(f).collect() };
+            let started = Instant::now();
+            let out: Vec<R> = (0..n).map(f).collect();
+            tune.record(n, started.elapsed().as_nanos() as u64);
+            return out;
         }
         let cursor = AtomicUsize::new(0);
+        let busy_nanos = AtomicU64::new(0);
         let gathered: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
         pool::global().run_phase(workers, &|_t| {
             let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+            let mut local_nanos = 0u64;
             loop {
                 let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
                 }
                 let end = (start + chunk).min(n);
-                local.push((start, (start..end).map(&f).collect()));
+                if tune.is_some() {
+                    let t0 = Instant::now();
+                    local.push((start, (start..end).map(&f).collect()));
+                    local_nanos += t0.elapsed().as_nanos() as u64;
+                } else {
+                    local.push((start, (start..end).map(&f).collect()));
+                }
+            }
+            if local_nanos > 0 {
+                busy_nanos.fetch_add(local_nanos, Ordering::Relaxed);
             }
             gathered.lock().expect("result mutex").append(&mut local);
         });
+        if let Some(tune) = tune {
+            tune.record(n, busy_nanos.load(Ordering::Relaxed));
+        }
         let mut batches = gathered.into_inner().expect("result mutex");
         batches.sort_unstable_by_key(|&(start, _)| start);
         let mut out = Vec::with_capacity(n);
@@ -185,6 +249,61 @@ impl ExecPolicy {
         }
         debug_assert_eq!(out.len(), n);
         out
+    }
+
+    /// [`Self::for_each_index_with`] on an autotuned **work-stealing
+    /// chunked** schedule instead of the static stride: workers steal
+    /// `chunk` consecutive indices at a time, where `chunk` comes from
+    /// the per-call-site [`TuneState`] and each phase's measured
+    /// per-item cost is fed back into it.
+    ///
+    /// Use this for *uniform* per-index work with disjoint writes (LSH
+    /// key computation, sparse-edge kernel evaluation); triangular
+    /// workloads should stay on the strided
+    /// [`Self::for_each_index`], whose partition balances them without
+    /// needing measurements. Determinism is untouched: `f` still sees
+    /// every index in `0..n` exactly once and must leave index `i`'s
+    /// output independent of the scratch's prior contents, so which
+    /// worker ran which chunk can never reach the output.
+    pub fn for_each_index_tuned_with<S, I, F>(&self, tune: &TuneState, n: usize, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let workers = self.workers.get().min(n);
+        if workers <= 1 || n <= 1 {
+            let started = Instant::now();
+            let mut scratch = init();
+            for i in 0..n {
+                f(&mut scratch, i);
+            }
+            tune.record(n, started.elapsed().as_nanos() as u64);
+            return;
+        }
+        let chunk = tune.chunk_for(n, workers);
+        let cursor = AtomicUsize::new(0);
+        let busy_nanos = AtomicU64::new(0);
+        pool::global().run_phase(workers, &|_t| {
+            let mut scratch = init();
+            let mut local_nanos = 0u64;
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let t0 = Instant::now();
+                for i in start..end {
+                    f(&mut scratch, i);
+                }
+                local_nanos += t0.elapsed().as_nanos() as u64;
+            }
+            busy_nanos.fetch_add(local_nanos, Ordering::Relaxed);
+        });
+        tune.record(n, busy_nanos.load(Ordering::Relaxed));
     }
 
     /// [`Self::map_indexed_chunked`] with a heuristic chunk size:
@@ -349,6 +468,63 @@ mod tests {
         let empty: Vec<usize> = ExecPolicy::workers(4).map_indexed(0, |i| i);
         assert!(empty.is_empty());
         assert_eq!(ExecPolicy::workers(4).map_indexed(1, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn map_indexed_tuned_matches_sequential_for_any_tune_state() {
+        let expected: Vec<usize> = (0..311).map(|i| i * 7 + 1).collect();
+        // Fresh, converged-cheap and converged-expensive states must all
+        // produce identical results at every worker count.
+        for prime in [None, Some((1_000_000usize, 50_000_000u64)), Some((100, 50_000_000))] {
+            let tune = TuneState::new();
+            if let Some((items, nanos)) = prime {
+                tune.record(items, nanos);
+            }
+            for workers in [1usize, 2, 4, 8] {
+                let got = ExecPolicy::workers(workers).map_indexed_tuned(&tune, 311, |i| i * 7 + 1);
+                assert_eq!(got, expected, "workers={workers} prime={prime:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_phases_feed_samples_back() {
+        let tune = TuneState::new();
+        assert_eq!(tune.snapshot().samples, 0);
+        let _ =
+            ExecPolicy::workers(2).map_indexed_tuned(&tune, 500, |i| std::hint::black_box(i * i));
+        let snap = tune.snapshot();
+        assert_eq!(snap.samples, 1, "one phase, one sample");
+        assert!(snap.last_chunk >= 1);
+        // A later phase through the same handle derives its chunk from
+        // the measurement (it may or may not differ from the heuristic,
+        // but it must stay within the steal ceiling).
+        let _ = ExecPolicy::workers(2).map_indexed_tuned(&tune, 500, |i| i);
+        assert!(tune.snapshot().last_chunk <= 500 / 2);
+        assert_eq!(tune.snapshot().samples, 2);
+    }
+
+    #[test]
+    fn for_each_index_tuned_with_covers_every_index_exactly_once() {
+        for workers in [1usize, 2, 3, 7] {
+            let tune = TuneState::new();
+            let n = 203;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            ExecPolicy::workers(workers).for_each_index_tuned_with(
+                &tune,
+                n,
+                || 0u64,
+                |scratch, i| {
+                    *scratch = scratch.wrapping_add(1);
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{workers} workers missed or repeated an index"
+            );
+            assert!(tune.snapshot().samples >= 1, "{workers} workers fed no sample");
+        }
     }
 
     #[test]

@@ -2,7 +2,14 @@
 //! spectral baselines need. Not a general-purpose BLAS: sizes here are
 //! `n x K` embeddings and landmark blocks of a few hundred rows.
 
-use alid_exec::{ExecPolicy, SharedSlice};
+use alid_exec::{ExecPolicy, SharedSlice, TuneState};
+
+/// Chunk autotuner for the parallel row fan-out of
+/// [`Mat::matmul_with`] — one handle for this call site. Row cost
+/// scales with the inner dimension, which the timing feedback picks up
+/// without the caller passing shape hints. Public for harness
+/// telemetry.
+pub static MATMUL_TUNE: TuneState = TuneState::new();
 
 /// Row-major dense matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -124,7 +131,8 @@ impl Mat {
         let cols = other.cols;
         {
             let shared = SharedSlice::new(&mut out.data);
-            exec.for_each_index_with(
+            exec.for_each_index_tuned_with(
+                &MATMUL_TUNE,
                 self.rows,
                 || vec![0.0f64; cols],
                 |orow, i| {

@@ -6,11 +6,18 @@ use std::sync::Arc;
 use alid_affinity::cost::CostModel;
 use alid_affinity::fx::{mix_words, FxHashMap};
 use alid_affinity::vector::Dataset;
-use alid_exec::{ExecPolicy, SharedSlice};
+use alid_exec::{ExecPolicy, SharedSlice, TuneState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::params::LshParams;
+
+/// Chunk autotuner for the parallel key-computation phase of
+/// [`LshIndex::build_with`] — one handle for this call site, shared by
+/// every build in the process so later builds start from the measured
+/// per-item cost. Public so harnesses can report the chosen chunk
+/// (`bench_speculation` emits its snapshot).
+pub static LSH_BUILD_TUNE: TuneState = TuneState::new();
 
 /// One hash table: `mu` projection directions, `mu` offsets and the
 /// bucket map from mixed key to member ids.
@@ -95,7 +102,8 @@ impl LshIndex {
         let mut keys = vec![0u64; n * table_count];
         {
             let shared = SharedSlice::new(&mut keys);
-            exec.for_each_index_with(
+            exec.for_each_index_tuned_with(
+                &LSH_BUILD_TUNE,
                 n,
                 || vec![0u64; params.projections],
                 |signature, id| {

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use alid_affinity::cost::CostModel;
 use alid_affinity::fx::{mix_words, FxHashMap};
 use alid_affinity::vector::Dataset;
-use alid_exec::{ExecPolicy, SharedSlice};
+use alid_exec::{ExecPolicy, SharedSlice, TuneState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,6 +49,13 @@ impl Default for SimHashParams {
         Self::new(12, 14, 0x51)
     }
 }
+
+/// Chunk autotuner for the parallel key-computation phase of
+/// [`SimHashIndex::build_with`] — one handle for this call site, kept
+/// separate from the p-stable index's because sign-bit keys cost a
+/// different number of nanoseconds per item than quantised
+/// projections. Public for harness telemetry.
+pub static SIMHASH_BUILD_TUNE: TuneState = TuneState::new();
 
 struct Table {
     /// Row-major `bits x dim` hyperplane normals.
@@ -107,15 +114,20 @@ impl SimHashIndex {
         let mut keys = vec![0u64; n * table_count];
         {
             let shared = SharedSlice::new(&mut keys);
-            exec.for_each_index(n, |id| {
-                let row = ds.get(id);
-                for t in 0..table_count {
-                    let key = index.key(t, row);
-                    // SAFETY: the (id, t) slots of item `id` are written
-                    // only by the worker that owns `id`.
-                    unsafe { shared.write(id * table_count + t, key) };
-                }
-            });
+            exec.for_each_index_tuned_with(
+                &SIMHASH_BUILD_TUNE,
+                n,
+                || (),
+                |(), id| {
+                    let row = ds.get(id);
+                    for t in 0..table_count {
+                        let key = index.key(t, row);
+                        // SAFETY: the (id, t) slots of item `id` are
+                        // written only by the worker that owns `id`.
+                        unsafe { shared.write(id * table_count + t, key) };
+                    }
+                },
+            );
         }
         for id in 0..n {
             for (t, table) in index.tables.iter_mut().enumerate() {

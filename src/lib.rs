@@ -63,7 +63,10 @@ pub mod prelude {
     pub use alid_affinity::kernel::{LaplacianKernel, LpNorm};
     pub use alid_affinity::vector::Dataset;
     pub use alid_core::streaming::{StreamUpdate, StreamingAlid};
-    pub use alid_core::{detect_one, palid_detect, AlidParams, PalidParams, Peeler};
+    pub use alid_core::{
+        detect_one, palid_detect, AlidParams, PalidParams, PeelStats, Peeler, RoundStats,
+        SpeculationParams,
+    };
     pub use alid_data::groundtruth::{GroundTruth, LabeledDataset};
     pub use alid_exec::ExecPolicy;
     pub use alid_lsh::{LshIndex, LshParams, SimHashIndex, SimHashParams};

@@ -278,11 +278,12 @@ fn main() {
         &tune_rows,
     );
 
-    let report = Json::object([
+    let mut fields = alid_bench::report::run_header("alid-bench/speculation/1", max_workers);
+    fields.extend([
         ("smoke", cli.smoke.to_json()),
         ("pairs", pairs.to_json()),
         ("workloads", workloads.to_json()),
         ("autotune", Json::Arr(autotune)),
     ]);
-    save_json("BENCH_speculation", &report);
+    save_json("BENCH_speculation", &Json::object(fields));
 }

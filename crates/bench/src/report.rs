@@ -4,6 +4,36 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
+use serde::{Json, Serialize};
+
+/// The provenance header every `experiments/*.json` report starts
+/// with, so trajectories are comparable across machines and commits:
+/// a schema tag (report format, versioned by its producer), the git
+/// revision the binary was built from (best effort — "unknown"
+/// outside a checkout), and the exec-layer worker count the run used.
+pub fn run_header(schema: &str, workers: usize) -> Vec<(&'static str, Json)> {
+    vec![
+        ("schema", schema.to_json()),
+        ("git_rev", git_rev().to_json()),
+        ("workers", workers.to_json()),
+    ]
+}
+
+/// `git rev-parse --short HEAD`, or "unknown" when git or the
+/// repository is unavailable (the report must never fail over
+/// provenance).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Prints a titled, column-aligned table to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -65,6 +95,16 @@ mod tests {
         assert_eq!(fmt(1.5), "1.500");
         assert!(fmt(123456.0).contains('e'));
         assert!(fmt(0.00001).contains('e'));
+    }
+
+    #[test]
+    fn run_header_has_the_three_provenance_fields() {
+        let header = run_header("alid-bench/test/1", 4);
+        let obj = Json::Obj(header.iter().map(|(k, v)| (k.to_string(), v.clone())).collect());
+        assert_eq!(obj.get("schema").and_then(Json::as_str), Some("alid-bench/test/1"));
+        assert_eq!(obj.get("workers").and_then(Json::as_u64), Some(4));
+        let rev = obj.get("git_rev").and_then(Json::as_str).unwrap();
+        assert!(!rev.is_empty());
     }
 
     #[test]

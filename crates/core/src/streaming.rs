@@ -117,6 +117,116 @@ impl StreamingAlid {
         &self.pending
     }
 
+    // --- Persistence surface -------------------------------------------
+    //
+    // The accessors below, together with [`Self::from_state`], are the
+    // **stable persistence surface** of the streaming driver: everything
+    // a snapshot codec needs to capture the full behavioural state and
+    // reconstruct an instance that continues bit-for-bit identically to
+    // one that was never persisted. The LSH index is deliberately *not*
+    // part of the surface — it is a pure function of `(params.lsh,
+    // data)` and is rebuilt by replaying the insert path, which is
+    // proven equivalent to the incremental build
+    // (`insert_equivalent_to_batch_build` in `alid-lsh`). Telemetry
+    // ([`Self::peel_stats`]) is excluded too: it never feeds back into
+    // detection.
+
+    /// The parameters this stream was configured with (persistence
+    /// surface; also what a snapshot must reproduce for determinism).
+    pub fn params(&self) -> &AlidParams {
+        &self.params
+    }
+
+    /// The sweep period (persistence surface).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Arrivals since the last sweep (persistence surface; restoring
+    /// this keeps the next sweep on the uninterrupted schedule).
+    pub fn since_sweep(&self) -> usize {
+        self.since_sweep
+    }
+
+    /// Every item seen so far, in arrival order (persistence surface).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Per-cluster pairwise-affinity sums backing the O(|c|)
+    /// incremental density updates (persistence surface; parallel to
+    /// [`Self::clusters`]).
+    pub fn pair_sums(&self) -> &[f64] {
+        &self.pair_sums
+    }
+
+    /// Reconstructs a stream processor from persisted state — the
+    /// inverse of reading the persistence-surface accessors.
+    ///
+    /// The LSH index is rebuilt by replaying every row of `data`
+    /// through the streaming insert path, exactly as the uninterrupted
+    /// instance built it, so queries — and therefore every future
+    /// attachment and sweep — are byte-identical to an instance that
+    /// never round-tripped. `cost` accounts the rebuilt index's memory
+    /// afresh (the paper's Section 4.3 numbers describe the live
+    /// process, not the snapshot history).
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`, if the per-item vectors of `assigned`
+    /// do not match `data`, if `clusters` and `pair_sums` lengths
+    /// differ, or if any cluster/pending/assignment index is out of
+    /// bounds — corrupt snapshots fail loudly instead of detecting
+    /// nonsense.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_state(
+        params: AlidParams,
+        batch: usize,
+        cost: Arc<CostModel>,
+        data: Dataset,
+        clusters: Vec<DetectedCluster>,
+        pair_sums: Vec<f64>,
+        assigned: Vec<Option<usize>>,
+        pending: Vec<u32>,
+        since_sweep: usize,
+    ) -> Self {
+        assert!(batch > 0, "sweep period must be positive");
+        let n = data.len();
+        assert_eq!(assigned.len(), n, "assignment vector length mismatch");
+        assert_eq!(clusters.len(), pair_sums.len(), "clusters/pair_sums length mismatch");
+        for (i, a) in assigned.iter().enumerate() {
+            if let Some(c) = a {
+                assert!(*c < clusters.len(), "item {i} assigned to unknown cluster {c}");
+            }
+        }
+        for c in &clusters {
+            for &m in &c.members {
+                assert!((m as usize) < n, "cluster member {m} out of bounds");
+            }
+        }
+        for &p in &pending {
+            assert!((p as usize) < n, "pending item {p} out of bounds");
+        }
+        // Replay the insert path row by row: identical code path —
+        // identical buckets — to the instance being restored.
+        let mut index = LshIndex::build(&Dataset::new(data.dim()), params.lsh, &cost);
+        for row in data.iter() {
+            index.insert(row);
+        }
+        Self {
+            params,
+            cost,
+            data,
+            index,
+            clusters,
+            pair_sums,
+            assigned,
+            pending,
+            batch,
+            since_sweep,
+            stats: PeelStats::default(),
+        }
+    }
+
     /// Most recent speculative rounds retained in
     /// [`Self::peel_stats`]'s per-round history (totals are never
     /// trimmed) — keeps a long-lived stream's telemetry bounded.
@@ -175,15 +285,24 @@ impl StreamingAlid {
         self.attach_among(id, &candidates)
     }
 
-    /// The infective-attachment test — the densest existing cluster
-    /// whose density the newcomer would not dilute
-    /// (`π(s_new, x_c) >= π(x_c)` under uniform weights) — restricted
-    /// to `candidates`.
-    fn attach_among(&mut self, id: u32, candidates: &[usize]) -> Option<usize> {
-        let v = self.data.get(id as usize);
+    /// Read-only infective-attachment evaluation: among `candidates`,
+    /// the densest existing cluster that `v` would join
+    /// (`π(s_new, x_c) >= π(x_c)` under uniform weights), as
+    /// `(cluster, its density, Σ_j a(v, j))`, or `None` when no
+    /// cluster accepts the vector. This is the **single home of the
+    /// attachment rule**: the mutating ingest path
+    /// ([`Self::push`] / the sweep's second chance) and external
+    /// read-only probes (the service's `POST /assign`) both call it,
+    /// so a probe's answer can never drift from what an actual ingest
+    /// of the same vector would decide. Kernel evaluations are
+    /// recorded in the shared cost model either way.
+    pub fn best_infective<I>(&self, v: &[f64], candidates: I) -> Option<(usize, f64, f64)>
+    where
+        I: IntoIterator<Item = usize>,
+    {
         let kernel = self.params.kernel;
         let mut best: Option<(f64, usize, f64)> = None; // (density, cluster, S)
-        for &c in candidates {
+        for c in candidates {
             let cluster = &self.clusters[c];
             let m = cluster.members.len() as f64;
             let s: f64 =
@@ -194,7 +313,15 @@ impl StreamingAlid {
                 best = Some((cluster.density, c, s));
             }
         }
-        let (_, c, s) = best?;
+        best.map(|(d, c, s)| (c, d, s))
+    }
+
+    /// The infective-attachment test — [`Self::best_infective`] plus
+    /// the mutation: the winner absorbs `id` with an O(|c|)
+    /// incremental density update.
+    fn attach_among(&mut self, id: u32, candidates: &[usize]) -> Option<usize> {
+        let v = self.data.get(id as usize);
+        let (c, _, s) = self.best_infective(v, candidates.iter().copied())?;
         let cluster = &mut self.clusters[c];
         let m = cluster.members.len() as f64;
         self.pair_sums[c] += s;
@@ -527,6 +654,70 @@ mod tests {
             "later sweeps keep accumulating into the same stats"
         );
         assert_eq!(s.peel_stats().rounds.len(), 0, "sequential sweeps record no rounds");
+    }
+
+    /// The persistence surface's core guarantee: capture the state
+    /// mid-stream, rebuild via `from_state`, continue — every output
+    /// is bit-for-bit what the uninterrupted instance produces.
+    #[test]
+    fn from_state_continue_is_bit_identical_to_uninterrupted() {
+        let feed = |s: &mut StreamingAlid, range: std::ops::Range<usize>| {
+            for i in range {
+                let v = match i % 5 {
+                    0 | 1 => (i % 10) as f64 * 0.04,
+                    2 | 3 => 30.0 + (i % 10) as f64 * 0.04,
+                    _ => 500.0 + i as f64 * 13.0,
+                };
+                s.push(&[v]);
+            }
+        };
+        let mut uninterrupted = stream();
+        feed(&mut uninterrupted, 0..60);
+
+        let mut first = stream();
+        feed(&mut first, 0..37); // mid-batch: since_sweep != 0
+        let mut resumed = StreamingAlid::from_state(
+            *first.params(),
+            first.batch(),
+            CostModel::shared(),
+            first.data().clone(),
+            first.clusters().to_vec(),
+            first.pair_sums().to_vec(),
+            first.assignments().to_vec(),
+            first.pending().to_vec(),
+            first.since_sweep(),
+        );
+        feed(&mut resumed, 37..60);
+
+        assert_eq!(resumed.assignments(), uninterrupted.assignments());
+        assert_eq!(resumed.pending(), uninterrupted.pending());
+        assert_eq!(resumed.clusters().len(), uninterrupted.clusters().len());
+        for (a, b) in resumed.clusters().iter().zip(uninterrupted.clusters()) {
+            assert_eq!(a.members, b.members);
+            let aw: Vec<u64> = a.weights.iter().map(|w| w.to_bits()).collect();
+            let bw: Vec<u64> = b.weights.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(aw, bw);
+            assert_eq!(a.density.to_bits(), b.density.to_bits());
+        }
+        let ap: Vec<u64> = resumed.pair_sums().iter().map(|x| x.to_bits()).collect();
+        let bp: Vec<u64> = uninterrupted.pair_sums().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(ap, bp, "incremental density state diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cluster")]
+    fn from_state_rejects_dangling_assignment() {
+        let _ = StreamingAlid::from_state(
+            params(),
+            8,
+            CostModel::shared(),
+            Dataset::from_flat(1, vec![0.0]),
+            Vec::new(),
+            Vec::new(),
+            vec![Some(3)],
+            Vec::new(),
+            0,
+        );
     }
 
     #[test]

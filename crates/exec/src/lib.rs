@@ -4,8 +4,12 @@
 //! own `std::thread::scope` pool: `DenseAffinity` row construction, the
 //! `CostModel` concurrency test and the PALID map phase (which also
 //! pulled in channel machinery for work distribution). This crate is
-//! now the **only** place in the workspace that spawns threads; every
-//! parallel phase expresses itself as one of two shapes:
+//! now the only place in the workspace that spawns **compute**
+//! threads (the sole other spawner is `alid-service`'s HTTP acceptor
+//! threads, which own blocking socket I/O — a shape the bounded-phase
+//! model below deliberately excludes — and push all CPU-heavy request
+//! work back through this pool); every parallel phase expresses
+//! itself as one of two shapes:
 //!
 //! * [`ExecPolicy::for_each_index`] — a *static, strided* partition of
 //!   an index range, for uniform workloads that write disjoint slots

@@ -43,7 +43,27 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// threads (excess logical workers just queue behind the cap).
 const MAX_POOL_THREADS: usize = 256;
 
-type Job = Box<dyn FnOnce() + Send>;
+/// One queued logical worker of some phase. Kept as data (phase +
+/// worker index) rather than a boxed closure so a waiter can tell
+/// *whose* job it is — see [`PhaseWait`] for why that matters.
+struct Job {
+    phase: Arc<Phase>,
+    t: usize,
+}
+
+impl Job {
+    fn run(self) {
+        // SAFETY: `PhaseWait` keeps `run_phase` from returning or
+        // unwinding until `remaining` hits zero, i.e. until after
+        // this dereference.
+        let body = unsafe { &*self.phase.body.0 };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(self.t))) {
+            let mut slot = self.phase.panic.lock().expect("phase panic slot");
+            slot.get_or_insert(payload);
+        }
+        self.phase.finish_one();
+    }
+}
 
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
@@ -91,8 +111,20 @@ impl Phase {
 
 /// Waits for a phase's outstanding pool jobs on drop — even when the
 /// calling thread's own body panics, since queued jobs hold a pointer
-/// into the unwinding stack frame. Helps run other queued jobs while
-/// waiting, so phases started from inside pool jobs make progress.
+/// into the unwinding stack frame. Helps run queued jobs **of its own
+/// phase only** while waiting, so phases started from inside pool
+/// jobs make progress.
+///
+/// Own-phase-only helping is a correctness requirement, not an
+/// optimization: the waiting thread may hold caller locks (a service
+/// shard mutex around a nested sweep phase, say), and running a
+/// *foreign* job here would import that job's lock acquisitions into
+/// the current lock context — if the foreign job tries to take a lock
+/// this very thread already holds, the process deadlocks. Own jobs
+/// can never do that (the phase body is the same closure this thread
+/// is already inside of, at a different index). Progress is
+/// preserved: every waiting phase can drain its own queued jobs
+/// itself, so no phase ever depends on another phase's waiter.
 struct PhaseWait<'a>(&'a Phase);
 
 impl Drop for PhaseWait<'_> {
@@ -100,12 +132,17 @@ impl Drop for PhaseWait<'_> {
         let shared = &self.0.shared;
         let mut queue = shared.queue.lock().expect("pool queue");
         while self.0.remaining.load(Ordering::Acquire) > 0 {
-            if let Some(job) = queue.pop_front() {
-                drop(queue);
-                job();
-                queue = shared.queue.lock().expect("pool queue");
-            } else {
-                queue = shared.signal.wait(queue).expect("pool queue");
+            let mine = queue
+                .iter()
+                .position(|job| std::ptr::eq(Arc::as_ptr(&job.phase), self.0 as *const Phase));
+            match mine {
+                Some(idx) => {
+                    let job = queue.remove(idx).expect("indexed job");
+                    drop(queue);
+                    job.run();
+                    queue = shared.queue.lock().expect("pool queue");
+                }
+                None => queue = shared.signal.wait(queue).expect("pool queue"),
             }
         }
     }
@@ -122,7 +159,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 }
             }
         };
-        job();
+        job.run();
     }
 }
 
@@ -174,18 +211,7 @@ impl Pool {
         {
             let mut queue = self.shared.queue.lock().expect("pool queue");
             for t in 1..workers {
-                let phase = Arc::clone(&phase);
-                queue.push_back(Box::new(move || {
-                    // SAFETY: `PhaseWait` keeps `run_phase` from
-                    // returning or unwinding until `remaining` hits
-                    // zero, i.e. until after this dereference.
-                    let body = unsafe { &*phase.body.0 };
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(t))) {
-                        let mut slot = phase.panic.lock().expect("phase panic slot");
-                        slot.get_or_insert(payload);
-                    }
-                    phase.finish_one();
-                }));
+                queue.push_back(Job { phase: Arc::clone(&phase), t });
             }
         }
         self.shared.signal.notify_all();
@@ -259,6 +285,42 @@ mod tests {
             i + hits.load(Ordering::Relaxed)
         });
         assert_eq!(results, vec![16, 17, 18, 19]);
+    }
+
+    /// Regression for the foreign-job deadlock: concurrent phases
+    /// whose bodies hold per-index locks around *nested* phases. With
+    /// the old any-job queue helping, a waiter inside phase A (holding
+    /// lock i) could pop phase B's job, which tries to lock the same i
+    /// on the same thread — permanent deadlock. Own-phase-only helping
+    /// makes this shape safe; the test hangs (CI timeout) on
+    /// regression.
+    #[test]
+    fn concurrent_lock_holding_phases_with_nested_phases_do_not_deadlock() {
+        use std::sync::Mutex;
+        let locks: Vec<Mutex<u64>> = (0..4).map(|_| Mutex::new(0)).collect();
+        let locks = &locks;
+        for _round in 0..25 {
+            std::thread::scope(|scope| {
+                for _caller in 0..3 {
+                    scope.spawn(move || {
+                        let results = ExecPolicy::workers(3).map_indexed(4, |i| {
+                            let mut guard = locks[i].lock().expect("shard lock");
+                            // Nested phase while holding the lock —
+                            // the service drain/sweep pattern.
+                            let hits = AtomicUsize::new(0);
+                            ExecPolicy::workers(2).for_each_index(8, |_| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                            *guard += 1;
+                            hits.load(Ordering::Relaxed)
+                        });
+                        assert_eq!(results, vec![8, 8, 8, 8]);
+                    });
+                }
+            });
+        }
+        let total: u64 = locks.iter().map(|l| *l.lock().expect("shard lock")).sum();
+        assert_eq!(total, 25 * 3 * 4);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use alid_exec::{ExecPolicy, SharedSlice, TuneState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::gauss::sample_standard_normal;
 use crate::params::LshParams;
 
 /// Chunk autotuner for the parallel key-computation phase of
@@ -313,19 +314,6 @@ impl LshIndex {
         }
         let total = self.n as f64 * self.n as f64;
         (1.0 - pairs / total).max(0.0)
-    }
-}
-
-/// Box–Muller standard normal (rand's core crate has no normal
-/// distribution; implementing it keeps the dependency set minimal).
-fn sample_standard_normal(rng: &mut StdRng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     }
 }
 

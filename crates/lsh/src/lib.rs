@@ -22,11 +22,14 @@
 
 #![warn(missing_docs)]
 pub mod collision;
+mod gauss;
 pub mod index;
 pub mod params;
+pub mod route;
 pub mod simhash;
 
 pub use collision::collision_probability;
 pub use index::LshIndex;
 pub use params::LshParams;
+pub use route::ShardRouter;
 pub use simhash::{SimHashIndex, SimHashParams};

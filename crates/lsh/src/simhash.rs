@@ -19,7 +19,9 @@ use alid_affinity::fx::{mix_words, FxHashMap};
 use alid_affinity::vector::Dataset;
 use alid_exec::{ExecPolicy, SharedSlice, TuneState};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+
+use crate::gauss::sample_standard_normal;
 
 /// SimHash configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -226,19 +228,6 @@ impl SimHashIndex {
     pub fn recall(&self, theta: f64) -> f64 {
         let p_key = Self::bit_collision_probability(theta).powi(self.params.bits as i32);
         1.0 - (1.0 - p_key).powi(self.params.tables as i32)
-    }
-}
-
-/// Box–Muller standard normal (kept local; the crate deliberately avoids
-/// `rand_distr`).
-fn sample_standard_normal(rng: &mut StdRng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
     }
 }
 

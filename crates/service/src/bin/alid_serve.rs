@@ -1,0 +1,23 @@
+//! `alid_serve` — the standalone front-end binary.
+//!
+//! Thin wrapper over [`alid_service::cli::serve_main`]; the root `alid`
+//! binary's `serve` subcommand runs the identical code path, so either
+//! entry point can be used interchangeably:
+//!
+//! ```text
+//! alid_serve --dim 16 --scale 0.25 --shards 4 --addr 127.0.0.1:7099
+//! curl -s localhost:7099/healthz
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match alid_service::cli::serve_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,889 @@
+//! A std-only HTTP/1.1 JSON front end for the sharded service.
+//!
+//! No framework, no async runtime, no dependencies beyond `std` and
+//! the workspace shims: a `TcpListener`, a handful of acceptor
+//! threads, and hand-rolled request parsing. The split of work is
+//! deliberate — acceptor threads own the *I/O* (blocking reads and
+//! writes, which the exec pool's phase model rightly excludes), while
+//! every CPU-heavy step a request triggers (the cross-shard drain, the
+//! shard sweeps it may cascade into) runs through the shared
+//! [`alid_exec`] pool via the service's `ExecPolicy` — the same
+//! substrate every other parallel phase in the workspace uses.
+//!
+//! Endpoints (all responses `application/json`):
+//!
+//! | method & path | body | effect |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness + shard depth metrics |
+//! | `POST /ingest` | `{"items": [[f64,...],...], "apply": bool?}` | admit a batch (bounded queues, `busy` verdicts), then drain unless `apply` is `false` |
+//! | `GET /assign?id=N` | — | placement + cluster of an admitted item |
+//! | `POST /assign` | `{"vector": [f64,...]}` | read-only attachment probe |
+//! | `GET /clusters?k=N` | — | top-k densest clusters, merged across shards |
+//! | `POST /snapshot` | — | drain, then write a binary snapshot to the server's configured `--snapshot` path (never a client-supplied one) |
+//!
+//! Keep-alive is honoured (`Connection: close` to opt out); malformed
+//! requests get `400`, unknown routes `404`, oversized bodies `413`.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Json, Serialize};
+
+use crate::service::Service;
+use crate::snapshot::snapshot_bytes;
+
+/// Upper bound on request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Upper bound on request bodies (a generous batch of vectors).
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Socket-level blocking-read timeout — the granularity at which a
+/// blocked read wakes up to check its absolute deadline.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Absolute deadline for receiving one complete request head. A
+/// slow-drip client (one byte per second, never a newline) defeats a
+/// per-read timeout; it cannot defeat this. Also the idle keep-alive
+/// window: the acceptor model is thread-per-connection, so a parked
+/// idle connection holds an acceptor — after this long without a new
+/// request it is closed and the acceptor returns to `accept()`.
+const HEAD_DEADLINE: Duration = Duration::from_secs(10);
+/// Absolute deadline for receiving one complete request body (64 MB
+/// at loopback/LAN rates takes well under this).
+const BODY_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Whether a read error is a per-read socket timeout (a stall to ride
+/// out under an absolute deadline) rather than a dead connection.
+fn stalled(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Front-end options.
+#[derive(Clone, Debug)]
+pub struct HttpOptions {
+    /// Acceptor thread count (each owns one connection at a time).
+    pub http_workers: usize,
+    /// The one path `POST /snapshot` may write (`--snapshot`); the
+    /// endpoint is disabled when unset. Deliberately never taken from
+    /// the request — that would be an arbitrary remote file write.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for HttpOptions {
+    fn default() -> Self {
+        Self { http_workers: 4, snapshot_path: None }
+    }
+}
+
+/// Live-connection registry: lets [`HttpServer::shutdown`] close
+/// in-flight keep-alive connections instead of waiting out their read
+/// timeouts.
+#[derive(Default)]
+struct Connections {
+    live: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl Connections {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.live.lock().expect("connection registry").insert(id, clone);
+        Some(id)
+    }
+
+    fn unregister(&self, id: u64) {
+        self.live.lock().expect("connection registry").remove(&id);
+    }
+
+    fn close_all(&self) {
+        for stream in self.live.lock().expect("connection registry").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running front end. Dropping the handle leaves the acceptors
+/// serving; call [`HttpServer::shutdown`] for an orderly stop or
+/// [`HttpServer::join`] to serve forever.
+pub struct HttpServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    connections: Arc<Connections>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Binds `addr` and starts serving `service` on
+/// [`HttpOptions::http_workers`] acceptor threads.
+pub fn start(
+    service: Arc<Service>,
+    addr: impl ToSocketAddrs,
+    opts: HttpOptions,
+) -> io::Result<HttpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let connections = Arc::new(Connections::default());
+    let workers = opts.http_workers.max(1);
+    let mut handles = Vec::with_capacity(workers);
+    for t in 0..workers {
+        let listener = listener.try_clone()?;
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let connections = Arc::clone(&connections);
+        let opts = opts.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("alid-http-{t}"))
+                .spawn(move || acceptor_loop(listener, service, opts, stop, connections))
+                .expect("spawn http acceptor"),
+        );
+    }
+    Ok(HttpServer { local, stop, connections, handles })
+}
+
+impl HttpServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stops the acceptors and joins them. In-flight requests finish
+    /// their current response; idle keep-alive connections are closed;
+    /// queued-but-unaccepted connections are dropped.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock acceptors parked in blocking reads on idle
+        // connections...
+        self.connections.close_all();
+        // ...and those parked in accept(), with one dummy connection
+        // each.
+        for _ in 0..self.handles.len() {
+            let _ = TcpStream::connect(self.local);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks forever serving (the `alid serve` main loop).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    service: Arc<Service>,
+    opts: HttpOptions,
+    stop: Arc<AtomicBool>,
+    connections: Arc<Connections>,
+) {
+    loop {
+        let conn = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match conn {
+            Ok((stream, _)) => {
+                let id = connections.register(&stream);
+                // Per-connection errors (resets, malformed requests)
+                // must never take the acceptor down.
+                let _ = handle_connection(stream, &service, &opts);
+                if let Some(id) = id {
+                    connections.unregister(id);
+                }
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// A handler-level failure: status code + message for the JSON error
+/// body.
+struct HttpError {
+    status: u16,
+    message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self { status, message: message.into() }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Arc<Service>,
+    opts: &HttpOptions,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader, &mut writer) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean EOF between requests
+            Err(e) => {
+                write_response(&mut writer, e.status, &error_body(&e.message), false)?;
+                return Ok(());
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let (status, body) = match dispatch(&request, service, opts) {
+            Ok(body) => (200, body),
+            Err(e) => (e.status, error_body(&e.message)),
+        };
+        write_response(&mut writer, status, &body, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn error_body(message: &str) -> Json {
+    Json::object([("error", message.to_json())])
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        501 => "Not Implemented",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let rendered = serde_json::to_string(body).expect("shim serialization is total");
+    // One buffer, one write: a head written separately would sit in
+    // Nagle's queue waiting for the peer's delayed ACK (~40ms per
+    // request) — the closed-loop latency killer.
+    let mut response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status_text(status),
+        rendered.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    response.push_str(&rendered);
+    w.write_all(response.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one line (up to `\n`) with a hard byte cap and an absolute
+/// deadline, via the `BufRead` internals — `read_line` alone checks
+/// nothing until a newline arrives, so a peer streaming an endless
+/// header (or dripping one byte per second) could buffer unbounded
+/// memory / hold the acceptor forever.
+///
+/// Returns `Ok(0)` on EOF before any byte. Errors: timeout/reset mid-
+/// line, the cap, or the deadline.
+fn bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    cap: usize,
+    deadline: Instant,
+) -> io::Result<usize> {
+    // Bytes accumulate raw and are decoded *once* at the end: a
+    // multibyte UTF-8 character can straddle two fill_buf chunks, and
+    // per-chunk lossy decoding would corrupt each half into U+FFFD.
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        if Instant::now() > deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "request head deadline"));
+        }
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            // Per-read socket timeout = stall; the absolute deadline
+            // above decides when to give up.
+            Err(e) if stalled(&e) => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            break; // EOF
+        }
+        let (take, found_nl) = match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => (nl + 1, true),
+            None => (buf.len(), false),
+        };
+        if raw.len() + take > cap {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "line exceeds head cap"));
+        }
+        raw.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if found_nl {
+            break;
+        }
+    }
+    let total = raw.len();
+    line.push_str(&String::from_utf8_lossy(&raw));
+    Ok(total)
+}
+
+/// Reads one request head + body. `Ok(None)` on clean EOF before any
+/// byte of a new request. `writer` is only touched for the interim
+/// `100 Continue` response some clients (curl with bodies over ~1 KB)
+/// wait for before transmitting their body — without it every large
+/// ingest request stalls on the client's expect timeout (~1 s).
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+) -> Result<Option<Request>, HttpError> {
+    // The whole head must arrive within this window — a slow-drip
+    // client cannot hold the acceptor past it (each blocking read is
+    // additionally bounded by the socket read timeout).
+    let deadline = Instant::now() + HEAD_DEADLINE;
+    let mut line = String::new();
+    match bounded_line(reader, &mut line, MAX_HEAD_BYTES, deadline) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return Err(HttpError::new(400, "request head too large"))
+        }
+        Err(_) => return Ok(None), // reset/timeout between requests
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut expect_continue = false;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        let remaining = MAX_HEAD_BYTES.saturating_sub(head_bytes).max(1);
+        match bounded_line(reader, &mut header, remaining, deadline) {
+            Ok(0) => return Err(HttpError::new(400, "connection dropped mid-headers")),
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Err(HttpError::new(400, "request head too large"))
+            }
+            Err(_) => return Err(HttpError::new(400, "connection dropped mid-headers")),
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::new(400, "request head too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::new(400, "malformed header"));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length =
+                    value.parse().map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
+            }
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            "expect" => expect_continue = value.eq_ignore_ascii_case("100-continue"),
+            "transfer-encoding" => {
+                // No chunked decoder: silently misframing the chunk
+                // stream as the next request would desync the whole
+                // keep-alive connection, so refuse loudly (the
+                // handler closes the connection on errors).
+                return Err(HttpError::new(
+                    501,
+                    "Transfer-Encoding is not supported; send a Content-Length body",
+                ));
+            }
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+    // Same slow-drip defence as the head: an absolute deadline on the
+    // whole body, not just the per-read socket timeout (a client
+    // dripping one byte per READ_TIMEOUT would never trip that).
+    if expect_continue && content_length > 0 {
+        writer
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .and_then(|()| writer.flush())
+            .map_err(|_| HttpError::new(400, "connection dropped before body"))?;
+    }
+    let body_deadline = Instant::now() + BODY_DEADLINE;
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0usize;
+    while filled < content_length {
+        if Instant::now() > body_deadline {
+            return Err(HttpError::new(400, "request body deadline exceeded"));
+        }
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::new(400, "connection dropped mid-body")),
+            Ok(n) => filled += n,
+            // A per-read socket timeout is a *stall*, not a drop: keep
+            // reading until the absolute deadline decides.
+            Err(e) if stalled(&e) => {}
+            Err(_) => return Err(HttpError::new(400, "connection dropped mid-body")),
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Some(Request { method, path, query, body, keep_alive }))
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect()
+}
+
+fn query_param<'a>(req: &'a Request, key: &str) -> Option<&'a str> {
+    req.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+fn parse_body(req: &Request) -> Result<Json, HttpError> {
+    if req.body.is_empty() {
+        return Ok(Json::Null);
+    }
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| HttpError::new(400, "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| HttpError::new(400, format!("invalid JSON body: {e}")))
+}
+
+fn dispatch(req: &Request, service: &Arc<Service>, opts: &HttpOptions) -> Result<Json, HttpError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok(healthz(service)),
+        ("POST", "/ingest") => ingest(req, service),
+        ("GET", "/assign") => assign_by_id(req, service),
+        ("POST", "/assign") => assign_by_vector(req, service),
+        ("GET", "/clusters") => clusters(req, service),
+        ("POST", "/snapshot") => snapshot(req, service, opts),
+        ("GET" | "POST", _) => Err(HttpError::new(404, format!("no route {}", req.path))),
+        _ => Err(HttpError::new(405, format!("method {} not allowed", req.method))),
+    }
+}
+
+fn healthz(service: &Service) -> Json {
+    let depths = service.depths();
+    let clusters: usize = depths.iter().map(|d| d.clusters).sum();
+    Json::object([
+        ("status", "ok".to_json()),
+        ("schema", "alid-service/1".to_json()),
+        ("shards", service.shard_count().to_json()),
+        ("items", service.len().to_json()),
+        ("clusters", clusters.to_json()),
+        ("depths", depths.to_json()),
+    ])
+}
+
+fn vector_from_json(j: &Json, dim: usize) -> Result<Vec<f64>, HttpError> {
+    let arr = j.as_arr().ok_or_else(|| HttpError::new(400, "vector must be an array"))?;
+    if arr.len() != dim {
+        return Err(HttpError::new(
+            400,
+            format!("vector has {} coordinates, service dimensionality is {dim}", arr.len()),
+        ));
+    }
+    arr.iter()
+        .map(|x| x.as_f64().ok_or_else(|| HttpError::new(400, "non-numeric vector coordinate")))
+        .collect()
+}
+
+fn ingest(req: &Request, service: &Arc<Service>) -> Result<Json, HttpError> {
+    let body = parse_body(req)?;
+    let items = body
+        .get("items")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| HttpError::new(400, "body must be {\"items\": [[..], ..]}"))?;
+    let dim = service.config().dim;
+    let mut vectors = Vec::with_capacity(items.len());
+    for item in items {
+        vectors.push(vector_from_json(item, dim)?);
+    }
+    let results = service.ingest_batch(vectors.iter().map(Vec::as_slice));
+    let apply = body.get("apply").and_then(Json::as_bool).unwrap_or(true);
+    let report = if apply { service.drain() } else { crate::service::DrainReport::default() };
+    Ok(Json::object([
+        ("results", results.to_json()),
+        ("applied", apply.to_json()),
+        ("report", report.to_json()),
+        ("depths", service.depths().to_json()),
+    ]))
+}
+
+fn assign_by_id(req: &Request, service: &Service) -> Result<Json, HttpError> {
+    let id: u64 = query_param(req, "id")
+        .ok_or_else(|| HttpError::new(400, "missing ?id="))?
+        .parse()
+        .map_err(|_| HttpError::new(400, "?id= must be an unsigned integer"))?;
+    match service.assignment(id) {
+        None => Err(HttpError::new(404, format!("unknown item id {id}"))),
+        Some(assigned) => {
+            let cluster = match assigned {
+                Some(c) => {
+                    Json::object([("shard", c.shard.to_json()), ("cluster", c.cluster.to_json())])
+                }
+                None => Json::Null,
+            };
+            Ok(Json::object([("id", id.to_json()), ("cluster", cluster)]))
+        }
+    }
+}
+
+fn assign_by_vector(req: &Request, service: &Service) -> Result<Json, HttpError> {
+    let body = parse_body(req)?;
+    let vector =
+        body.get("vector").ok_or_else(|| HttpError::new(400, "body must be {\"vector\": [..]}"))?;
+    let v = vector_from_json(vector, service.config().dim)?;
+    let shard = service.route(&v);
+    match service.probe(&v) {
+        Some((cref, density)) => Ok(Json::object([
+            ("shard", shard.to_json()),
+            (
+                "cluster",
+                Json::object([
+                    ("shard", cref.shard.to_json()),
+                    ("cluster", cref.cluster.to_json()),
+                    ("density", density.to_json()),
+                ]),
+            ),
+        ])),
+        None => Ok(Json::object([("shard", shard.to_json()), ("cluster", Json::Null)])),
+    }
+}
+
+fn clusters(req: &Request, service: &Service) -> Result<Json, HttpError> {
+    let k = match query_param(req, "k") {
+        Some(k) => k
+            .parse::<usize>()
+            .map_err(|_| HttpError::new(400, "?k= must be an unsigned integer"))?,
+        None => usize::MAX,
+    };
+    Ok(Json::object([("clusters", service.top_k(k).to_json())]))
+}
+
+fn snapshot(req: &Request, service: &Arc<Service>, opts: &HttpOptions) -> Result<Json, HttpError> {
+    // The target path is fixed at server start (`--snapshot` /
+    // `HttpOptions::snapshot_path`) and never taken from the request:
+    // honouring a client-supplied path would hand every network peer
+    // an arbitrary server-side file write.
+    let _ = parse_body(req)?; // body, if any, must still be valid JSON
+    let path: PathBuf = opts.snapshot_path.clone().ok_or_else(|| {
+        HttpError::new(400, "snapshots disabled: server started without --snapshot")
+    })?;
+    // Quiesce the queues so the snapshot captures applied state, then
+    // serialize.
+    service.drain();
+    let bytes = snapshot_bytes(service);
+    // Write-then-rename so the target is always a complete snapshot:
+    // a crash mid-write (or a concurrent request) must never leave
+    // the only snapshot torn — that is the durability the feature
+    // exists for. The temp name is unique per request so concurrent
+    // snapshots each rename a complete file (last one wins).
+    static SNAP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        SNAP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write_err =
+        |e: std::io::Error| HttpError::new(500, format!("writing {}: {e}", path.display()));
+    std::fs::write(&tmp, &bytes).map_err(write_err)?;
+    if let Err(e) = std::fs::rename(&tmp, &path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(write_err(e));
+    }
+    Ok(Json::object([
+        ("path", path.display().to_string().to_json()),
+        ("bytes", bytes.len().to_json()),
+    ]))
+}
+
+// --- client ------------------------------------------------------------
+
+/// A minimal blocking keep-alive client for the front end, used by the
+/// load generator, the CI smoke cycle and the integration tests.
+pub struct Client {
+    stream: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running front end.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self { stream: BufReader::new(stream) })
+    }
+
+    /// Sends one request and reads the JSON response. `body = None`
+    /// sends no payload.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> io::Result<(u16, Json)> {
+        let payload = body.map(|b| serde_json::to_string(b).expect("total")).unwrap_or_default();
+        // Head + payload in one write (see write_response on Nagle).
+        let mut request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: alid\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            payload.len(),
+        );
+        request.push_str(&payload);
+        let w = self.stream.get_mut();
+        w.write_all(request.as_bytes())?;
+        w.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Json)> {
+        let mut line = String::new();
+        self.stream.read_line(&mut line)?;
+        let status: u16 =
+            line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {line:?}"))
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.stream.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.stream.read_exact(&mut body)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        let json = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON body: {e}"))
+        })?;
+        Ok((status, json))
+    }
+}
+
+/// Polls `GET /healthz` until the front end answers or the deadline
+/// passes — the readiness gate external drivers (CI) need between
+/// spawning `alid serve` and hammering it.
+pub fn wait_ready(addr: &str, timeout: Duration) -> io::Result<()> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        match Client::connect(addr).and_then(|mut c| c.request("GET", "/healthz", None)) {
+            Ok((200, _)) => return Ok(()),
+            _ if std::time::Instant::now() >= deadline => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("{addr} not ready within {timeout:?}"),
+                ))
+            }
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use alid_affinity::kernel::LaplacianKernel;
+    use alid_core::AlidParams;
+
+    fn test_service() -> Arc<Service> {
+        let kernel = LaplacianKernel::l2(1.0);
+        let mut p = AlidParams::new(kernel);
+        p.first_roi_radius = kernel.distance_at(0.5);
+        p.density_threshold = 0.7;
+        p.min_cluster_size = 3;
+        p.lsh.seed = 5;
+        Arc::new(Service::new(ServiceConfig::new(1, 2, p).with_batch(8)))
+    }
+
+    fn start_test_server() -> (HttpServer, String) {
+        let server = start(
+            test_service(),
+            "127.0.0.1:0",
+            HttpOptions { http_workers: 2, snapshot_path: None },
+        )
+        .expect("bind loopback");
+        let addr = server.addr().to_string();
+        (server, addr)
+    }
+
+    #[test]
+    fn full_cycle_over_loopback() {
+        let (server, addr) = start_test_server();
+        let mut client = Client::connect(&addr).unwrap();
+
+        let (status, health) = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(health.get("shards").and_then(Json::as_u64), Some(2));
+
+        // Ingest a tight run that must form one cluster.
+        let items: Vec<Json> =
+            (0..16).map(|i| Json::Arr(vec![Json::Num(i as f64 * 0.01)])).collect();
+        let body = Json::object([("items", Json::Arr(items))]);
+        let (status, resp) = client.request("POST", "/ingest", Some(&body)).unwrap();
+        assert_eq!(status, 200, "{resp:?}");
+        assert_eq!(resp.get("results").and_then(Json::as_arr).map(<[Json]>::len), Some(16));
+        assert_eq!(
+            resp.get("report").and_then(|r| r.get("applied")).and_then(Json::as_u64),
+            Some(16)
+        );
+
+        let (status, c) = client.request("GET", "/clusters?k=5", None).unwrap();
+        assert_eq!(status, 200);
+        let clusters = c.get("clusters").and_then(Json::as_arr).unwrap();
+        assert!(!clusters.is_empty(), "the tight run should be detected: {c:?}");
+
+        let (status, a) = client.request("GET", "/assign?id=0", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(!a.get("cluster").unwrap().is_null(), "item 0 should be explained: {a:?}");
+
+        let probe = Json::object([("vector", Json::Arr(vec![Json::Num(0.05)]))]);
+        let (status, p) = client.request("POST", "/assign", Some(&probe)).unwrap();
+        assert_eq!(status, 200);
+        assert!(!p.get("cluster").unwrap().is_null(), "{p:?}");
+
+        let (status, e) = client.request("GET", "/assign?id=999", None).unwrap();
+        assert_eq!(status, 404, "{e:?}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_crash() {
+        let (server, addr) = start_test_server();
+        let mut client = Client::connect(&addr).unwrap();
+        // Unparseable body.
+        let w = client.stream.get_mut();
+        w.write_all(b"POST /ingest HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{").unwrap();
+        w.flush().unwrap();
+        let (status, _) = client.read_response().unwrap();
+        assert_eq!(status, 400);
+        // The server survives for the next client.
+        let mut c2 = Client::connect(&addr).unwrap();
+        let (status, _) = c2.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    /// Regression: a request line streamed without a newline must hit
+    /// the head cap (bounded memory, 400 or close) instead of growing
+    /// a String until the process OOMs — `read_line` alone checks
+    /// nothing until the newline arrives.
+    #[test]
+    fn endless_header_line_is_capped_not_buffered() {
+        let (server, addr) = start_test_server();
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // 4x the head cap, no newline anywhere.
+        let flood = vec![b'a'; 4 * MAX_HEAD_BYTES];
+        // The server may close mid-write once the cap trips; both a
+        // successful send and a broken pipe are acceptable here.
+        let _ = raw.write_all(&flood);
+        let mut response = String::new();
+        let _ = raw.read_to_string(&mut response);
+        assert!(
+            response.is_empty() || response.starts_with("HTTP/1.1 400"),
+            "unexpected response: {response:?}"
+        );
+        // The acceptor survives for the next client.
+        let mut c = Client::connect(&addr).unwrap();
+        let (status, _) = c.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_and_method() {
+        let (server, addr) = start_test_server();
+        let mut client = Client::connect(&addr).unwrap();
+        let (status, _) = client.request("GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client.request("PUT", "/ingest", None).unwrap();
+        assert_eq!(status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_endpoint_writes_a_restorable_file() {
+        let path = std::env::temp_dir().join(format!("alid_snap_test_{}.bin", std::process::id()));
+        let server = start(
+            test_service(),
+            "127.0.0.1:0",
+            HttpOptions { http_workers: 2, snapshot_path: Some(path.clone()) },
+        )
+        .expect("bind loopback");
+        let addr = server.addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        let items: Vec<Json> =
+            (0..12).map(|i| Json::Arr(vec![Json::Num(i as f64 * 0.01)])).collect();
+        let body = Json::object([("items", Json::Arr(items))]);
+        client.request("POST", "/ingest", Some(&body)).unwrap();
+        // A client-supplied path must be ignored: only the configured
+        // path is written.
+        let evil = std::env::temp_dir().join(format!("alid_evil_{}.bin", std::process::id()));
+        let body = Json::object([("path", Json::Str(evil.display().to_string()))]);
+        let (status, resp) = client.request("POST", "/snapshot", Some(&body)).unwrap();
+        assert_eq!(status, 200, "{resp:?}");
+        assert!(!evil.exists(), "client-supplied snapshot path must never be written");
+        assert_eq!(
+            resp.get("path").and_then(Json::as_str),
+            Some(path.display().to_string().as_str())
+        );
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, resp.get("bytes").and_then(Json::as_u64).unwrap());
+        let restored = crate::snapshot::restore(&bytes, alid_exec::ExecPolicy::sequential())
+            .expect("snapshot restores");
+        assert_eq!(restored.len(), 12);
+        let _ = std::fs::remove_file(&path);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wait_ready_times_out_on_dead_port() {
+        let err = wait_ready("127.0.0.1:1", Duration::from_millis(200)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+}

@@ -1,0 +1,44 @@
+//! Sharded online dominant-cluster detection as a serving system —
+//! the PALID deployment story (Section 4.6) rebuilt for this
+//! workspace's in-process substrate.
+//!
+//! The paper scales ALID by *partitioning* detection over Spark
+//! executors and *reducing* overlapping claims by maximum density.
+//! This crate is that route taken to its serving conclusion: a
+//! [`Service`] wraps N hash-partitioned
+//! [`StreamingAlid`](alid_core::streaming::StreamingAlid) shards
+//! behind one frontend, with
+//!
+//! * **deterministic routing** — a seeded SimHash signature
+//!   ([`alid_lsh::ShardRouter`]) maps every vector to its shard, so
+//!   re-ingesting the same stream with the same shard count is
+//!   byte-reproducible, on any machine and any worker count;
+//! * **bounded admission** — per-shard ingest queues with explicit
+//!   [`Admission::Busy`] backpressure and depth metrics, instead of
+//!   unbounded buffering;
+//! * **queries** — point assignment lookup, read-only attachment
+//!   probes, per-cluster summaries and cross-shard top-k merged by the
+//!   PALID maximum-density reduction rule;
+//! * **persistence** — a versioned binary [`snapshot`] of the whole
+//!   service (datasets, clusters, density state, pending buffers,
+//!   unapplied queues, placements) that restores to an instance which
+//!   continues *bit-for-bit* identically to one that never stopped;
+//! * **a std-only HTTP/1.1 front end** ([`http`]) — `TcpListener`
+//!   acceptors over the shared exec pool's compute phases, no
+//!   dependencies beyond the workspace shims — exposing `/ingest`,
+//!   `/assign`, `/clusters`, `/snapshot` and `/healthz`.
+//!
+//! See DESIGN.md ("Sharded serving") for the determinism argument and
+//! for what the reduction rule gives up versus single-instance ALID.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod http;
+pub mod service;
+pub mod snapshot;
+
+pub use service::{
+    Admission, ClusterRef, ClusterSummary, DrainReport, Service, ServiceConfig, ShardDepth,
+};
+pub use snapshot::{restore, snapshot_bytes, SnapshotError};

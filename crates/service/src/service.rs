@@ -1,0 +1,627 @@
+//! The sharded service core: routing, bounded admission, parallel
+//! drain, and cross-shard queries.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use alid_affinity::cost::CostModel;
+use alid_core::streaming::{StreamUpdate, StreamingAlid};
+use alid_core::AlidParams;
+use alid_exec::ExecPolicy;
+use alid_lsh::ShardRouter;
+use serde::{Json, Serialize};
+
+/// Static configuration of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Feature dimensionality of every ingested vector.
+    pub dim: usize,
+    /// Number of hash-partitioned [`StreamingAlid`] shards.
+    pub shards: usize,
+    /// Per-shard sweep period (arrivals between detection passes).
+    pub batch: usize,
+    /// Per-shard bound on admitted-but-unapplied items; admissions
+    /// beyond it are refused with [`Admission::Busy`].
+    pub queue_capacity: usize,
+    /// Sign bits of the routing signature.
+    pub router_bits: usize,
+    /// Seed of the routing hyperplanes. Independent of `params.lsh.seed`
+    /// so re-seeding detection never silently re-partitions the stream.
+    pub router_seed: u64,
+    /// Detection parameters handed to every shard.
+    pub params: AlidParams,
+    /// Execution policy for the service's own fan-out phases (the
+    /// cross-shard drain). Shard-internal sweeps follow `params.exec`.
+    pub exec: ExecPolicy,
+}
+
+impl ServiceConfig {
+    /// A config with serving-friendly defaults: sweep period 32,
+    /// queue capacity 1024, 16 routing bits.
+    ///
+    /// # Panics
+    /// Panics unless `dim >= 1` and `shards >= 1`.
+    pub fn new(dim: usize, shards: usize, params: AlidParams) -> Self {
+        assert!(dim >= 1, "dimensionality must be positive");
+        assert!(shards >= 1, "need at least one shard");
+        Self {
+            dim,
+            shards,
+            batch: 32,
+            queue_capacity: 1024,
+            router_bits: 16,
+            router_seed: 0xa11d,
+            params,
+            exec: ExecPolicy::sequential(),
+        }
+    }
+
+    /// Replaces the sweep period.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "sweep period must be positive");
+        self.batch = batch;
+        self
+    }
+
+    /// Replaces the per-shard queue capacity.
+    ///
+    /// # Panics
+    /// Panics if `queue_capacity == 0`.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        assert!(queue_capacity >= 1, "queue capacity must be positive");
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Replaces the service-level execution policy.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+}
+
+/// Where an item lives: which shard, and its arrival position within
+/// that shard's substream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Owning shard.
+    pub shard: u32,
+    /// Arrival index within the shard's substream.
+    pub local: u32,
+}
+
+/// A cluster's global address: `(shard, index within the shard)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ClusterRef {
+    /// Owning shard.
+    pub shard: u32,
+    /// Cluster index within the shard (stable: shards only append).
+    pub cluster: u32,
+}
+
+/// The admission decision for one ingested item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted: the item received a global id and a queue slot on its
+    /// shard (`depth` = queue length after the enqueue).
+    Enqueued {
+        /// Global item id (dense, in admission order).
+        id: u64,
+        /// Shard the router chose.
+        shard: u32,
+        /// Shard queue depth right after this enqueue.
+        depth: usize,
+    },
+    /// Refused: the shard's queue is full. The item holds no id; the
+    /// caller decides whether to retry, shed, or block.
+    Busy {
+        /// Shard the router chose.
+        shard: u32,
+        /// The (full) queue's depth.
+        depth: usize,
+    },
+}
+
+impl Serialize for Admission {
+    fn to_json(&self) -> Json {
+        match *self {
+            Admission::Enqueued { id, shard, depth } => Json::object([
+                ("status", "enqueued".to_json()),
+                ("id", id.to_json()),
+                ("shard", shard.to_json()),
+                ("depth", depth.to_json()),
+            ]),
+            Admission::Busy { shard, depth } => Json::object([
+                ("status", "busy".to_json()),
+                ("shard", shard.to_json()),
+                ("depth", depth.to_json()),
+            ]),
+        }
+    }
+}
+
+/// What one [`Service::drain`] call applied.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Queued items applied to their shards.
+    pub applied: usize,
+    /// Items that attached to an existing cluster on the ingest path.
+    pub attached: usize,
+    /// Items left buffered as unexplained.
+    pub buffered: usize,
+    /// New dominant clusters promoted by triggered sweeps.
+    pub promoted: usize,
+}
+
+impl Serialize for DrainReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("applied", self.applied.to_json()),
+            ("attached", self.attached.to_json()),
+            ("buffered", self.buffered.to_json()),
+            ("promoted", self.promoted.to_json()),
+        ])
+    }
+}
+
+/// Per-shard load metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardDepth {
+    /// Admitted-but-unapplied items in the ingest queue.
+    pub queued: usize,
+    /// Applied items the shard has not yet explained (its sweep
+    /// buffer).
+    pub pending: usize,
+    /// Items the shard has applied.
+    pub items: usize,
+    /// Dominant clusters the shard currently holds.
+    pub clusters: usize,
+}
+
+impl Serialize for ShardDepth {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("queued", self.queued.to_json()),
+            ("pending", self.pending.to_json()),
+            ("items", self.items.to_json()),
+            ("clusters", self.clusters.to_json()),
+        ])
+    }
+}
+
+/// A cluster's cross-shard summary row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterSummary {
+    /// Global address.
+    pub cluster: ClusterRef,
+    /// Member count.
+    pub size: usize,
+    /// Graph density `π(x)`.
+    pub density: f64,
+}
+
+impl Serialize for ClusterSummary {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("shard", self.cluster.shard.to_json()),
+            ("cluster", self.cluster.cluster.to_json()),
+            ("size", self.size.to_json()),
+            ("density", self.density.to_json()),
+        ])
+    }
+}
+
+/// One shard: the streaming detector plus its bounded ingest queue.
+pub(crate) struct Shard {
+    pub(crate) stream: StreamingAlid,
+    pub(crate) queue: VecDeque<Vec<f64>>,
+}
+
+/// The sharded online detection service. Thread-safe: admission,
+/// drain and queries may be called concurrently from any number of
+/// threads (the HTTP front end does exactly that).
+pub struct Service {
+    cfg: ServiceConfig,
+    router: ShardRouter,
+    shards: Vec<Mutex<Shard>>,
+    /// Global id -> placement, in admission order. Lock order: a shard
+    /// lock may be held while taking this lock (admission); never the
+    /// reverse.
+    placements: Mutex<Vec<Placement>>,
+    cost: Arc<CostModel>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("dim", &self.cfg.dim)
+            .field("shards", &self.cfg.shards)
+            .field("items", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// An empty service.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let router = ShardRouter::new(cfg.dim, cfg.router_bits, cfg.router_seed);
+        let cost = CostModel::shared();
+        let shards = (0..cfg.shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    stream: StreamingAlid::new(cfg.dim, cfg.params, cfg.batch, Arc::clone(&cost)),
+                    queue: VecDeque::new(),
+                })
+            })
+            .collect();
+        Self { cfg, router, shards, placements: Mutex::new(Vec::new()), cost }
+    }
+
+    /// Rebuilds a service from restored parts (the snapshot codec's
+    /// constructor).
+    pub(crate) fn from_parts(
+        cfg: ServiceConfig,
+        shards: Vec<Shard>,
+        placements: Vec<Placement>,
+        cost: Arc<CostModel>,
+    ) -> Self {
+        let router = ShardRouter::new(cfg.dim, cfg.router_bits, cfg.router_seed);
+        Self {
+            cfg,
+            router,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            placements: Mutex::new(placements),
+            cost,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The shared cost model all shards account into.
+    pub fn cost(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    /// Total admitted items (applied + queued).
+    pub fn len(&self) -> usize {
+        self.placements.lock().expect("placements").len()
+    }
+
+    /// Whether nothing has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, s: usize) -> MutexGuard<'_, Shard> {
+        self.shards[s].lock().expect("shard mutex")
+    }
+
+    /// Test-only peek at one shard's raw state (production readers go
+    /// through the query API or `lock_all`).
+    #[cfg(test)]
+    pub(crate) fn shard_state(&self, s: usize) -> MutexGuard<'_, Shard> {
+        self.shard(s)
+    }
+
+    /// Locks the whole service — every shard (in index order) and the
+    /// placement registry — and returns the guards, giving the
+    /// snapshot codec a *consistent cut*: no item can be captured in
+    /// a shard queue without its placement entry (or vice versa).
+    /// The order is compatible with `ingest` (one shard, then
+    /// placements), so no lock cycle exists: an ingest holding shard
+    /// `s` blocks this method at `s` *before* it reaches the
+    /// placement lock.
+    pub(crate) fn lock_all(&self) -> (Vec<MutexGuard<'_, Shard>>, MutexGuard<'_, Vec<Placement>>) {
+        let shards: Vec<_> = (0..self.shards.len()).map(|s| self.shard(s)).collect();
+        let placements = self.placements.lock().expect("placements");
+        (shards, placements)
+    }
+
+    /// The shard the router assigns to `v` (pure; exposed so clients
+    /// can pre-partition their own batches).
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn route(&self, v: &[f64]) -> usize {
+        self.router.route(v, self.shards.len())
+    }
+
+    /// Admits one item: routes it, enqueues it on its shard (bounded),
+    /// and assigns the global id. The item is *not* applied until the
+    /// next [`Self::drain`] — admission is cheap and never triggers a
+    /// sweep.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != config().dim`.
+    pub fn ingest(&self, v: &[f64]) -> Admission {
+        assert_eq!(v.len(), self.cfg.dim, "ingested vector dimensionality mismatch");
+        let s = self.route(v);
+        let mut shard = self.shard(s);
+        if shard.queue.len() >= self.cfg.queue_capacity {
+            return Admission::Busy { shard: s as u32, depth: shard.queue.len() };
+        }
+        let local = (shard.stream.len() + shard.queue.len()) as u32;
+        shard.queue.push_back(v.to_vec());
+        let depth = shard.queue.len();
+        // Shard lock still held: the global order must agree with the
+        // shard-local order for items of the same shard.
+        let mut placements = self.placements.lock().expect("placements");
+        let id = placements.len() as u64;
+        placements.push(Placement { shard: s as u32, local });
+        Admission::Enqueued { id, shard: s as u32, depth }
+    }
+
+    /// Admits a batch in order. Stops at nothing: every item gets its
+    /// own admission verdict (a full shard refuses, others continue).
+    pub fn ingest_batch<'a, I>(&self, items: I) -> Vec<Admission>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        items.into_iter().map(|v| self.ingest(v)).collect()
+    }
+
+    /// Applies every queued item to its shard, fanning out across
+    /// shards on the configured [`ServiceConfig::exec`] policy (this
+    /// is where server threads reuse the shared exec pool). Per-shard
+    /// application is strictly FIFO, so the outcome is byte-identical
+    /// for any worker count.
+    pub fn drain(&self) -> DrainReport {
+        let reports = self.cfg.exec.map_indexed(self.shards.len(), |s| {
+            let mut shard = self.shard(s);
+            let mut report = DrainReport::default();
+            while let Some(v) = shard.queue.pop_front() {
+                report.applied += 1;
+                match shard.stream.push(&v) {
+                    StreamUpdate::Attached(_) => report.attached += 1,
+                    StreamUpdate::Buffered => report.buffered += 1,
+                    StreamUpdate::SweptNewClusters(k) => report.promoted += k,
+                }
+            }
+            report
+        });
+        let mut total = DrainReport::default();
+        for r in reports {
+            total.applied += r.applied;
+            total.attached += r.attached;
+            total.buffered += r.buffered;
+            total.promoted += r.promoted;
+        }
+        total
+    }
+
+    /// Forces a detection sweep on every shard (tail flush — the
+    /// stream analogue of "run detection on what's left").
+    pub fn sweep(&self) -> usize {
+        self.cfg
+            .exec
+            .map_indexed(self.shards.len(), |s| self.shard(s).stream.sweep())
+            .into_iter()
+            .sum()
+    }
+
+    /// The current cluster assignment of admitted item `id`: `None`
+    /// for unknown ids; `Some(None)` while the item is queued or
+    /// unexplained; `Some(Some(cluster))` once a cluster claims it.
+    pub fn assignment(&self, id: u64) -> Option<Option<ClusterRef>> {
+        let placement = {
+            let placements = self.placements.lock().expect("placements");
+            *placements.get(id as usize)?
+        };
+        let shard = self.shard(placement.shard as usize);
+        let assigned = shard
+            .stream
+            .assignments()
+            .get(placement.local as usize)
+            .copied()
+            .flatten()
+            .map(|c| ClusterRef { shard: placement.shard, cluster: c as u32 });
+        Some(assigned)
+    }
+
+    /// Read-only attachment probe: the densest cluster on `v`'s shard
+    /// that `v` would join under the infective-attachment rule
+    /// (`π(s_new, x_c) >= π(x_c)`), without mutating anything. `None`
+    /// when no cluster would accept the vector. Delegates to
+    /// [`StreamingAlid::best_infective`] — the same evaluation the
+    /// ingest path runs — so probe answers can never drift from what
+    /// an actual ingest of `v` would decide.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn probe(&self, v: &[f64]) -> Option<(ClusterRef, f64)> {
+        assert_eq!(v.len(), self.cfg.dim, "probed vector dimensionality mismatch");
+        let s = self.route(v);
+        let shard = self.shard(s);
+        let all = 0..shard.stream.clusters().len();
+        shard
+            .stream
+            .best_infective(v, all)
+            .map(|(c, density, _)| (ClusterRef { shard: s as u32, cluster: c as u32 }, density))
+    }
+
+    /// Every shard's current load metrics.
+    pub fn depths(&self) -> Vec<ShardDepth> {
+        (0..self.shards.len())
+            .map(|s| {
+                let shard = self.shard(s);
+                ShardDepth {
+                    queued: shard.queue.len(),
+                    pending: shard.stream.pending().len(),
+                    items: shard.stream.len(),
+                    clusters: shard.stream.clusters().len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Summaries of every cluster across all shards, in `(shard,
+    /// cluster)` order.
+    pub fn summaries(&self) -> Vec<ClusterSummary> {
+        let mut out = Vec::new();
+        for s in 0..self.shards.len() {
+            let shard = self.shard(s);
+            for (c, cluster) in shard.stream.clusters().iter().enumerate() {
+                out.push(ClusterSummary {
+                    cluster: ClusterRef { shard: s as u32, cluster: c as u32 },
+                    size: cluster.members.len(),
+                    density: cluster.density,
+                });
+            }
+        }
+        out
+    }
+
+    /// The `k` densest clusters service-wide — the PALID reduction
+    /// rule (Fig. 5's "maximum density wins") applied across shards:
+    /// candidates are ranked by density, ties broken by `(shard,
+    /// cluster)` so the merge is deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<ClusterSummary> {
+        let mut all = self.summaries();
+        all.sort_by(|a, b| b.density.total_cmp(&a.density).then_with(|| a.cluster.cmp(&b.cluster)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_affinity::kernel::LaplacianKernel;
+
+    pub(crate) fn test_params() -> AlidParams {
+        let kernel = LaplacianKernel::l2(1.0);
+        let mut p = AlidParams::new(kernel);
+        p.first_roi_radius = kernel.distance_at(0.5);
+        p.density_threshold = 0.7;
+        p.min_cluster_size = 3;
+        p.lsh.seed = 5;
+        p
+    }
+
+    fn two_blob_items(n: usize) -> Vec<Vec<f64>> {
+        // Two separable blobs in 2-d plus occasional noise.
+        (0..n)
+            .map(|i| match i % 5 {
+                0 | 1 => vec![(i % 7) as f64 * 0.03, 0.0],
+                2 | 3 => vec![40.0 + (i % 7) as f64 * 0.03, 40.0],
+                _ => vec![i as f64 * 17.0, -(i as f64) * 23.0],
+            })
+            .collect()
+    }
+
+    fn service(shards: usize) -> Service {
+        Service::new(ServiceConfig::new(2, shards, test_params()).with_batch(8))
+    }
+
+    #[test]
+    fn ingest_assigns_dense_global_ids_in_order() {
+        let svc = service(4);
+        for (i, v) in two_blob_items(20).iter().enumerate() {
+            match svc.ingest(v) {
+                Admission::Enqueued { id, .. } => assert_eq!(id, i as u64),
+                Admission::Busy { .. } => panic!("queues are far from full"),
+            }
+        }
+        assert_eq!(svc.len(), 20);
+    }
+
+    #[test]
+    fn backpressure_refuses_beyond_capacity_and_assigns_no_id() {
+        let cfg = ServiceConfig::new(2, 1, test_params()).with_queue_capacity(3);
+        let svc = Service::new(cfg);
+        let items = two_blob_items(6);
+        let verdicts = svc.ingest_batch(items.iter().map(Vec::as_slice));
+        let enqueued = verdicts.iter().filter(|a| matches!(a, Admission::Enqueued { .. })).count();
+        assert_eq!(enqueued, 3, "{verdicts:?}");
+        assert_eq!(svc.len(), 3, "refused items must not consume ids");
+        for a in &verdicts[3..] {
+            assert!(matches!(a, Admission::Busy { depth: 3, .. }), "{a:?}");
+        }
+        // Draining frees the queue; admission resumes.
+        svc.drain();
+        assert!(matches!(svc.ingest(&items[0]), Admission::Enqueued { .. }));
+    }
+
+    #[test]
+    fn drain_applies_everything_and_detects() {
+        let svc = service(2);
+        let items = two_blob_items(40);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        let report = svc.drain();
+        assert_eq!(report.applied, 40);
+        svc.sweep();
+        let depths = svc.depths();
+        assert!(depths.iter().all(|d| d.queued == 0));
+        assert_eq!(depths.iter().map(|d| d.items).sum::<usize>(), 40);
+        let clusters = svc.summaries();
+        assert!(clusters.len() >= 2, "both blobs should be detected, got {clusters:?}");
+    }
+
+    #[test]
+    fn assignment_tracks_items_through_their_shards() {
+        let svc = service(3);
+        let items = two_blob_items(40);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        svc.drain();
+        svc.sweep();
+        let mut explained = 0;
+        for id in 0..40u64 {
+            let a = svc.assignment(id).expect("known id");
+            if let Some(cref) = a {
+                explained += 1;
+                // The claimed cluster must actually exist.
+                let shard = svc.shard(cref.shard as usize);
+                assert!((cref.cluster as usize) < shard.stream.clusters().len());
+            }
+        }
+        assert!(explained >= 16, "most blob items should be explained, got {explained}");
+        assert_eq!(svc.assignment(40), None, "unknown id");
+    }
+
+    #[test]
+    fn probe_finds_the_home_cluster_without_mutating() {
+        let svc = service(2);
+        let items = two_blob_items(40);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        svc.drain();
+        svc.sweep();
+        let before = svc.depths();
+        let hit = svc.probe(&[0.05, 0.0]);
+        assert!(hit.is_some(), "an in-blob vector must probe into its cluster");
+        let miss = svc.probe(&[9e5, -9e5]);
+        assert!(miss.is_none(), "far noise must not probe into anything");
+        assert_eq!(svc.depths(), before, "probe mutated the service");
+    }
+
+    #[test]
+    fn top_k_is_density_sorted_and_deterministic() {
+        let svc = service(4);
+        let items = two_blob_items(60);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        svc.drain();
+        svc.sweep();
+        let top = svc.top_k(8);
+        for w in top.windows(2) {
+            assert!(w[0].density >= w[1].density, "top-k not density-sorted: {:?}", top);
+        }
+        assert_eq!(top, svc.top_k(8), "repeat query must be identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn ingest_rejects_wrong_dim() {
+        let svc = service(1);
+        let _ = svc.ingest(&[1.0]);
+    }
+}

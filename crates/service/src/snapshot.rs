@@ -1,0 +1,599 @@
+//! Versioned binary snapshot/restore for the whole [`Service`].
+//!
+//! Layout: an 8-byte magic (`ALIDSNAP`), a little-endian `u32` format
+//! version, then one [`serde::bin`]-encoded value holding the full
+//! state — config, detection parameters, placements, and per shard
+//! the dataset, assignments, clusters, incremental density sums,
+//! pending buffer, unapplied ingest queue and sweep phase. Every
+//! float travels as raw IEEE-754 bits, so restore is *exact*: a
+//! restored service continues bit-for-bit identically to one that was
+//! never persisted (`tests/service.rs` proves it end to end).
+//!
+//! What is **not** stored, and why:
+//!
+//! * the LSH indexes — pure functions of `(params.lsh, data)`,
+//!   rebuilt on restore through the same insert path the live
+//!   instance used (see `StreamingAlid::from_state`);
+//! * the routing hyperplanes — redrawn from `(dim, router_bits,
+//!   router_seed)`;
+//! * execution policies — a runtime choice; any worker count yields
+//!   the same bytes, so the restorer picks its own;
+//! * peel telemetry — diagnostics that never feed back into
+//!   detection.
+
+use std::fmt;
+
+use alid_affinity::clustering::DetectedCluster;
+use alid_affinity::cost::CostModel;
+use alid_affinity::kernel::{LaplacianKernel, LpNorm};
+use alid_affinity::vector::Dataset;
+use alid_core::streaming::StreamingAlid;
+use alid_core::{AlidParams, SpeculationParams};
+use alid_exec::ExecPolicy;
+use alid_lsh::LshParams;
+use serde::bin::{self, BinError};
+use serde::{Json, Serialize};
+
+use crate::service::{Placement, Service, ServiceConfig, Shard};
+
+/// Leading bytes of every snapshot.
+pub const MAGIC: &[u8; 8] = b"ALIDSNAP";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Why a snapshot failed to restore.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The version word names a format this build cannot read.
+    UnsupportedVersion(u32),
+    /// The binary payload is corrupt.
+    Decode(BinError),
+    /// The payload decoded but its shape is wrong.
+    Schema(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not an ALID snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "snapshot version {v} unsupported (this build reads {VERSION})")
+            }
+            SnapshotError::Decode(e) => write!(f, "snapshot payload corrupt: {e}"),
+            SnapshotError::Schema(msg) => write!(f, "snapshot schema violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<BinError> for SnapshotError {
+    fn from(e: BinError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+fn schema_err(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Schema(msg.into())
+}
+
+// --- encode ------------------------------------------------------------
+
+fn params_json(p: &AlidParams) -> Json {
+    Json::object([
+        ("kernel_k", p.kernel.k.to_json()),
+        ("kernel_p", p.kernel.norm.p().to_json()),
+        ("delta", p.delta.to_json()),
+        ("max_alid_iters", p.max_alid_iters.to_json()),
+        ("max_lid_iters", p.max_lid_iters.to_json()),
+        ("tol", p.tol.to_json()),
+        ("first_roi_radius", p.first_roi_radius.to_json()),
+        ("density_threshold", p.density_threshold.to_json()),
+        ("min_cluster_size", p.min_cluster_size.to_json()),
+        ("lsh_tables", p.lsh.tables.to_json()),
+        ("lsh_projections", p.lsh.projections.to_json()),
+        ("lsh_r", p.lsh.r.to_json()),
+        ("lsh_seed", p.lsh.seed.to_json()),
+        ("spec_adaptive", p.speculation.adaptive.to_json()),
+        ("spec_initial_width", p.speculation.initial_width.to_json()),
+    ])
+}
+
+fn floats_json(xs: &[f64]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect())
+}
+
+fn shard_json(shard: &Shard) -> Json {
+    let stream = &shard.stream;
+    let assigned = Json::Arr(
+        stream
+            .assignments()
+            .iter()
+            .map(|a| match a {
+                Some(c) => Json::UInt(*c as u64),
+                None => Json::Null,
+            })
+            .collect(),
+    );
+    let clusters = Json::Arr(
+        stream
+            .clusters()
+            .iter()
+            .map(|c| {
+                Json::object([
+                    ("members", c.members.to_json()),
+                    ("weights", floats_json(&c.weights)),
+                    ("density", Json::Num(c.density)),
+                ])
+            })
+            .collect(),
+    );
+    let queue = Json::Arr(shard.queue.iter().map(|v| floats_json(v)).collect());
+    Json::object([
+        ("flat", floats_json(stream.data().as_flat())),
+        ("assigned", assigned),
+        ("clusters", clusters),
+        ("pair_sums", floats_json(stream.pair_sums())),
+        ("pending", stream.pending().to_json()),
+        ("since_sweep", stream.since_sweep().to_json()),
+        ("queue", queue),
+    ])
+}
+
+/// Serialises the full service state into the versioned binary format.
+///
+/// Holds every shard lock *and* the placement lock simultaneously (a
+/// consistent cut — see `Service::lock_all`): a concurrent ingest is
+/// either entirely before the snapshot (queued vector and placement
+/// both present) or entirely after it. Anything less lets an
+/// acknowledged id restore to a different vector: the orphan-queue
+/// race where a vector is captured in a shard queue while its
+/// placement entry is not.
+pub fn snapshot_bytes(service: &Service) -> Vec<u8> {
+    let cfg = service.config();
+    let (shard_guards, placement_guard) = service.lock_all();
+    let placements: Vec<u64> =
+        placement_guard.iter().map(|p| ((p.shard as u64) << 32) | p.local as u64).collect();
+    let shard_states: Vec<Json> = shard_guards.iter().map(|g| shard_json(g)).collect();
+    drop(placement_guard);
+    drop(shard_guards);
+    let body = Json::object([
+        ("schema", "alid-service-snapshot".to_json()),
+        ("version", VERSION.to_json()),
+        ("dim", cfg.dim.to_json()),
+        ("shards", cfg.shards.to_json()),
+        ("batch", cfg.batch.to_json()),
+        ("queue_capacity", cfg.queue_capacity.to_json()),
+        ("router_bits", cfg.router_bits.to_json()),
+        ("router_seed", cfg.router_seed.to_json()),
+        ("params", params_json(&cfg.params)),
+        ("placements", placements.to_json()),
+        ("shard_states", Json::Arr(shard_states)),
+    ]);
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    bin::encode_into(&body, &mut out);
+    out
+}
+
+// --- decode ------------------------------------------------------------
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, SnapshotError> {
+    obj.get(key).ok_or_else(|| schema_err(format!("missing field {key:?}")))
+}
+
+fn usize_field(obj: &Json, key: &str) -> Result<usize, SnapshotError> {
+    field(obj, key)?
+        .as_u64()
+        .map(|u| u as usize)
+        .ok_or_else(|| schema_err(format!("field {key:?} is not an unsigned integer")))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, SnapshotError> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| schema_err(format!("field {key:?} is not an unsigned integer")))
+}
+
+fn f64_field(obj: &Json, key: &str) -> Result<f64, SnapshotError> {
+    field(obj, key)?.as_f64().ok_or_else(|| schema_err(format!("field {key:?} is not a number")))
+}
+
+fn bool_field(obj: &Json, key: &str) -> Result<bool, SnapshotError> {
+    field(obj, key)?.as_bool().ok_or_else(|| schema_err(format!("field {key:?} is not a boolean")))
+}
+
+fn arr_field<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], SnapshotError> {
+    field(obj, key)?.as_arr().ok_or_else(|| schema_err(format!("field {key:?} is not an array")))
+}
+
+fn floats(items: &[Json], what: &str) -> Result<Vec<f64>, SnapshotError> {
+    items
+        .iter()
+        .map(|j| j.as_f64().ok_or_else(|| schema_err(format!("{what}: non-numeric element"))))
+        .collect()
+}
+
+fn uints(items: &[Json], what: &str) -> Result<Vec<u32>, SnapshotError> {
+    items
+        .iter()
+        .map(|j| {
+            j.as_u64()
+                .filter(|&u| u <= u32::MAX as u64)
+                .map(|u| u as u32)
+                .ok_or_else(|| schema_err(format!("{what}: element is not a u32")))
+        })
+        .collect()
+}
+
+fn params_from_json(obj: &Json) -> Result<AlidParams, SnapshotError> {
+    let p = f64_field(obj, "kernel_p")?;
+    if p < 1.0 {
+        return Err(schema_err(format!("kernel_p must be >= 1, got {p}")));
+    }
+    let k = f64_field(obj, "kernel_k")?;
+    if !(k.is_finite() && k > 0.0) {
+        return Err(schema_err(format!("kernel_k must be positive, got {k}")));
+    }
+    let kernel = LaplacianKernel::new(k, LpNorm::new(p));
+    let mut params = AlidParams::new(kernel);
+    // Restored faithfully, not clamped: these are plain pub fields
+    // with no construction invariant, and "restore then continue is
+    // bit-for-bit the uninterrupted run" forbids silently changing
+    // whatever (possibly degenerate) values the live instance ran.
+    params.delta = usize_field(obj, "delta")?;
+    params.max_alid_iters = usize_field(obj, "max_alid_iters")?;
+    params.max_lid_iters = usize_field(obj, "max_lid_iters")?;
+    params.tol = f64_field(obj, "tol")?;
+    params.first_roi_radius = f64_field(obj, "first_roi_radius")?;
+    params.density_threshold = f64_field(obj, "density_threshold")?;
+    params.min_cluster_size = usize_field(obj, "min_cluster_size")?;
+    let tables = usize_field(obj, "lsh_tables")?;
+    let projections = usize_field(obj, "lsh_projections")?;
+    let r = f64_field(obj, "lsh_r")?;
+    if tables == 0 || projections == 0 || !(r.is_finite() && r > 0.0) {
+        return Err(schema_err("invalid LSH parameters"));
+    }
+    params.lsh = LshParams::new(tables, projections, r, u64_field(obj, "lsh_seed")?);
+    params.speculation = SpeculationParams {
+        adaptive: bool_field(obj, "spec_adaptive")?,
+        initial_width: usize_field(obj, "spec_initial_width")?,
+    };
+    Ok(params)
+}
+
+fn shard_from_json(
+    obj: &Json,
+    dim: usize,
+    batch: usize,
+    params: AlidParams,
+    cost: &std::sync::Arc<CostModel>,
+) -> Result<Shard, SnapshotError> {
+    let flat = floats(arr_field(obj, "flat")?, "flat")?;
+    if flat.len() % dim != 0 {
+        return Err(schema_err("shard dataset length is not a multiple of dim"));
+    }
+    let data = Dataset::from_flat(dim, flat);
+    let n = data.len();
+    let assigned_json = arr_field(obj, "assigned")?;
+    if assigned_json.len() != n {
+        return Err(schema_err("assignment vector length mismatch"));
+    }
+    let mut assigned = Vec::with_capacity(n);
+    for j in assigned_json {
+        assigned.push(if j.is_null() {
+            None
+        } else {
+            Some(j.as_u64().ok_or_else(|| schema_err("assigned: element is not a u64"))? as usize)
+        });
+    }
+    let mut clusters = Vec::new();
+    for c in arr_field(obj, "clusters")? {
+        let members = uints(arr_field(c, "members")?, "members")?;
+        let weights = floats(arr_field(c, "weights")?, "weights")?;
+        if weights.len() != members.len() {
+            return Err(schema_err("cluster members/weights length mismatch"));
+        }
+        let density = f64_field(c, "density")?;
+        clusters.push(DetectedCluster { members, weights, density });
+    }
+    let pair_sums = floats(arr_field(obj, "pair_sums")?, "pair_sums")?;
+    if pair_sums.len() != clusters.len() {
+        return Err(schema_err("clusters/pair_sums length mismatch"));
+    }
+    let pending = uints(arr_field(obj, "pending")?, "pending")?;
+    let since_sweep = usize_field(obj, "since_sweep")?;
+    // Bounds checks beyond this point live in `from_state`, which
+    // panics on corrupt indices; pre-validate so a bad snapshot is an
+    // Err, not an abort.
+    for a in assigned.iter().flatten() {
+        if *a >= clusters.len() {
+            return Err(schema_err("assignment references an unknown cluster"));
+        }
+    }
+    for c in &clusters {
+        if c.members.iter().any(|&m| m as usize >= n) {
+            return Err(schema_err("cluster member out of bounds"));
+        }
+    }
+    if pending.iter().any(|&p| p as usize >= n) {
+        return Err(schema_err("pending item out of bounds"));
+    }
+    let mut queue = std::collections::VecDeque::new();
+    for q in arr_field(obj, "queue")? {
+        let v = floats(
+            q.as_arr().ok_or_else(|| schema_err("queue entry is not an array"))?,
+            "queue entry",
+        )?;
+        if v.len() != dim {
+            return Err(schema_err("queued vector dimensionality mismatch"));
+        }
+        queue.push_back(v);
+    }
+    let stream = StreamingAlid::from_state(
+        params,
+        batch,
+        std::sync::Arc::clone(cost),
+        data,
+        clusters,
+        pair_sums,
+        assigned,
+        pending,
+        since_sweep,
+    );
+    Ok(Shard { stream, queue })
+}
+
+/// Restores a service from [`snapshot_bytes`] output. `exec` becomes
+/// both the service-level fan-out policy and the shards' detection
+/// policy — a runtime choice, since any worker count produces the
+/// same bytes.
+pub fn restore(bytes: &[u8], exec: ExecPolicy) -> Result<Service, SnapshotError> {
+    if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut ver = [0u8; 4];
+    ver.copy_from_slice(&bytes[MAGIC.len()..MAGIC.len() + 4]);
+    let version = u32::from_le_bytes(ver);
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let body = bin::decode(&bytes[MAGIC.len() + 4..])?;
+    let dim = usize_field(&body, "dim")?;
+    let shards = usize_field(&body, "shards")?;
+    if dim == 0 || shards == 0 {
+        return Err(schema_err("dim and shards must be positive"));
+    }
+    let batch = usize_field(&body, "batch")?;
+    if batch == 0 {
+        return Err(schema_err("batch must be positive"));
+    }
+    let queue_capacity = usize_field(&body, "queue_capacity")?;
+    let router_bits = usize_field(&body, "router_bits")?;
+    if !(1..=64).contains(&router_bits) {
+        return Err(schema_err("router_bits must be in 1..=64"));
+    }
+    let router_seed = u64_field(&body, "router_seed")?;
+    let mut params = params_from_json(field(&body, "params")?)?;
+    params.exec = exec;
+    let cfg = ServiceConfig {
+        dim,
+        shards,
+        batch,
+        queue_capacity,
+        router_bits,
+        router_seed,
+        params,
+        exec,
+    };
+    let shard_states = arr_field(&body, "shard_states")?;
+    if shard_states.len() != shards {
+        return Err(schema_err("shard_states count does not match shards"));
+    }
+    let cost = CostModel::shared();
+    let mut shard_vec = Vec::with_capacity(shards);
+    for s in shard_states {
+        shard_vec.push(shard_from_json(s, dim, batch, params, &cost)?);
+    }
+    let mut placements = Vec::new();
+    for packed in arr_field(&body, "placements")? {
+        let u = packed.as_u64().ok_or_else(|| schema_err("placement is not a u64"))?;
+        let p = Placement { shard: (u >> 32) as u32, local: u as u32 };
+        let shard = shard_vec
+            .get(p.shard as usize)
+            .ok_or_else(|| schema_err("placement references an unknown shard"))?;
+        if (p.local as usize) >= shard.stream.len() + shard.queue.len() {
+            return Err(schema_err("placement local index out of bounds"));
+        }
+        placements.push(p);
+    }
+    // A consistent snapshot registers every shard-held item exactly
+    // once (snapshot_bytes guarantees it by holding all locks); a
+    // mismatch means a corrupt or hand-edited file.
+    let held: usize = shard_vec.iter().map(|s| s.stream.len() + s.queue.len()).sum();
+    if placements.len() != held {
+        return Err(schema_err(format!(
+            "{} placements for {held} shard-held items",
+            placements.len()
+        )));
+    }
+    Ok(Service::from_parts(cfg, shard_vec, placements, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alid_core::streaming::StreamingAlid;
+
+    fn params() -> AlidParams {
+        let kernel = LaplacianKernel::l2(1.0);
+        let mut p = AlidParams::new(kernel);
+        p.first_roi_radius = kernel.distance_at(0.5);
+        p.density_threshold = 0.7;
+        p.min_cluster_size = 3;
+        p.lsh.seed = 5;
+        p
+    }
+
+    fn populated_service() -> Service {
+        let cfg = ServiceConfig::new(2, 3, params()).with_batch(8).with_queue_capacity(64);
+        let svc = Service::new(cfg);
+        for i in 0..50 {
+            let v = match i % 5 {
+                0 | 1 => [(i % 7) as f64 * 0.03, 0.0],
+                2 | 3 => [40.0 + (i % 7) as f64 * 0.03, 40.0],
+                _ => [i as f64 * 17.0, -(i as f64) * 23.0],
+            };
+            svc.ingest(&v);
+        }
+        svc.drain();
+        // Leave some items queued so the snapshot covers that path too.
+        for i in 0..5 {
+            svc.ingest(&[i as f64 * 0.03, 0.0]);
+        }
+        svc
+    }
+
+    fn assert_identical(a: &Service, b: &Service) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.depths(), b.depths());
+        for s in 0..a.shard_count() {
+            let (sa, sb) = (a.shard_state(s), b.shard_state(s));
+            assert_eq!(sa.queue, sb.queue, "shard {s} queue");
+            assert_eq!(sa.stream.assignments(), sb.stream.assignments(), "shard {s}");
+            assert_eq!(sa.stream.pending(), sb.stream.pending(), "shard {s}");
+            assert_eq!(sa.stream.since_sweep(), sb.stream.since_sweep(), "shard {s}");
+            assert_eq!(sa.stream.data(), sb.stream.data(), "shard {s} data");
+            let pa: Vec<u64> = sa.stream.pair_sums().iter().map(|x| x.to_bits()).collect();
+            let pb: Vec<u64> = sb.stream.pair_sums().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(pa, pb, "shard {s} pair sums");
+            assert_eq!(sa.stream.clusters().len(), sb.stream.clusters().len());
+            for (ca, cb) in sa.stream.clusters().iter().zip(sb.stream.clusters()) {
+                assert_eq!(ca.members, cb.members);
+                assert_eq!(ca.density.to_bits(), cb.density.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_exactly() {
+        let svc = populated_service();
+        let bytes = snapshot_bytes(&svc);
+        let restored = restore(&bytes, ExecPolicy::sequential()).expect("restore");
+        assert_identical(&svc, &restored);
+        // And the snapshot of the restore is byte-identical.
+        assert_eq!(bytes, snapshot_bytes(&restored));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let svc = populated_service();
+        let mut bytes = snapshot_bytes(&svc);
+        assert!(matches!(
+            restore(b"NOTASNAP", ExecPolicy::sequential()),
+            Err(SnapshotError::BadMagic)
+        ));
+        bytes[8] = 99; // version word
+        assert!(matches!(
+            restore(&bytes, ExecPolicy::sequential()),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_is_an_error_not_a_panic() {
+        let svc = populated_service();
+        let bytes = snapshot_bytes(&svc);
+        for cut in [13, bytes.len() / 2, bytes.len() - 1] {
+            assert!(matches!(
+                restore(&bytes[..cut], ExecPolicy::sequential()),
+                Err(SnapshotError::Decode(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn streaming_state_fields_survive() {
+        // A shard mid-batch (since_sweep != 0) restores on schedule.
+        let svc = populated_service();
+        let restored = restore(&snapshot_bytes(&svc), ExecPolicy::sequential()).unwrap();
+        let any_mid_batch =
+            (0..svc.shard_count()).any(|s| svc.shard_state(s).stream.since_sweep() != 0);
+        assert!(any_mid_batch, "fixture should leave a shard mid-batch");
+        let _ = restored;
+    }
+
+    /// Regression for the orphan-queue race: snapshots taken while
+    /// another thread ingests must always be a consistent cut — every
+    /// shard-held vector has its placement entry and vice versa, so
+    /// every concurrent snapshot restores (the old
+    /// one-lock-at-a-time reader could capture a queued vector whose
+    /// placement was still being registered, silently re-aliasing an
+    /// acknowledged id after restore).
+    #[test]
+    fn concurrent_snapshots_are_consistent_cuts() {
+        let cfg = ServiceConfig::new(2, 3, params()).with_batch(16).with_queue_capacity(10_000);
+        let svc = std::sync::Arc::new(Service::new(cfg));
+        let writer = {
+            let svc = std::sync::Arc::clone(&svc);
+            std::thread::spawn(move || {
+                for i in 0..400 {
+                    let v = [40.0 + (i % 7) as f64 * 0.03, (i % 11) as f64 * 0.03];
+                    let _ = svc.ingest(&v);
+                    if i % 64 == 63 {
+                        svc.drain();
+                    }
+                }
+            })
+        };
+        let mut taken = 0;
+        while !writer.is_finished() {
+            let bytes = snapshot_bytes(&svc);
+            let restored =
+                restore(&bytes, ExecPolicy::sequential()).expect("mid-ingest snapshot restores");
+            let held: usize = (0..restored.shard_count())
+                .map(|s| {
+                    let g = restored.shard_state(s);
+                    g.stream.len() + g.queue.len()
+                })
+                .sum();
+            assert_eq!(restored.len(), held, "placements out of sync with shard state");
+            taken += 1;
+        }
+        writer.join().expect("writer thread");
+        assert!(taken > 0, "at least one snapshot raced the writer");
+    }
+
+    #[test]
+    fn version_constant_is_stamped() {
+        let svc = populated_service();
+        let bytes = snapshot_bytes(&svc);
+        assert_eq!(&bytes[..8], MAGIC);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), VERSION);
+    }
+
+    #[test]
+    fn from_state_is_reachable_standalone() {
+        // The persistence surface works without a Service wrapper too
+        // (other tools can snapshot a bare stream).
+        let mut s = StreamingAlid::new(1, params(), 8, CostModel::shared());
+        for i in 0..12 {
+            s.push(&[i as f64 * 0.01]);
+        }
+        let rebuilt = StreamingAlid::from_state(
+            *s.params(),
+            s.batch(),
+            CostModel::shared(),
+            s.data().clone(),
+            s.clusters().to_vec(),
+            s.pair_sums().to_vec(),
+            s.assignments().to_vec(),
+            s.pending().to_vec(),
+            s.since_sweep(),
+        );
+        assert_eq!(rebuilt.assignments(), s.assignments());
+    }
+}

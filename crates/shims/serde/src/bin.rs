@@ -1,0 +1,298 @@
+//! A self-describing binary codec for the [`Json`] data model — the
+//! shim-world stand-in for `bincode`, used by the service snapshot
+//! format.
+//!
+//! The text rendering in `serde_json` is lossy for floats in principle
+//! (it relies on shortest-round-trip formatting) and slow to parse for
+//! megabyte datasets; this codec writes every `f64` as its raw
+//! IEEE-754 bits, so a decode of an encode is **bit-for-bit** equal to
+//! the input model — the property the service's restore-then-continue
+//! guarantee is built on.
+//!
+//! Wire format (all integers little-endian):
+//!
+//! | tag | payload |
+//! |---|---|
+//! | `0` | null |
+//! | `1` | false |
+//! | `2` | true |
+//! | `3` | `f64::to_bits` as `u64` |
+//! | `4` | `u64` |
+//! | `5` | `u64` byte length + UTF-8 bytes |
+//! | `6` | `u64` element count + encoded elements |
+//! | `7` | `u64` field count + (string key, value) pairs |
+//!
+//! Lengths are validated against the remaining input before any
+//! allocation, so a truncated or corrupt buffer fails with a positioned
+//! [`BinError`] instead of aborting on an absurd reservation.
+
+use std::fmt;
+
+use crate::Json;
+
+/// Decode failure: what went wrong and at which byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinError {
+    /// Human-readable description of the failure.
+    pub reason: String,
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binary decode error at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// Encodes `value` into the codec's byte representation.
+pub fn encode(value: &Json) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out);
+    out
+}
+
+/// Appends the encoding of `value` to `out`.
+pub fn encode_into(value: &Json, out: &mut Vec<u8>) {
+    match value {
+        Json::Null => out.push(0),
+        Json::Bool(false) => out.push(1),
+        Json::Bool(true) => out.push(2),
+        Json::Num(n) => {
+            out.push(3);
+            out.extend_from_slice(&n.to_bits().to_le_bytes());
+        }
+        Json::UInt(u) => {
+            out.push(4);
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        Json::Str(s) => {
+            out.push(5);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Json::Arr(items) => {
+            out.push(6);
+            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                encode_into(item, out);
+            }
+        }
+        Json::Obj(fields) => {
+            out.push(7);
+            out.extend_from_slice(&(fields.len() as u64).to_le_bytes());
+            for (k, v) in fields {
+                out.extend_from_slice(&(k.len() as u64).to_le_bytes());
+                out.extend_from_slice(k.as_bytes());
+                encode_into(v, out);
+            }
+        }
+    }
+}
+
+/// Maximum container nesting [`decode`] accepts. The decoder recurses
+/// per array/object level; without a cap, a ~1 MB file of nested
+/// single-element arrays would overflow the stack and *abort* instead
+/// of returning the promised positioned error. Snapshot payloads nest
+/// four levels deep; 128 leaves two orders of magnitude of headroom.
+pub const MAX_DECODE_DEPTH: usize = 128;
+
+/// Decodes one value spanning the whole buffer (trailing bytes are an
+/// error — snapshot payloads are exactly one value).
+pub fn decode(bytes: &[u8]) -> Result<Json, BinError> {
+    let mut cur = Cursor { bytes, pos: 0, depth: 0 };
+    let value = cur.value()?;
+    if cur.pos != bytes.len() {
+        return Err(cur.err(format!("{} trailing bytes after the value", bytes.len() - cur.pos)));
+    }
+    Ok(value)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Cursor<'_> {
+    fn err(&self, reason: impl Into<String>) -> BinError {
+        BinError { reason: reason.into(), offset: self.pos }
+    }
+
+    fn enter(&mut self) -> Result<(), BinError> {
+        self.depth += 1;
+        if self.depth > MAX_DECODE_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DECODE_DEPTH}")));
+        }
+        Ok(())
+    }
+
+    fn byte(&mut self) -> Result<u8, BinError> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, BinError> {
+        let end = self.pos.checked_add(8).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| self.err("truncated u64"))?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    /// A `u64` length that must still fit in the remaining input (each
+    /// element/byte consumes at least one input byte), so corrupt
+    /// buffers fail here rather than in an allocator.
+    fn len(&mut self) -> Result<usize, BinError> {
+        let n = self.u64()?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if n > remaining {
+            return Err(self.err(format!("length {n} exceeds the {remaining} remaining bytes")));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self) -> Result<String, BinError> {
+        let n = self.len()?;
+        let end = self.pos + n;
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|e| self.err(format!("invalid UTF-8: {e}")))?
+            .to_string();
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn value(&mut self) -> Result<Json, BinError> {
+        match self.byte()? {
+            0 => Ok(Json::Null),
+            1 => Ok(Json::Bool(false)),
+            2 => Ok(Json::Bool(true)),
+            3 => Ok(Json::Num(f64::from_bits(self.u64()?))),
+            4 => Ok(Json::UInt(self.u64()?)),
+            5 => Ok(Json::Str(self.string()?)),
+            6 => {
+                self.enter()?;
+                let n = self.len()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                self.depth -= 1;
+                Ok(Json::Arr(items))
+            }
+            7 => {
+                self.enter()?;
+                let n = self.len()?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = self.string()?;
+                    fields.push((k, self.value()?));
+                }
+                self.depth -= 1;
+                Ok(Json::Obj(fields))
+            }
+            tag => {
+                self.pos -= 1;
+                Err(self.err(format!("unknown tag {tag}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        Json::object([
+            ("null", Json::Null),
+            ("flags", Json::Arr(vec![Json::Bool(true), Json::Bool(false)])),
+            ("pi", Json::Num(std::f64::consts::PI)),
+            ("tiny", Json::Num(f64::MIN_POSITIVE / 2.0)), // subnormal
+            ("neg_zero", Json::Num(-0.0)),
+            ("big", Json::UInt(u64::MAX)),
+            ("text", Json::Str("snÅp\n\"shot\"".into())),
+            ("nested", Json::object([("xs", Json::Arr(vec![Json::Num(1.5), Json::UInt(2)]))])),
+        ])
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let v = sample();
+        assert_eq!(decode(&encode(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_for_bit() {
+        for bits in [0u64, 1, f64::NAN.to_bits(), (-0.0f64).to_bits(), f64::INFINITY.to_bits()] {
+            let v = Json::Num(f64::from_bits(bits));
+            match decode(&encode(&v)).unwrap() {
+                Json::Num(n) => assert_eq!(n.to_bits(), bits),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_positioned_error() {
+        let bytes = encode(&sample());
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(err.offset <= cut, "offset {} past cut {cut}", err.offset);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&Json::Null);
+        bytes.push(0);
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.reason.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn absurd_length_fails_before_allocating() {
+        // Array claiming u64::MAX elements in a 9-byte buffer.
+        let mut bytes = vec![6u8];
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.reason.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let err = decode(&[9u8]).unwrap_err();
+        assert!(err.reason.contains("unknown tag"), "{err}");
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_an_abort() {
+        // ~100k nested single-element arrays, crafted as raw bytes (a
+        // deep `Json` value can never be *constructed* safely, which
+        // is exactly why decode must refuse to build one).
+        let mut bytes = Vec::new();
+        for _ in 0..100_000 {
+            bytes.push(6u8);
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+        }
+        bytes.push(0); // innermost null
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.reason.contains("nesting"), "{err}");
+        // Sibling containers at shallow depth are unaffected.
+        let wide = Json::Arr((0..1000).map(|_| Json::Arr(vec![Json::Null])).collect());
+        assert_eq!(decode(&encode(&wide)).unwrap(), wide);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = vec![5u8];
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode(&bytes).unwrap_err().reason.contains("UTF-8"));
+    }
+}

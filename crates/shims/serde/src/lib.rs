@@ -7,10 +7,23 @@
 //! [`Json::object`]; `serde_json`'s shim renders the model. Swapping the
 //! shims for the real crates is a manifest-only change plus restoring
 //! the derives.
+//!
+//! Two extensions support the service snapshot path, where the real
+//! stack would use `serde_json::Value` accessors and a binary codec
+//! like `bincode`:
+//!
+//! * value accessors ([`Json::get`], [`Json::as_f64`], ...) for
+//!   hand-written deserialization of parsed or decoded values;
+//! * the [`bin`] module, a self-describing binary codec for the data
+//!   model. Unlike the text rendering it round-trips `f64` payloads
+//!   **bit-for-bit** (raw IEEE-754 bits on the wire), which is what
+//!   lets a restored service continue byte-identically.
 
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
+
+pub mod bin;
 
 /// A JSON value — the serialization data model of the shim.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,6 +50,65 @@ impl Json {
     /// Builds an object from `(key, value)` pairs, preserving order.
     pub fn object<I: IntoIterator<Item = (&'static str, Json)>>(fields: I) -> Json {
         Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// The value under `key` when `self` is an object holding it.
+    /// Linear scan — the model keeps insertion order, and the objects
+    /// this workspace decodes are small.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Num` as-is, `UInt` widened (`u64 -> f64` is lossy
+    /// above 2^53, matching `serde_json::Value::as_f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(n) => Some(n),
+            Json::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view: `UInt` as-is, plus integral non-negative `Num`s
+    /// (the text parser cannot always tell `3` from `3.0`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n < 2f64.powi(53) => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` for the `Null` variant.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
     }
 }
 
@@ -167,5 +239,29 @@ mod tests {
         assert_eq!(v.to_json(), Json::Arr(vec![Json::UInt(1), Json::UInt(2)]));
         let o = Json::object([("a", 1u32.to_json())]);
         assert_eq!(o, Json::Obj(vec![("a".into(), Json::UInt(1))]));
+    }
+
+    #[test]
+    fn accessors_view_the_matching_variant_only() {
+        let o = Json::object([
+            ("n", Json::Num(1.5)),
+            ("u", Json::UInt(7)),
+            ("s", Json::Str("x".into())),
+            ("b", Json::Bool(true)),
+            ("a", Json::Arr(vec![Json::Null])),
+        ]);
+        assert_eq!(o.get("n").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(o.get("u").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(o.get("u").and_then(Json::as_u64), Some(7));
+        assert_eq!(o.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(o.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(o.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert!(o.get("a").unwrap().as_arr().unwrap()[0].is_null());
+        assert_eq!(o.get("missing"), None);
+        assert_eq!(Json::Null.get("n"), None);
+        // Integral Nums coerce to u64; fractional and negative ones refuse.
+        assert_eq!(Json::Num(3.0).as_u64(), Some(3));
+        assert_eq!(Json::Num(3.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
     }
 }

@@ -1,13 +1,19 @@
-//! `alid` — command-line dominant cluster detection.
+//! `alid` — the one command-line entry point.
 //!
-//! Reads a headerless CSV of f64 feature rows, runs the ALID peeling
-//! loop, and prints the dominant clusters (one line per cluster:
-//! density, size, member row indices). See `alid --help`.
+//! Two subcommands:
+//!
+//! * `alid detect <data.csv> [options]` — batch detection: reads a
+//!   headerless CSV of f64 feature rows, runs the ALID peeling loop
+//!   (or PALID with `--parallel`), prints the dominant clusters. The
+//!   subcommand name may be omitted (`alid data.csv ...` still works).
+//! * `alid serve [options]` — the sharded online detection service
+//!   with the std-only HTTP front end (see `alid serve --help`).
 //!
 //! ```text
 //! alid data.csv --scale 0.3                  # calibrated kernel
 //! alid data.csv --k 1.5 --min-density 0.6    # explicit kernel
 //! alid data.csv --scale 0.3 --parallel 4     # PALID with 4 executors
+//! alid serve --dim 16 --scale 0.25 --shards 4
 //! ```
 
 use std::path::PathBuf;
@@ -32,7 +38,8 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: alid <data.csv> [options]\n\
+    "usage: alid [detect] <data.csv> [options]\n\
+     \x20      alid serve [options]        (see `alid serve --help`)\n\
      \n\
      input: headerless CSV, one item per row, f64 columns\n\
      \n\
@@ -55,8 +62,8 @@ fn usage() -> &'static str {
        --help"
 }
 
-fn parse(mut args: std::env::Args) -> Result<Options, String> {
-    let _ = args.next();
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut args = args.iter().cloned();
     let mut input: Option<PathBuf> = None;
     let mut o = Options {
         input: PathBuf::new(),
@@ -98,7 +105,9 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
             }
             "--seed" => o.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--assignments" => o.assignments = true,
-            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}\n\n{}", usage()))
+            }
             path => {
                 if input.replace(PathBuf::from(path)).is_some() {
                     return Err("multiple input files given".into());
@@ -137,7 +146,22 @@ fn parse_f64(s: &str) -> Result<f64, String> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse(std::env::args()) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => match alid::service::cli::serve_main(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("detect") => detect_main(&argv[1..]),
+        _ => detect_main(&argv),
+    }
+}
+
+fn detect_main(args: &[String]) -> ExitCode {
+    let opts = match parse(args) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");

@@ -23,6 +23,7 @@
 //! | [`exec`] | `alid-exec` | the shared parallel-execution layer: [`ExecPolicy`](prelude::ExecPolicy), deterministic parallel map, work stealing, the persistent worker pool |
 //! | [`baselines`] | `alid-baselines` | IID, replicator dynamics / dominant sets, SEA, affinity propagation, k-means, spectral clustering (full + Nyström), mean shift |
 //! | [`data`] | `alid-data` | NART / NDI / SIFT simulators, the synthetic regimes, noise injection, AVG-F metrics |
+//! | [`service`] | `alid-service` | the sharded online detection service: deterministic routing, bounded admission, snapshot persistence, the std-only HTTP front end (`alid serve`) |
 //!
 //! ## Quick start
 //!
@@ -55,6 +56,7 @@ pub use alid_data as data;
 pub use alid_exec as exec;
 pub use alid_linalg as linalg;
 pub use alid_lsh as lsh;
+pub use alid_service as service;
 
 /// The items most programs need.
 pub mod prelude {
@@ -69,5 +71,6 @@ pub mod prelude {
     };
     pub use alid_data::groundtruth::{GroundTruth, LabeledDataset};
     pub use alid_exec::ExecPolicy;
-    pub use alid_lsh::{LshIndex, LshParams, SimHashIndex, SimHashParams};
+    pub use alid_lsh::{LshIndex, LshParams, ShardRouter, SimHashIndex, SimHashParams};
+    pub use alid_service::{Admission, ClusterSummary, Service, ServiceConfig};
 }

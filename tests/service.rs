@@ -1,0 +1,292 @@
+//! Integration tests for the sharded serving layer: determinism under
+//! re-runs and worker counts, snapshot recovery, cross-shard top-k
+//! agreement, and the HTTP front end over loopback.
+//!
+//! Style follows `tests/exec_parity.rs`: every parity case computes a
+//! baseline and compares bit-for-bit (`f64::to_bits` on every float),
+//! sweeping worker counts `{1, 2, 4}` plus an optional
+//! `ALID_TEST_WORKERS` extra from the environment.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use alid::prelude::*;
+use alid::service::http::{self, Client, HttpOptions};
+use alid::service::{restore, snapshot_bytes};
+use serde::Json;
+
+fn service_workers() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4];
+    if let Ok(v) = std::env::var("ALID_TEST_WORKERS") {
+        let extra: usize = v.parse().expect("ALID_TEST_WORKERS must be a positive integer");
+        assert!(extra >= 1, "ALID_TEST_WORKERS must be at least 1");
+        if !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
+fn params() -> AlidParams {
+    let kernel = LaplacianKernel::l2(1.0);
+    let mut p = AlidParams::new(kernel);
+    p.first_roi_radius = kernel.distance_at(0.5);
+    p.density_threshold = 0.7;
+    p.min_cluster_size = 3;
+    p.lsh.seed = 5;
+    p
+}
+
+/// A mixed stream over four well-separated blobs (offset from the
+/// origin so routing keeps each blob on one shard) plus scattered
+/// noise, in a deterministic interleaved arrival order. Each blob
+/// cycles through three positions spread by its own extent, so blobs
+/// are tight enough that every member is infective against any
+/// sub-blob (no schedule-dependent fragmentation) while the four
+/// densities stay far apart — rank comparisons across shard counts
+/// never sit on a float knife-edge.
+fn stream_items(n: usize) -> Vec<Vec<f64>> {
+    let centers = [[60.0, 0.0], [0.0, 60.0], [-60.0, 10.0], [45.0, -45.0]];
+    (0..n)
+        .map(|i| match i % 6 {
+            5 => vec![i as f64 * 37.0 - 900.0, i as f64 * 53.0 + 400.0], // noise
+            c => {
+                let center = centers[c % 4];
+                let extent = 0.02 + 0.02 * (c % 4) as f64;
+                vec![center[0] + (i % 3) as f64 * extent, center[1] - (i % 3) as f64 * extent]
+            }
+        })
+        .collect()
+}
+
+fn build_service(shards: usize, workers: usize) -> Service {
+    let exec = ExecPolicy::workers(workers);
+    let mut p = params();
+    p.exec = exec;
+    Service::new(ServiceConfig::new(2, shards, p).with_batch(8).with_exec(exec))
+}
+
+fn ingest_all(svc: &Service, items: &[Vec<f64>]) {
+    for v in items {
+        match svc.ingest(v) {
+            Admission::Enqueued { .. } => {}
+            Admission::Busy { .. } => panic!("fixture must not hit backpressure"),
+        }
+        svc.drain();
+    }
+}
+
+/// Full bit-level comparison of two services' externally observable
+/// state: placements (via assignment of every id), per-shard cluster
+/// members, weights, densities and buffers.
+fn assert_services_identical(a: &Service, b: &Service, tag: &str) {
+    assert_eq!(a.len(), b.len(), "{tag}: item counts differ");
+    assert_eq!(a.shard_count(), b.shard_count(), "{tag}");
+    assert_eq!(a.depths(), b.depths(), "{tag}: shard depths differ");
+    for id in 0..a.len() as u64 {
+        assert_eq!(a.assignment(id), b.assignment(id), "{tag}: assignment of item {id}");
+    }
+    let (sa, sb) = (a.summaries(), b.summaries());
+    assert_eq!(sa.len(), sb.len(), "{tag}: cluster counts differ");
+    for (ca, cb) in sa.iter().zip(&sb) {
+        assert_eq!(ca.cluster, cb.cluster, "{tag}");
+        assert_eq!(ca.size, cb.size, "{tag}");
+        assert_eq!(ca.density.to_bits(), cb.density.to_bits(), "{tag}: density bits");
+    }
+}
+
+/// (1) Same stream + same shard count ⇒ identical outcome across
+/// re-runs and across worker counts.
+#[test]
+fn same_stream_same_shards_is_reproducible_across_runs_and_workers() {
+    let items = stream_items(120);
+    for shards in [2usize, 4] {
+        let baseline = build_service(shards, 1);
+        ingest_all(&baseline, &items);
+        // Re-run at the same worker count: byte-identical.
+        let rerun = build_service(shards, 1);
+        ingest_all(&rerun, &items);
+        assert_services_identical(&baseline, &rerun, &format!("rerun, {shards} shards"));
+        // Every other worker count: byte-identical too.
+        for workers in service_workers() {
+            let par = build_service(shards, workers);
+            ingest_all(&par, &items);
+            assert_services_identical(
+                &baseline,
+                &par,
+                &format!("{workers} workers, {shards} shards"),
+            );
+        }
+    }
+}
+
+/// (2) Snapshot mid-stream (queued items included), restore, continue
+/// ⇒ bit-for-bit the uninterrupted run.
+#[test]
+fn snapshot_restore_continue_equals_uninterrupted() {
+    let items = stream_items(140);
+    let uninterrupted = build_service(3, 1);
+    ingest_all(&uninterrupted, &items);
+
+    let first = build_service(3, 1);
+    ingest_all(&first, &items[..80]);
+    // Leave a ragged edge: some items admitted but not yet applied.
+    for v in &items[80..90] {
+        let _ = first.ingest(v);
+    }
+    let bytes = snapshot_bytes(&first);
+    drop(first);
+    for workers in service_workers() {
+        let resumed = restore(&bytes, ExecPolicy::workers(workers)).expect("restore");
+        resumed.drain();
+        ingest_all(&resumed, &items[90..]);
+        assert_services_identical(
+            &uninterrupted,
+            &resumed,
+            &format!("restored continuation at {workers} workers"),
+        );
+    }
+}
+
+/// (3) On shard-separable data the cross-shard top-k merge agrees
+/// with a single-shard run: the same dominant clusters (compared as
+/// global member sets) at the same densities, with the strictly
+/// densest cluster winning rank 1 everywhere.
+#[test]
+fn cross_shard_top_k_agrees_with_single_shard_on_separable_data() {
+    // Pure blobs, no noise: every cluster is tight, far from the
+    // others, and routed wholly to one shard.
+    let items: Vec<Vec<f64>> = stream_items(120)
+        .into_iter()
+        .filter(|v| v[0].abs() <= 100.0 && v[1].abs() <= 100.0)
+        .collect();
+    // Canonical cross-shard view: clusters as (quantized density,
+    // global member ids), sorted density-descending with member-set
+    // tie-breaks. Quantizing at 1e-4 absorbs the schedule-dependent
+    // tail of the incremental attach update (sweeps fire at
+    // shard-local arrival counts, so exact density bits differ by
+    // design) while keeping every real density gap intact; clusters
+    // of pure duplicates tie *exactly* at (m-1)/m, which is why rank
+    // order alone is not a sound comparison.
+    let canonical = |svc: &Service| -> Vec<(i64, Vec<u64>)> {
+        let mut clusters: Vec<(i64, Vec<u64>)> = svc
+            .top_k(usize::MAX)
+            .iter()
+            .map(|summary| {
+                let mut members: Vec<u64> = (0..svc.len() as u64)
+                    .filter(|&id| svc.assignment(id) == Some(Some(summary.cluster)))
+                    .collect();
+                members.sort_unstable();
+                ((summary.density * 1e4).round() as i64, members)
+            })
+            .collect();
+        clusters.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        clusters
+    };
+    let single = build_service(1, 1);
+    ingest_all(&single, &items);
+    single.sweep();
+    let reference = canonical(&single);
+    assert!(reference.len() >= 4, "all four blobs detected: {reference:?}");
+    assert!(
+        reference[0].0 > reference[1].0,
+        "fixture needs a strictly densest cluster: {reference:?}"
+    );
+    for shards in [2usize, 4, 8] {
+        let sharded = build_service(shards, 1);
+        ingest_all(&sharded, &items);
+        sharded.sweep();
+        let merged = canonical(&sharded);
+        assert_eq!(
+            reference, merged,
+            "top-k merge at {shards} shards disagrees with the single-shard run"
+        );
+        // The maximum-density reduction rule puts the same winner on
+        // top regardless of sharding.
+        let top_single = &reference[0].1;
+        let top_merged: Vec<u64> = {
+            let top = &sharded.top_k(1)[0];
+            let mut m: Vec<u64> = (0..sharded.len() as u64)
+                .filter(|&id| sharded.assignment(id) == Some(Some(top.cluster)))
+                .collect();
+            m.sort_unstable();
+            m
+        };
+        assert_eq!(top_single, &top_merged, "{shards} shards: different top-1 cluster");
+    }
+}
+
+/// The HTTP front end serves the same bytes the library produces, and
+/// its snapshot endpoint round-trips through `restore`.
+#[test]
+fn http_front_end_matches_library_and_round_trips_snapshots() {
+    let items = stream_items(60);
+    // Library-side reference.
+    let reference = build_service(2, 1);
+    ingest_all(&reference, &items);
+
+    // HTTP-side run over loopback.
+    let served = Arc::new(build_service(2, 1));
+    let path = std::env::temp_dir().join(format!("alid_it_snap_{}.bin", std::process::id()));
+    let server = http::start(
+        Arc::clone(&served),
+        "127.0.0.1:0",
+        HttpOptions { http_workers: 2, snapshot_path: Some(path.clone()) },
+    )
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    http::wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+    let mut client = Client::connect(&addr).expect("connect");
+    for chunk in items.chunks(7) {
+        let body = Json::object([(
+            "items",
+            Json::Arr(
+                chunk
+                    .iter()
+                    .map(|v| Json::Arr(v.iter().map(|&x| Json::Num(x)).collect()))
+                    .collect(),
+            ),
+        )]);
+        let (status, resp) = client.request("POST", "/ingest", Some(&body)).expect("ingest");
+        assert_eq!(status, 200, "{resp:?}");
+    }
+    // The served instance must equal the library run bit-for-bit: the
+    // JSON number round-trip through the HTTP pipe is exact.
+    assert_services_identical(&reference, &served, "http vs library");
+
+    // Snapshot through the endpoint (to the server's configured
+    // path), restore through the library.
+    let (status, resp) = client.request("POST", "/snapshot", None).expect("snapshot");
+    assert_eq!(status, 200, "{resp:?}");
+    let bytes = std::fs::read(&path).expect("snapshot file");
+    let restored = restore(&bytes, ExecPolicy::workers(1)).expect("restore");
+    assert_services_identical(&reference, &restored, "restored http snapshot");
+    let _ = std::fs::remove_file(&path);
+    server.shutdown();
+}
+
+/// Admission answers under pressure are part of the contract: a full
+/// shard queue yields `Busy` without consuming a global id, and the
+/// stream continues correctly after the queue clears.
+#[test]
+fn backpressure_is_explicit_and_recoverable() {
+    let mut p = params();
+    p.exec = ExecPolicy::workers(1);
+    let svc = Service::new(ServiceConfig::new(2, 1, p).with_batch(8).with_queue_capacity(4));
+    let items = stream_items(12);
+    let mut enqueued = 0;
+    let mut busy = 0;
+    for v in &items {
+        match svc.ingest(v) {
+            Admission::Enqueued { .. } => enqueued += 1,
+            Admission::Busy { .. } => busy += 1,
+        }
+    }
+    assert_eq!(enqueued, 4, "only the queue capacity is admitted without draining");
+    assert_eq!(busy, 8);
+    assert_eq!(svc.len(), 4, "busy items consume no ids");
+    svc.drain();
+    for v in &items[4..8] {
+        assert!(matches!(svc.ingest(v), Admission::Enqueued { .. }));
+    }
+}

@@ -146,6 +146,105 @@ impl Serialize for Cell {
     }
 }
 
+/// One shard-count cell of the straddling-cluster scenario: merge
+/// cost (pairs tested, unions re-run) and reduce-phase latency of the
+/// cross-shard fragment join, plus the cached repeat.
+struct StraddleCell {
+    shards: usize,
+    raw_clusters: usize,
+    merged_clusters: usize,
+    pairs_tested: usize,
+    pairs_linked: usize,
+    groups_rerun: usize,
+    union_items: usize,
+    clusters_merged: usize,
+    reduce_ms: f64,
+    cached_ms: f64,
+}
+
+impl Serialize for StraddleCell {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("shards", self.shards.to_json()),
+            ("raw_clusters", self.raw_clusters.to_json()),
+            ("merged_clusters", self.merged_clusters.to_json()),
+            ("pairs_tested", self.pairs_tested.to_json()),
+            ("pairs_linked", self.pairs_linked.to_json()),
+            ("groups_rerun", self.groups_rerun.to_json()),
+            ("union_items", self.union_items.to_json()),
+            ("clusters_merged", self.clusters_merged.to_json()),
+            ("reduce_ms", self.reduce_ms.to_json()),
+            ("cached_ms", self.cached_ms.to_json()),
+        ])
+    }
+}
+
+/// Runs the straddling-cluster merge scenario across shard counts:
+/// a tight cluster split by the router's first hyperplane, reduced by
+/// the merged view. Asserts the CI-smoke guarantee along the way —
+/// merged member sets identical at every shard count (the raw view
+/// fragments, the reduce joins) and the cached repeat query free of
+/// reduction cost.
+fn straddle_cells(exec: ExecPolicy, shard_counts: &[usize]) -> Vec<StraddleCell> {
+    let fx = alid_bench::fixtures::straddling_cluster();
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    let mut cells = Vec::new();
+    for &shards in shard_counts {
+        let mut params = fx.params;
+        params.exec = exec;
+        let mut cfg = ServiceConfig::new(2, shards, params).with_batch(8).with_exec(exec);
+        cfg.router_seed = fx.router_seed;
+        let svc = Service::new(cfg);
+        for v in &fx.items {
+            svc.ingest(v);
+            svc.drain();
+        }
+        svc.sweep();
+        let raw_clusters = svc.summaries().len();
+        let started = Instant::now();
+        let view = svc.merged_view();
+        let reduce_ms = started.elapsed().as_secs_f64() * 1e3;
+        let started = Instant::now();
+        let again = svc.merged_view();
+        let cached_ms = started.elapsed().as_secs_f64() * 1e3;
+        assert!(std::sync::Arc::ptr_eq(&view, &again), "repeat query must hit the cache");
+        let mut sets: Vec<Vec<u64>> = view.clusters.iter().map(|c| c.members.clone()).collect();
+        sets.sort();
+        match &reference {
+            None => {
+                assert!(
+                    sets.contains(&fx.straddler),
+                    "single-shard reference must hold the straddler whole"
+                );
+                reference = Some(sets);
+            }
+            Some(r) => {
+                assert!(
+                    shards == 1 || raw_clusters > view.clusters.len(),
+                    "{shards} shards: the raw view must fragment the straddler"
+                );
+                assert_eq!(
+                    r, &sets,
+                    "{shards} shards: merged member sets diverge from the single-shard run"
+                );
+            }
+        }
+        cells.push(StraddleCell {
+            shards,
+            raw_clusters,
+            merged_clusters: view.clusters.len(),
+            pairs_tested: view.stats.pairs_tested,
+            pairs_linked: view.stats.pairs_linked,
+            groups_rerun: view.stats.groups_rerun,
+            union_items: view.stats.union_items,
+            clusters_merged: view.stats.clusters_merged,
+            reduce_ms,
+            cached_ms,
+        });
+    }
+    cells
+}
+
 fn items_json(batch: &[Vec<f64>]) -> Json {
     Json::object([(
         "items",
@@ -286,6 +385,15 @@ fn main() {
     }
     let _ = std::fs::remove_file(&snapshot_path);
 
+    // The straddling-cluster merge scenario (library-level; skipped
+    // when driving an external server whose config we don't own).
+    let straddle = if cli.addr.is_none() {
+        let counts: &[usize] = if cli.smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+        straddle_cells(exec, counts)
+    } else {
+        Vec::new()
+    };
+
     let rows: Vec<Vec<String>> = cells
         .iter()
         .map(|c| {
@@ -322,12 +430,47 @@ fn main() {
         &rows,
     );
 
+    if !straddle.is_empty() {
+        let rows: Vec<Vec<String>> = straddle
+            .iter()
+            .map(|c| {
+                vec![
+                    c.shards.to_string(),
+                    c.raw_clusters.to_string(),
+                    c.merged_clusters.to_string(),
+                    c.pairs_tested.to_string(),
+                    c.pairs_linked.to_string(),
+                    c.groups_rerun.to_string(),
+                    c.union_items.to_string(),
+                    fmt(c.reduce_ms),
+                    fmt(c.cached_ms),
+                ]
+            })
+            .collect();
+        print_table(
+            "Straddling-cluster reduce — merge cost of joining cross-shard fragments",
+            &[
+                "shards",
+                "raw",
+                "merged",
+                "pairs",
+                "linked",
+                "unions",
+                "union_items",
+                "reduce_ms",
+                "cached_ms",
+            ],
+            &rows,
+        );
+    }
+
     let mut fields = run_header("alid-bench/service/1", exec.worker_count());
     fields.extend([
         ("smoke", cli.smoke.to_json()),
         ("external_addr", cli.addr.clone().map(Json::Str).unwrap_or(Json::Null)),
         ("total_items", total.to_json()),
         ("cells", cells.to_json()),
+        ("straddle", straddle.to_json()),
     ]);
     save_json("BENCH_service", &Json::object(fields));
 }

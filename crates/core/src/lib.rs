@@ -57,6 +57,6 @@ pub use alid::{detect_one, AlidOutcome};
 pub use config::{AlidParams, SpeculationParams};
 pub use lid::{LidOutcome, LidState};
 pub use palid::{palid_detect, PalidParams};
-pub use peel::{PeelStats, Peeler, RoundStats};
+pub use peel::{detect_on_subset, PeelStats, Peeler, RoundStats};
 pub use roi::Roi;
-pub use streaming::{StreamUpdate, StreamingAlid};
+pub use streaming::{MergeEvidence, StreamUpdate, StreamingAlid};

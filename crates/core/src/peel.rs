@@ -254,6 +254,64 @@ pub(crate) fn peel_pass(
     detections
 }
 
+/// Runs the full detect-and-peel protocol on an arbitrary *member
+/// union* of an existing data set — the entry point the cross-shard
+/// reducer uses to re-detect on the union of candidate fragments
+/// (PALID's reduce phase on partitioned data must *unify* a dominant
+/// cluster whose members landed in different partitions, not merely
+/// rank the fragments).
+///
+/// `subset` lists the rows to detect over, strictly ascending. The
+/// rows are compacted into a private [`Dataset`], a fresh LSH index is
+/// built over them with `params.lsh`, and the shared [`peel_pass`]
+/// runs to exhaustion — the same LID/ROI/CIVS machinery, honouring
+/// `params.exec` (speculative multi-seed rounds under a parallel
+/// policy, byte-identical to sequential for any worker count).
+/// Returned clusters carry members mapped **back into `ds`'s id
+/// space**, ascending; the caller applies the dominance filter, as
+/// with [`Peeler::detect_all`].
+///
+/// Because the compacted data set depends only on the *member set*
+/// (not on how the caller discovered it), the output is identical for
+/// any partitioning that produced the same union — the property the
+/// sharded service's merged view leans on for shard-count invariance.
+///
+/// # Panics
+/// Panics if `subset` is not strictly ascending or indexes out of
+/// bounds.
+pub fn detect_on_subset(
+    ds: &Dataset,
+    subset: &[u32],
+    params: &AlidParams,
+    cost: &Arc<CostModel>,
+) -> Vec<DetectedCluster> {
+    for w in subset.windows(2) {
+        assert!(w[0] < w[1], "subset must be strictly ascending");
+    }
+    if let Some(&last) = subset.last() {
+        assert!((last as usize) < ds.len(), "subset member {last} out of bounds");
+    }
+    if subset.is_empty() {
+        return Vec::new();
+    }
+    let rows: Vec<usize> = subset.iter().map(|&i| i as usize).collect();
+    let sub = ds.subset(&rows);
+    let mut index = LshIndex::build(&sub, params.lsh, cost);
+    let mut stats = PeelStats::default();
+    let detections = peel_pass(&sub, params, &mut index, cost, 0, None, &mut stats);
+    detections
+        .into_iter()
+        .map(|(_seed, mut cluster)| {
+            // The map is monotone, so members stay ascending and the
+            // weights stay parallel.
+            for m in &mut cluster.members {
+                *m = subset[*m as usize];
+            }
+            cluster
+        })
+        .collect()
+}
+
 /// The lowest alive id `>= *cursor`, advancing the cursor past dead
 /// items. `None` once everything from the cursor on is peeled.
 fn next_alive_from(index: &LshIndex, cursor: &mut u32, n: u32) -> Option<u32> {
@@ -580,6 +638,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn detect_on_subset_matches_full_pass_on_a_clusters_members() {
+        let ds = fixture();
+        let p = params(&ds);
+        let full = Peeler::new(&ds, p, CostModel::shared()).detect_all();
+        let a = &full.clusters[0];
+        assert_eq!(a.members, vec![0, 1, 2, 3, 4, 5]);
+        // Re-detecting on exactly cluster A's member union reproduces
+        // the cluster bit-for-bit: the compact sub-dataset holds the
+        // same rows in the same order the full pass converged over.
+        let redetected = detect_on_subset(&ds, &a.members, &p, &CostModel::shared());
+        assert_eq!(redetected.len(), 1, "a clean union re-detects as one cluster");
+        assert_eq!(redetected[0].members, a.members);
+        assert_eq!(redetected[0].density.to_bits(), a.density.to_bits());
+    }
+
+    #[test]
+    fn detect_on_subset_maps_members_back_and_ignores_outside_rows() {
+        let ds = fixture();
+        let p = params(&ds);
+        // Union of cluster B's members plus one far noise row: the
+        // noise must come back as its own (non-dominant) detection and
+        // every member id must live in the original id space.
+        let subset = vec![6u32, 7, 8, 9, 10, 15];
+        let out = detect_on_subset(&ds, &subset, &p, &CostModel::shared());
+        let mut seen: Vec<u32> = out.iter().flat_map(|c| c.members.iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, subset, "every subset row detected exactly once, in ds ids");
+        let b = out.iter().find(|c| c.members.contains(&6)).expect("cluster B re-detected");
+        assert_eq!(b.members, vec![6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn detect_on_subset_is_worker_count_invariant() {
+        let ds = fixture();
+        let subset: Vec<u32> = (0..ds.len() as u32).collect();
+        let seq = detect_on_subset(&ds, &subset, &params(&ds), &CostModel::shared());
+        for workers in [2usize, 4, 8] {
+            let p = params(&ds).with_exec(alid_exec::ExecPolicy::workers(workers));
+            let par = detect_on_subset(&ds, &subset, &p, &CostModel::shared());
+            assert_eq!(seq.len(), par.len(), "{workers} workers");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.members, b.members, "{workers} workers");
+                assert_eq!(a.density.to_bits(), b.density.to_bits(), "{workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn detect_on_subset_empty_subset_is_empty() {
+        let ds = fixture();
+        assert!(detect_on_subset(&ds, &[], &params(&ds), &CostModel::shared()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn detect_on_subset_rejects_unsorted_subsets() {
+        let ds = fixture();
+        let _ = detect_on_subset(&ds, &[3, 1], &params(&ds), &CostModel::shared());
     }
 
     #[test]

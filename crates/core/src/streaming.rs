@@ -51,6 +51,24 @@ pub enum StreamUpdate {
     SweptNewClusters(usize),
 }
 
+/// The cheap per-cluster merge evidence the cross-shard reducer keys
+/// on: a centroid for candidate-pair generation (fragments of one
+/// straddling cluster have near-identical router signatures *because*
+/// their centroids nearly coincide) and a bounded support sample for
+/// the kernel-affinity test, so testing a candidate pair costs
+/// `O(cap² · d)` regardless of cluster size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergeEvidence {
+    /// Unweighted member centroid, accumulated in ascending member
+    /// order — a pure function of the member *set*, so a restored
+    /// instance reproduces it bit-for-bit (an incrementally maintained
+    /// sum would depend on attachment order and break that).
+    pub centroid: Vec<f64>,
+    /// At most `cap` member vectors, strided evenly across the
+    /// ascending member list (deterministic in the member set alone).
+    pub sample: Vec<Vec<f64>>,
+}
+
 /// Incremental dominant-cluster maintenance over a stream.
 pub struct StreamingAlid {
     params: AlidParams,
@@ -238,6 +256,39 @@ impl StreamingAlid {
     /// holds at most [`Self::MAX_STATS_ROUNDS`] recent rounds.
     pub fn peel_stats(&self) -> &PeelStats {
         &self.stats
+    }
+
+    /// The merge evidence of cluster `c` with a support sample of at
+    /// most `sample_cap` members — see [`MergeEvidence`]. Everything
+    /// is derived canonically from the member set (centroid summed in
+    /// ascending member order, sample strided across the ascending
+    /// member list), so two instances holding the same cluster —
+    /// live, restored, or reached on different worker counts — emit
+    /// bit-identical evidence.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of bounds or `sample_cap == 0`.
+    pub fn merge_evidence(&self, c: usize, sample_cap: usize) -> MergeEvidence {
+        assert!(sample_cap >= 1, "sample cap must be positive");
+        let members = &self.clusters[c].members;
+        let dim = self.data.dim();
+        let mut centroid = vec![0.0; dim];
+        for &m in members {
+            for (acc, &x) in centroid.iter_mut().zip(self.data.get(m as usize)) {
+                *acc += x;
+            }
+        }
+        let inv = 1.0 / members.len() as f64;
+        for x in &mut centroid {
+            *x *= inv;
+        }
+        let m = members.len();
+        let take = m.min(sample_cap);
+        // Evenly strided picks: indices i*m/take are strictly
+        // increasing for take <= m, covering the whole span.
+        let sample =
+            (0..take).map(|i| self.data.get(members[i * m / take] as usize).to_vec()).collect();
+        MergeEvidence { centroid, sample }
     }
 
     /// The current state as a [`Clustering`] over all items seen.
@@ -654,6 +705,49 @@ mod tests {
             "later sweeps keep accumulating into the same stats"
         );
         assert_eq!(s.peel_stats().rounds.len(), 0, "sequential sweeps record no rounds");
+    }
+
+    #[test]
+    fn merge_evidence_is_canonical_in_the_member_set() {
+        let mut s = stream();
+        for i in 0..8 {
+            s.push(&[i as f64 * 0.05]);
+        }
+        assert_eq!(s.clusters().len(), 1);
+        let ev = s.merge_evidence(0, 3);
+        // Centroid of 0.0, 0.05, ..., 0.35 is 0.175.
+        assert!((ev.centroid[0] - 0.175).abs() < 1e-12);
+        assert_eq!(ev.sample.len(), 3, "bounded by the cap");
+        // Strided across the ascending member list: ids 0, 2, 5.
+        assert_eq!(ev.sample, vec![vec![0.0], vec![0.10], vec![0.25]]);
+        // A cap above the member count takes everything.
+        assert_eq!(s.merge_evidence(0, 64).sample.len(), 8);
+        // A restored instance reproduces the evidence bit-for-bit.
+        let rebuilt = StreamingAlid::from_state(
+            *s.params(),
+            s.batch(),
+            CostModel::shared(),
+            s.data().clone(),
+            s.clusters().to_vec(),
+            s.pair_sums().to_vec(),
+            s.assignments().to_vec(),
+            s.pending().to_vec(),
+            s.since_sweep(),
+        );
+        let rev = rebuilt.merge_evidence(0, 3);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&ev.centroid), bits(&rev.centroid));
+        assert_eq!(ev.sample, rev.sample);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample cap")]
+    fn merge_evidence_rejects_zero_cap() {
+        let mut s = stream();
+        for i in 0..8 {
+            s.push(&[i as f64 * 0.05]);
+        }
+        let _ = s.merge_evidence(0, 0);
     }
 
     /// The persistence surface's core guarantee: capture the state

@@ -31,5 +31,5 @@ pub mod simhash;
 pub use collision::collision_probability;
 pub use index::LshIndex;
 pub use params::LshParams;
-pub use route::ShardRouter;
+pub use route::{signature_hamming, ShardRouter};
 pub use simhash::{SimHashIndex, SimHashParams};

@@ -34,6 +34,18 @@ use rand::SeedableRng;
 use crate::gauss::sample_standard_normal;
 use alid_affinity::fx::mix_words;
 
+/// Hamming distance between two router signatures — the number of
+/// hyperplanes the two hashed vectors fall on opposite sides of. For
+/// vectors this is a *metric-ish* proximity signal (Charikar's
+/// `P[bit agreement] = 1 - θ/π` per plane, on the lifted vectors):
+/// fragments of one hyperplane-straddling cluster sit within a couple
+/// of bits of each other by construction, which is what lets the
+/// cross-shard reducer generate candidate fragment pairs from
+/// signature buckets instead of an all-pairs centroid scan.
+pub fn signature_hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
 /// Deterministic vector-to-shard routing via one SimHash signature of
 /// the homogeneous lift `(v, 1)`.
 #[derive(Clone, Debug)]
@@ -98,6 +110,56 @@ impl ShardRouter {
         signature
     }
 
+    /// The lifted normal of hyperplane `b` (`dim + 1` coefficients;
+    /// the last one multiplies the implicit bias coordinate of the
+    /// lift). Exposed so harnesses can *construct* geometry relative
+    /// to the router — e.g. a cluster deliberately straddling the
+    /// first hyperplane, the fixture behind the cross-shard reducer's
+    /// acceptance tests.
+    ///
+    /// # Panics
+    /// Panics if `b >= self.bits()`.
+    pub fn plane(&self, b: usize) -> &[f64] {
+        assert!(b < self.bits, "plane {b} out of range (bits = {})", self.bits);
+        let width = self.dim + 1;
+        &self.planes[b * width..(b + 1) * width]
+    }
+
+    /// [`signature_hamming`] between the signatures of two vectors:
+    /// how many routing hyperplanes separate `a` from `b`.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn signature_distance(&self, a: &[f64], b: &[f64]) -> u32 {
+        signature_hamming(self.signature(a), self.signature(b))
+    }
+
+    /// Every signature within Hamming distance `radius` of
+    /// `signature` (the probe set of a multi-probe lookup), in a
+    /// canonical order: distance ascending, flipped-bit combinations
+    /// lexicographic. The identity probe (`radius = 0`) comes first.
+    /// Only the router's `bits` low planes are flipped, so probes stay
+    /// inside the signature space.
+    ///
+    /// The probe count is `Σ_{r<=radius} C(bits, r)` — with the
+    /// default 16 bits, radius 2 costs 137 probes per lookup, which is
+    /// how the reducer's candidate generation stays linear in the
+    /// fragment count.
+    ///
+    /// # Panics
+    /// Panics if `radius > 4` (the combinatorial blow-up past that is
+    /// never what a caller wants) or `radius > bits`.
+    pub fn probe_signatures(&self, signature: u64, radius: u32) -> Vec<u64> {
+        assert!(radius <= 4, "probe radius {radius} explodes combinatorially (max 4)");
+        assert!(radius as usize <= self.bits, "radius exceeds the signature width");
+        let mut out = vec![signature];
+        let mut flips: Vec<usize> = Vec::with_capacity(radius as usize);
+        for r in 1..=radius {
+            push_flips(signature, self.bits, r as usize, 0, &mut flips, &mut out);
+        }
+        out
+    }
+
     /// The shard `v` belongs to among `shards` shards: the mixed
     /// signature reduced modulo the shard count. Locality-preserving
     /// (identical signatures — in particular, near-identical vectors —
@@ -114,6 +176,33 @@ impl ShardRouter {
         // their low bits (nearby directions share them), and the
         // modulus must see avalanche, not geometry.
         (mix_words([self.signature(v)]) % shards as u64) as usize
+    }
+}
+
+/// Appends to `out` every signature obtained from `signature` by
+/// flipping exactly `remaining` distinct bit positions `>= start`
+/// (positions count from the low end; `bits` bounds them), in
+/// lexicographic position order. `flips` is the recursion's scratch.
+fn push_flips(
+    signature: u64,
+    bits: usize,
+    remaining: usize,
+    start: usize,
+    flips: &mut Vec<usize>,
+    out: &mut Vec<u64>,
+) {
+    if remaining == 0 {
+        let mut s = signature;
+        for &b in flips.iter() {
+            s ^= 1u64 << b;
+        }
+        out.push(s);
+        return;
+    }
+    for b in start..=bits - remaining {
+        flips.push(b);
+        push_flips(signature, bits, remaining - 1, b + 1, flips, out);
+        flips.pop();
     }
 }
 
@@ -196,6 +285,78 @@ mod tests {
         }
         let modal = *counts.values().max().unwrap();
         assert!(modal >= 35, "origin cluster scattered: {counts:?}");
+    }
+
+    #[test]
+    fn signature_distance_counts_separating_planes() {
+        assert_eq!(signature_hamming(0b1010, 0b1010), 0);
+        assert_eq!(signature_hamming(0b1010, 0b0011), 2);
+        let r = ShardRouter::new(2, 16, 3);
+        for v in [[0.3, -1.2], [5.0, 2.0]] {
+            assert_eq!(r.signature_distance(&v, &v), 0);
+        }
+        // Consistent with the raw signatures.
+        let (a, b) = ([0.3, -1.2], [4.0, 9.5]);
+        assert_eq!(
+            r.signature_distance(&a, &b),
+            signature_hamming(r.signature(&a), r.signature(&b))
+        );
+    }
+
+    #[test]
+    fn probe_signatures_cover_exactly_the_hamming_ball() {
+        let r = ShardRouter::new(2, 6, 0);
+        let sig = r.signature(&[0.4, -0.7]) & 0x3f;
+        for radius in 0..=2u32 {
+            let probes = r.probe_signatures(sig, radius);
+            // Count = sum of binomials; all distinct; all within radius.
+            let expect: usize = (0..=radius).map(|k| binom(6, k as usize)).sum();
+            assert_eq!(probes.len(), expect, "radius {radius}");
+            let mut dedup = probes.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), probes.len(), "radius {radius}: duplicate probes");
+            assert_eq!(probes[0], sig, "identity probe first");
+            for p in &probes {
+                assert!(signature_hamming(*p, sig) <= radius);
+                assert_eq!(p >> 6, 0, "probes must stay inside the signature width");
+            }
+            // Every 6-bit word within the ball is present.
+            for w in 0..64u64 {
+                assert_eq!(
+                    probes.contains(&w),
+                    signature_hamming(w, sig) <= radius,
+                    "radius {radius}, word {w:#b}"
+                );
+            }
+        }
+    }
+
+    fn binom(n: usize, k: usize) -> usize {
+        (1..=k).fold(1, |acc, i| acc * (n - k + i) / i)
+    }
+
+    #[test]
+    #[should_panic(expected = "combinatorially")]
+    fn probe_radius_is_capped() {
+        let r = ShardRouter::new(2, 16, 0);
+        let _ = r.probe_signatures(0, 5);
+    }
+
+    #[test]
+    fn plane_exposes_the_lifted_normals() {
+        let r = ShardRouter::new(3, 8, 11);
+        for b in 0..8 {
+            assert_eq!(r.plane(b).len(), 4, "dim + 1 coefficients");
+        }
+        // The exposed normal reproduces the signature bit: plane 0 is
+        // the *top* bit of the signature (bits shift in MSB-first).
+        for v in vecs().iter().map(|v| &v[..3]) {
+            let w = r.plane(0);
+            let dot = w[3] + w.iter().zip(v).map(|(p, x)| p * x).sum::<f64>();
+            let top_bit = (r.signature(v) >> 7) & 1;
+            assert_eq!(top_bit == 1, dot >= 0.0, "{v:?}");
+        }
     }
 
     #[test]

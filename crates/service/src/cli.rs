@@ -29,6 +29,11 @@ pub fn usage() -> &'static str {
                                byte-identical for any count)\n\
        --snapshot <path>       restore from this snapshot if it exists; also\n\
                                the default target of POST /snapshot\n\
+       --merge-sample <n>      support-sample bound of the merged view's\n\
+                               affinity test (GET /clusters?view=merged;\n\
+                               default 8)\n\
+       --merge-radius <r>      signature Hamming radius for merged-view\n\
+                               candidate pairs (default 2, max 4)\n\
      \n\
      detection (fresh start; a restored snapshot carries its own):\n\
        --dim <d>               feature dimensionality (required)\n\
@@ -64,6 +69,8 @@ struct ServeOptions {
     seed: u64,
     router_bits: usize,
     router_seed: u64,
+    merge_sample: usize,
+    merge_radius: u32,
 }
 
 fn parse(args: &[String]) -> Result<ServeOptions, String> {
@@ -85,6 +92,8 @@ fn parse(args: &[String]) -> Result<ServeOptions, String> {
         seed: 42,
         router_bits: 16,
         router_seed: 0xa11d,
+        merge_sample: 8,
+        merge_radius: 2,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -128,6 +137,16 @@ fn parse(args: &[String]) -> Result<ServeOptions, String> {
                 o.router_bits = parse_usize("--router-bits", take("--router-bits")?)?
             }
             "--router-seed" => o.router_seed = parse_seed("--router-seed", take("--router-seed")?)?,
+            "--merge-sample" => {
+                o.merge_sample = parse_usize("--merge-sample", take("--merge-sample")?)?
+            }
+            "--merge-radius" => {
+                let r = parse_usize("--merge-radius", take("--merge-radius")?)?;
+                if r > 4 {
+                    return Err(format!("--merge-radius must be at most 4, got {r}"));
+                }
+                o.merge_radius = r as u32;
+            }
             other => return Err(format!("unknown option {other}\n\n{}", usage())),
         }
     }
@@ -136,6 +155,9 @@ fn parse(args: &[String]) -> Result<ServeOptions, String> {
     }
     if o.dim == Some(0) {
         return Err("--dim must be positive".into());
+    }
+    if o.merge_sample == 0 {
+        return Err("--merge-sample must be positive".into());
     }
     if !(1..=64).contains(&o.router_bits) {
         return Err(format!("--router-bits must be in 1..=64, got {}", o.router_bits));
@@ -188,6 +210,7 @@ fn fresh_service(o: &ServeOptions, exec: ExecPolicy) -> Result<Service, String> 
         .with_batch(o.batch)
         .with_queue_capacity(o.queue)
         .with_exec(exec);
+    cfg = cfg.with_merge_sample(o.merge_sample).with_merge_radius(o.merge_radius);
     cfg.router_bits = o.router_bits;
     cfg.router_seed = o.router_seed;
     Ok(Service::new(cfg))
@@ -200,7 +223,7 @@ fn fresh_service(o: &ServeOptions, exec: ExecPolicy) -> Result<Service, String> 
 pub fn serve_main(args: &[String]) -> Result<(), String> {
     let o = parse(args)?;
     let exec = ExecPolicy::auto_or(o.workers);
-    let service = match &o.snapshot {
+    let mut service = match &o.snapshot {
         Some(path) if path.exists() => {
             let bytes =
                 std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
@@ -216,6 +239,11 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
         }
         _ => fresh_service(&o, exec)?,
     };
+    // Like `exec`, the merge knobs are runtime choices a snapshot
+    // does not carry — apply the flags on both paths so
+    // `--merge-sample`/`--merge-radius` are honoured after a restore
+    // too.
+    service.set_merge_knobs(o.merge_sample, o.merge_radius);
     let cfg = service.config();
     eprintln!(
         "alid-service: {} shards, dim {}, sweep period {}, queue bound {}, {} exec workers",
@@ -297,6 +325,33 @@ mod tests {
         assert!(parse(&args(&["--dim", "0"])).unwrap_err().contains("--dim"));
         assert!(parse(&args(&["--router-bits", "0"])).unwrap_err().contains("--router-bits"));
         assert!(parse(&args(&["--router-bits", "65"])).unwrap_err().contains("--router-bits"));
+    }
+
+    #[test]
+    fn merge_knobs_parse_and_validate() {
+        let o = parse(&args(&["--merge-sample", "16", "--merge-radius", "1"])).unwrap();
+        assert_eq!(o.merge_sample, 16);
+        assert_eq!(o.merge_radius, 1);
+        let o = parse(&args(&[
+            "--dim",
+            "2",
+            "--scale",
+            "0.5",
+            "--merge-sample",
+            "3",
+            "--merge-radius",
+            "0",
+        ]))
+        .unwrap();
+        let svc = fresh_service(&o, ExecPolicy::sequential()).unwrap();
+        assert_eq!(svc.config().merge_sample, 3);
+        assert_eq!(svc.config().merge_radius, 0);
+        assert!(parse(&args(&["--merge-sample", "0"])).unwrap_err().contains("--merge-sample"));
+        assert!(parse(&args(&["--merge-radius", "5"])).unwrap_err().contains("--merge-radius"));
+        // Oversized values must error, not truncate into range.
+        assert!(parse(&args(&["--merge-radius", "4294967296"]))
+            .unwrap_err()
+            .contains("--merge-radius"));
     }
 
     #[test]

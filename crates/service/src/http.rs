@@ -14,11 +14,12 @@
 //!
 //! | method & path | body | effect |
 //! |---|---|---|
-//! | `GET /healthz` | — | liveness + shard depth metrics |
-//! | `POST /ingest` | `{"items": [[f64,...],...], "apply": bool?}` | admit a batch (bounded queues, `busy` verdicts), then drain unless `apply` is `false` |
+//! | `GET /healthz` | — | liveness + per-shard depth metrics (queue depth, busy refusals) |
+//! | `POST /ingest` | `{"items": [[f64,...],...], "apply": bool?}` | admit a batch (bounded queues, `busy` verdicts; any refusal adds a `Retry-After` header + `retry_after_ms` hint derived from the fullest refusing queue), then drain unless `apply` is `false` |
 //! | `GET /assign?id=N` | — | placement + cluster of an admitted item |
 //! | `POST /assign` | `{"vector": [f64,...]}` | read-only attachment probe |
-//! | `GET /clusters?k=N` | — | top-k densest clusters, merged across shards |
+//! | `GET /clusters?k=N` | — | top-k densest shard-local clusters (the raw fragment ranking) |
+//! | `GET /clusters?view=merged&k=N` | — | top-k of the fully reduced view: cross-shard fragments joined by union re-detection (`Service::top_k_merged`), plus the reduction's cost telemetry |
 //! | `POST /snapshot` | — | drain, then write a binary snapshot to the server's configured `--snapshot` path (never a client-supplied one) |
 //!
 //! Keep-alive is honoured (`Connection: close` to opt out); malformed
@@ -244,16 +245,16 @@ fn handle_connection(
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // clean EOF between requests
             Err(e) => {
-                write_response(&mut writer, e.status, &error_body(&e.message), false)?;
+                write_response(&mut writer, e.status, &Reply::from(error_body(&e.message)), false)?;
                 return Ok(());
             }
         };
         let keep_alive = request.keep_alive;
-        let (status, body) = match dispatch(&request, service, opts) {
-            Ok(body) => (200, body),
-            Err(e) => (e.status, error_body(&e.message)),
+        let (status, reply) = match dispatch(&request, service, opts) {
+            Ok(reply) => (200, reply),
+            Err(e) => (e.status, Reply::from(error_body(&e.message))),
         };
-        write_response(&mut writer, status, &body, keep_alive)?;
+        write_response(&mut writer, status, &reply, keep_alive)?;
         if !keep_alive {
             return Ok(());
         }
@@ -262,6 +263,19 @@ fn handle_connection(
 
 fn error_body(message: &str) -> Json {
     Json::object([("error", message.to_json())])
+}
+
+/// A handler's answer: the JSON body plus any extra response headers
+/// (today only `Retry-After` on backpressured ingests).
+struct Reply {
+    body: Json,
+    headers: Vec<(&'static str, String)>,
+}
+
+impl From<Json> for Reply {
+    fn from(body: Json) -> Self {
+        Self { body, headers: Vec::new() }
+    }
 }
 
 fn status_text(status: u16) -> &'static str {
@@ -279,19 +293,26 @@ fn status_text(status: u16) -> &'static str {
 fn write_response(
     w: &mut impl Write,
     status: u16,
-    body: &Json,
+    reply: &Reply,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let rendered = serde_json::to_string(body).expect("shim serialization is total");
+    let rendered = serde_json::to_string(&reply.body).expect("shim serialization is total");
     // One buffer, one write: a head written separately would sit in
     // Nagle's queue waiting for the peer's delayed ACK (~40ms per
     // request) — the closed-loop latency killer.
     let mut response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_text(status),
         rendered.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in &reply.headers {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
     response.push_str(&rendered);
     w.write_all(response.as_bytes())?;
     w.flush()
@@ -481,14 +502,14 @@ fn parse_body(req: &Request) -> Result<Json, HttpError> {
     serde_json::from_str(text).map_err(|e| HttpError::new(400, format!("invalid JSON body: {e}")))
 }
 
-fn dispatch(req: &Request, service: &Arc<Service>, opts: &HttpOptions) -> Result<Json, HttpError> {
+fn dispatch(req: &Request, service: &Arc<Service>, opts: &HttpOptions) -> Result<Reply, HttpError> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Ok(healthz(service)),
+        ("GET", "/healthz") => Ok(healthz(service).into()),
         ("POST", "/ingest") => ingest(req, service),
-        ("GET", "/assign") => assign_by_id(req, service),
-        ("POST", "/assign") => assign_by_vector(req, service),
-        ("GET", "/clusters") => clusters(req, service),
-        ("POST", "/snapshot") => snapshot(req, service, opts),
+        ("GET", "/assign") => assign_by_id(req, service).map(Reply::from),
+        ("POST", "/assign") => assign_by_vector(req, service).map(Reply::from),
+        ("GET", "/clusters") => clusters(req, service).map(Reply::from),
+        ("POST", "/snapshot") => snapshot(req, service, opts).map(Reply::from),
         ("GET" | "POST", _) => Err(HttpError::new(404, format!("no route {}", req.path))),
         _ => Err(HttpError::new(405, format!("method {} not allowed", req.method))),
     }
@@ -497,12 +518,14 @@ fn dispatch(req: &Request, service: &Arc<Service>, opts: &HttpOptions) -> Result
 fn healthz(service: &Service) -> Json {
     let depths = service.depths();
     let clusters: usize = depths.iter().map(|d| d.clusters).sum();
+    let busy: u64 = depths.iter().map(|d| d.busy).sum();
     Json::object([
         ("status", "ok".to_json()),
         ("schema", "alid-service/1".to_json()),
         ("shards", service.shard_count().to_json()),
         ("items", service.len().to_json()),
         ("clusters", clusters.to_json()),
+        ("busy_total", busy.to_json()),
         ("depths", depths.to_json()),
     ])
 }
@@ -520,7 +543,7 @@ fn vector_from_json(j: &Json, dim: usize) -> Result<Vec<f64>, HttpError> {
         .collect()
 }
 
-fn ingest(req: &Request, service: &Arc<Service>) -> Result<Json, HttpError> {
+fn ingest(req: &Request, service: &Arc<Service>) -> Result<Reply, HttpError> {
     let body = parse_body(req)?;
     let items = body
         .get("items")
@@ -534,12 +557,31 @@ fn ingest(req: &Request, service: &Arc<Service>) -> Result<Json, HttpError> {
     let results = service.ingest_batch(vectors.iter().map(Vec::as_slice));
     let apply = body.get("apply").and_then(Json::as_bool).unwrap_or(true);
     let report = if apply { service.drain() } else { crate::service::DrainReport::default() };
-    Ok(Json::object([
+    // Backpressure hint: the deepest refusing queue sets the backoff
+    // (ROADMAP overload item (a), first slice). Clients that ignore
+    // the header still see the per-item `busy` verdicts.
+    let busiest = results
+        .iter()
+        .filter_map(|a| match a {
+            crate::service::Admission::Busy { depth, .. } => Some(*depth),
+            crate::service::Admission::Enqueued { .. } => None,
+        })
+        .max();
+    let mut fields = vec![
         ("results", results.to_json()),
         ("applied", apply.to_json()),
         ("report", report.to_json()),
         ("depths", service.depths().to_json()),
-    ]))
+    ];
+    let mut headers = Vec::new();
+    if let Some(depth) = busiest {
+        let ms = Service::retry_after_hint_ms(depth);
+        fields.push(("retry_after_ms", ms.to_json()));
+        // Retry-After is specified in whole seconds; round up so the
+        // hint never undercuts itself.
+        headers.push(("Retry-After", ms.div_ceil(1000).max(1).to_string()));
+    }
+    Ok(Reply { body: Json::object(fields), headers })
 }
 
 fn assign_by_id(req: &Request, service: &Service) -> Result<Json, HttpError> {
@@ -590,7 +632,23 @@ fn clusters(req: &Request, service: &Service) -> Result<Json, HttpError> {
             .map_err(|_| HttpError::new(400, "?k= must be an unsigned integer"))?,
         None => usize::MAX,
     };
-    Ok(Json::object([("clusters", service.top_k(k).to_json())]))
+    match query_param(req, "view") {
+        // The raw fragment ranking stays the default: existing
+        // clients (and the parity suites pinned to them) see
+        // unchanged answers.
+        None | Some("raw") => Ok(Json::object([("clusters", service.top_k(k).to_json())])),
+        Some("merged") => {
+            let view = service.merged_view();
+            Ok(Json::object([
+                ("view", "merged".to_json()),
+                ("clusters", view.clusters[..k.min(view.clusters.len())].to_json()),
+                ("reduce", view.stats.to_json()),
+            ]))
+        }
+        Some(other) => {
+            Err(HttpError::new(400, format!("unknown ?view= {other:?} (raw or merged)")))
+        }
+    }
 }
 
 fn snapshot(req: &Request, service: &Arc<Service>, opts: &HttpOptions) -> Result<Json, HttpError> {
@@ -832,6 +890,74 @@ mod tests {
         let mut c = Client::connect(&addr).unwrap();
         let (status, _) = c.request("GET", "/healthz", None).unwrap();
         assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn merged_view_endpoint_serves_the_reduction_and_rejects_unknown_views() {
+        let (server, addr) = start_test_server();
+        let mut client = Client::connect(&addr).unwrap();
+        let items: Vec<Json> =
+            (0..16).map(|i| Json::Arr(vec![Json::Num(i as f64 * 0.01)])).collect();
+        let body = Json::object([("items", Json::Arr(items))]);
+        let (status, _) = client.request("POST", "/ingest", Some(&body)).unwrap();
+        assert_eq!(status, 200);
+        let (status, m) = client.request("GET", "/clusters?view=merged&k=5", None).unwrap();
+        assert_eq!(status, 200, "{m:?}");
+        assert_eq!(m.get("view").and_then(Json::as_str), Some("merged"));
+        let clusters = m.get("clusters").and_then(Json::as_arr).unwrap();
+        assert!(!clusters.is_empty(), "{m:?}");
+        for c in clusters {
+            assert!(c.get("fragments").and_then(Json::as_arr).is_some(), "{c:?}");
+            assert!(c.get("density").and_then(Json::as_f64).is_some());
+        }
+        let reduce = m.get("reduce").expect("reduce stats");
+        assert!(reduce.get("pairs_tested").and_then(Json::as_u64).is_some(), "{reduce:?}");
+        // The raw view's shape is untouched.
+        let (status, raw) = client.request("GET", "/clusters?view=raw", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(raw.get("view").is_none(), "raw view keeps the original shape");
+        let (status, e) = client.request("GET", "/clusters?view=bogus", None).unwrap();
+        assert_eq!(status, 400, "{e:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn busy_ingest_carries_a_retry_after_hint_and_healthz_counts_it() {
+        let kernel = LaplacianKernel::l2(1.0);
+        let mut p = AlidParams::new(kernel);
+        p.lsh.seed = 5;
+        let service = Arc::new(Service::new(ServiceConfig::new(1, 1, p).with_queue_capacity(2)));
+        let server = start(service, "127.0.0.1:0", HttpOptions::default()).expect("bind");
+        let addr = server.addr().to_string();
+        // Six admissions into a two-slot queue without draining: four
+        // must be refused, and the response must carry the hint both
+        // as JSON and as a Retry-After header (checked on the raw
+        // bytes — the test client strips headers).
+        let payload = r#"{"items":[[0.1],[0.2],[0.3],[0.4],[0.5],[0.6]],"apply":false}"#;
+        let request = format!(
+            "POST /ingest HTTP/1.1\r\nHost: alid\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            payload.len()
+        );
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        raw.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("\r\nRetry-After: 1\r\n"), "{response}");
+        assert!(response.contains("\"retry_after_ms\":25"), "{response}");
+        let mut client = Client::connect(&addr).unwrap();
+        let (status, health) = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(health.get("busy_total").and_then(Json::as_u64), Some(4), "{health:?}");
+        let depths = health.get("depths").and_then(Json::as_arr).unwrap();
+        assert_eq!(depths[0].get("busy").and_then(Json::as_u64), Some(4));
+        assert_eq!(depths[0].get("queued").and_then(Json::as_u64), Some(2));
+        // A fully admitted batch carries no hint.
+        let ok = Json::object([("items", Json::Arr(vec![])), ("apply", Json::Bool(false))]);
+        let (status, resp) = client.request("POST", "/ingest", Some(&ok)).unwrap();
+        assert_eq!(status, 200);
+        assert!(resp.get("retry_after_ms").is_none(), "{resp:?}");
         server.shutdown();
     }
 

@@ -17,8 +17,12 @@
 //!   [`Admission::Busy`] backpressure and depth metrics, instead of
 //!   unbounded buffering;
 //! * **queries** — point assignment lookup, read-only attachment
-//!   probes, per-cluster summaries and cross-shard top-k merged by the
-//!   PALID maximum-density reduction rule;
+//!   probes, per-cluster summaries, cross-shard top-k ranked by the
+//!   PALID maximum-density rule, and the *merged* view ([`reduce`]):
+//!   the full reduce phase that joins fragments of a
+//!   hyperplane-straddling cluster by re-running detection on their
+//!   member union (`Service::top_k_merged`,
+//!   `GET /clusters?view=merged`), cached between mutations;
 //! * **persistence** — a versioned binary [`snapshot`] of the whole
 //!   service (datasets, clusters, density state, pending buffers,
 //!   unapplied queues, placements) that restores to an instance which
@@ -35,9 +39,11 @@
 
 pub mod cli;
 pub mod http;
+pub mod reduce;
 pub mod service;
 pub mod snapshot;
 
+pub use reduce::{MergedCluster, MergedView, ReduceStats};
 pub use service::{
     Admission, ClusterRef, ClusterSummary, DrainReport, Service, ServiceConfig, ShardDepth,
 };

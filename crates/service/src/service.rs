@@ -1,15 +1,21 @@
 //! The sharded service core: routing, bounded admission, parallel
-//! drain, and cross-shard queries.
+//! drain, and cross-shard queries (raw fragment ranking and the
+//! merged view's full PALID reduce — see [`crate::reduce`]).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use alid_affinity::cost::CostModel;
+use alid_affinity::vector::Dataset;
 use alid_core::streaming::{StreamUpdate, StreamingAlid};
 use alid_core::AlidParams;
 use alid_exec::ExecPolicy;
 use alid_lsh::ShardRouter;
 use serde::{Json, Serialize};
+
+use crate::reduce::{self, FragmentCut, MergedCluster, MergedView, ReduceCut, UnionCut};
 
 /// Static configuration of a [`Service`].
 #[derive(Clone, Debug)]
@@ -33,6 +39,17 @@ pub struct ServiceConfig {
     /// Execution policy for the service's own fan-out phases (the
     /// cross-shard drain). Shard-internal sweeps follow `params.exec`.
     pub exec: ExecPolicy,
+    /// Per-fragment support-sample bound for the merged view's
+    /// affinity test (see [`Service::merged_view`]); testing one
+    /// candidate pair costs `O(merge_sample² · dim)`.
+    pub merge_sample: usize,
+    /// Signature Hamming radius for the merged view's candidate-pair
+    /// generation: fragments whose centroid signatures differ in more
+    /// than this many routing hyperplanes are never considered for
+    /// joining. Radius 2 covers clusters straddling up to two
+    /// hyperplanes at `Σ_{r<=2} C(router_bits, r)` probes per
+    /// fragment.
+    pub merge_radius: u32,
 }
 
 impl ServiceConfig {
@@ -53,6 +70,8 @@ impl ServiceConfig {
             router_seed: 0xa11d,
             params,
             exec: ExecPolicy::sequential(),
+            merge_sample: 8,
+            merge_radius: 2,
         }
     }
 
@@ -79,6 +98,27 @@ impl ServiceConfig {
     /// Replaces the service-level execution policy.
     pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Replaces the merged view's support-sample bound.
+    ///
+    /// # Panics
+    /// Panics if `merge_sample == 0`.
+    pub fn with_merge_sample(mut self, merge_sample: usize) -> Self {
+        assert!(merge_sample >= 1, "merge sample bound must be positive");
+        self.merge_sample = merge_sample;
+        self
+    }
+
+    /// Replaces the merged view's candidate-signature radius.
+    ///
+    /// # Panics
+    /// Panics if `merge_radius > 4` (the probe count explodes
+    /// combinatorially past that).
+    pub fn with_merge_radius(mut self, merge_radius: u32) -> Self {
+        assert!(merge_radius <= 4, "merge radius above 4 explodes combinatorially");
+        self.merge_radius = merge_radius;
         self
     }
 }
@@ -179,6 +219,10 @@ pub struct ShardDepth {
     pub items: usize,
     /// Dominant clusters the shard currently holds.
     pub clusters: usize,
+    /// Admissions this shard refused with [`Admission::Busy`] since
+    /// the process started (telemetry, not state: snapshots do not
+    /// persist it and a restore starts the count afresh).
+    pub busy: u64,
 }
 
 impl Serialize for ShardDepth {
@@ -188,6 +232,7 @@ impl Serialize for ShardDepth {
             ("pending", self.pending.to_json()),
             ("items", self.items.to_json()),
             ("clusters", self.clusters.to_json()),
+            ("busy", self.busy.to_json()),
         ])
     }
 }
@@ -218,6 +263,8 @@ impl Serialize for ClusterSummary {
 pub(crate) struct Shard {
     pub(crate) stream: StreamingAlid,
     pub(crate) queue: VecDeque<Vec<f64>>,
+    /// Admissions refused with `Busy` (telemetry; never snapshotted).
+    pub(crate) busy: u64,
 }
 
 /// The sharded online detection service. Thread-safe: admission,
@@ -232,6 +279,16 @@ pub struct Service {
     /// reverse.
     placements: Mutex<Vec<Placement>>,
     cost: Arc<CostModel>,
+    /// Bumped after every state mutation that can change the merged
+    /// view (a drain that applied something, any sweep, a merge-knob
+    /// change); the merged-view cache is keyed on it. Plain admission
+    /// never bumps — queued items are invisible to the reduction
+    /// until applied. Mutations bump *after* they complete, so a
+    /// cached view can be tagged older than the state it reflects (a
+    /// harmless recompute) but never newer (a stale hit).
+    epoch: AtomicU64,
+    /// The cached merged view with the epoch it was computed at.
+    merged: Mutex<Option<(u64, Arc<MergedView>)>>,
 }
 
 impl std::fmt::Debug for Service {
@@ -254,10 +311,19 @@ impl Service {
                 Mutex::new(Shard {
                     stream: StreamingAlid::new(cfg.dim, cfg.params, cfg.batch, Arc::clone(&cost)),
                     queue: VecDeque::new(),
+                    busy: 0,
                 })
             })
             .collect();
-        Self { cfg, router, shards, placements: Mutex::new(Vec::new()), cost }
+        Self {
+            cfg,
+            router,
+            shards,
+            placements: Mutex::new(Vec::new()),
+            cost,
+            epoch: AtomicU64::new(0),
+            merged: Mutex::new(None),
+        }
     }
 
     /// Rebuilds a service from restored parts (the snapshot codec's
@@ -275,12 +341,32 @@ impl Service {
             shards: shards.into_iter().map(Mutex::new).collect(),
             placements: Mutex::new(placements),
             cost,
+            epoch: AtomicU64::new(0),
+            merged: Mutex::new(None),
         }
     }
 
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.cfg
+    }
+
+    /// Re-applies the query-time merge knobs (see
+    /// [`ServiceConfig::merge_sample`] / [`ServiceConfig::merge_radius`]).
+    /// Snapshots deliberately do not persist these — they configure
+    /// the reducer, not shard state — so `alid serve` calls this
+    /// after a restore to honour the operator's flags. Invalidates
+    /// the merged-view cache: the next query reduces under the new
+    /// knobs.
+    ///
+    /// # Panics
+    /// Panics if `merge_sample == 0` or `merge_radius > 4`.
+    pub fn set_merge_knobs(&mut self, merge_sample: usize, merge_radius: u32) {
+        assert!(merge_sample >= 1, "merge sample bound must be positive");
+        assert!(merge_radius <= 4, "merge radius above 4 explodes combinatorially");
+        self.cfg.merge_sample = merge_sample;
+        self.cfg.merge_radius = merge_radius;
+        self.epoch.fetch_add(1, Ordering::SeqCst);
     }
 
     /// The shared cost model all shards account into.
@@ -323,9 +409,19 @@ impl Service {
     /// `s` blocks this method at `s` *before* it reaches the
     /// placement lock.
     pub(crate) fn lock_all(&self) -> (Vec<MutexGuard<'_, Shard>>, MutexGuard<'_, Vec<Placement>>) {
-        let shards: Vec<_> = (0..self.shards.len()).map(|s| self.shard(s)).collect();
+        let shards = self.lock_shards();
         let placements = self.placements.lock().expect("placements");
         (shards, placements)
+    }
+
+    /// Locks every shard in index order — the shard-only consistent
+    /// cut cross-shard readers (`summaries`, `top_k`) take so a
+    /// concurrent drain can never yield a view that counts an item
+    /// mid-migration on two shards (or on none). A prefix of the
+    /// `lock_all` order, so it composes with admission's
+    /// one-shard-then-placements discipline without a cycle.
+    pub(crate) fn lock_shards(&self) -> Vec<MutexGuard<'_, Shard>> {
+        (0..self.shards.len()).map(|s| self.shard(s)).collect()
     }
 
     /// The shard the router assigns to `v` (pure; exposed so clients
@@ -349,6 +445,7 @@ impl Service {
         let s = self.route(v);
         let mut shard = self.shard(s);
         if shard.queue.len() >= self.cfg.queue_capacity {
+            shard.busy += 1;
             return Admission::Busy { shard: s as u32, depth: shard.queue.len() };
         }
         let local = (shard.stream.len() + shard.queue.len()) as u32;
@@ -359,6 +456,11 @@ impl Service {
         let mut placements = self.placements.lock().expect("placements");
         let id = placements.len() as u64;
         placements.push(Placement { shard: s as u32, local });
+        // No epoch bump: admission only touches the queue and the
+        // placement registry, both invisible to the merged view until
+        // a drain applies the item (the reduce's reverse map skips
+        // locals past the applied prefix) — enqueue-heavy clients
+        // keep their merged-view cache hot.
         Admission::Enqueued { id, shard: s as u32, depth }
     }
 
@@ -397,17 +499,27 @@ impl Service {
             total.buffered += r.buffered;
             total.promoted += r.promoted;
         }
+        if total.applied > 0 {
+            // After the mutations: a merged view cut mid-drain tags
+            // itself with the pre-bump epoch and is invalidated here.
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
         total
     }
 
     /// Forces a detection sweep on every shard (tail flush — the
     /// stream analogue of "run detection on what's left").
     pub fn sweep(&self) -> usize {
-        self.cfg
+        let promoted = self
+            .cfg
             .exec
             .map_indexed(self.shards.len(), |s| self.shard(s).stream.sweep())
             .into_iter()
-            .sum()
+            .sum();
+        // A sweep can attach pending items even when it promotes
+        // nothing, so the merged-view cache is always invalidated.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        promoted
     }
 
     /// The current cluster assignment of admitted item `id`: `None`
@@ -460,17 +572,32 @@ impl Service {
                     pending: shard.stream.pending().len(),
                     items: shard.stream.len(),
                     clusters: shard.stream.clusters().len(),
+                    busy: shard.busy,
                 }
             })
             .collect()
     }
 
+    /// A retry-backoff hint (milliseconds) for a [`Admission::Busy`]
+    /// verdict observed at queue `depth`: one millisecond per queued
+    /// item — the drain applies queued items at sub-millisecond rates,
+    /// so by then the queue has almost certainly made room — clamped
+    /// to `[25, 10_000]` so tiny queues don't spin and huge ones don't
+    /// park clients for minutes. The HTTP front end surfaces it as a
+    /// `Retry-After` header.
+    pub fn retry_after_hint_ms(depth: usize) -> u64 {
+        (depth as u64).clamp(25, 10_000)
+    }
+
     /// Summaries of every cluster across all shards, in `(shard,
-    /// cluster)` order.
+    /// cluster)` order — one consistent cut: all shard locks are held
+    /// together (same discipline as the snapshot codec), so a
+    /// concurrent drain can never produce a view that observes an
+    /// item on two shards or on none.
     pub fn summaries(&self) -> Vec<ClusterSummary> {
+        let shards = self.lock_shards();
         let mut out = Vec::new();
-        for s in 0..self.shards.len() {
-            let shard = self.shard(s);
+        for (s, shard) in shards.iter().enumerate() {
             for (c, cluster) in shard.stream.clusters().iter().enumerate() {
                 out.push(ClusterSummary {
                     cluster: ClusterRef { shard: s as u32, cluster: c as u32 },
@@ -485,12 +612,202 @@ impl Service {
     /// The `k` densest clusters service-wide — the PALID reduction
     /// rule (Fig. 5's "maximum density wins") applied across shards:
     /// candidates are ranked by density, ties broken by `(shard,
-    /// cluster)` so the merge is deterministic.
+    /// cluster)` so the merge is deterministic. Taken over the same
+    /// consistent cut as [`Self::summaries`], via a bounded selection
+    /// (a size-`k` heap), so `k ≪ clusters` queries cost
+    /// `O(clusters · log k)` instead of a service-wide clone and full
+    /// sort.
     pub fn top_k(&self, k: usize) -> Vec<ClusterSummary> {
-        let mut all = self.summaries();
-        all.sort_by(|a, b| b.density.total_cmp(&a.density).then_with(|| a.cluster.cmp(&b.cluster)));
-        all.truncate(k);
-        all
+        if k == 0 {
+            return Vec::new();
+        }
+        let shards = self.lock_shards();
+        // Min-heap of the best k seen: the root is the *worst* of the
+        // current best, evicted whenever a better candidate arrives.
+        let mut heap: BinaryHeap<Reverse<Ranked>> = BinaryHeap::new();
+        for (s, shard) in shards.iter().enumerate() {
+            for (c, cluster) in shard.stream.clusters().iter().enumerate() {
+                let entry = Ranked(ClusterSummary {
+                    cluster: ClusterRef { shard: s as u32, cluster: c as u32 },
+                    size: cluster.members.len(),
+                    density: cluster.density,
+                });
+                if heap.len() < k {
+                    heap.push(Reverse(entry));
+                } else if heap.peek().is_some_and(|Reverse(worst)| entry > *worst) {
+                    heap.pop();
+                    heap.push(Reverse(entry));
+                }
+            }
+        }
+        drop(shards);
+        let mut out: Vec<ClusterSummary> =
+            heap.into_iter().map(|Reverse(Ranked(summary))| summary).collect();
+        out.sort_by(|a, b| b.density.total_cmp(&a.density).then_with(|| a.cluster.cmp(&b.cluster)));
+        out
+    }
+
+    /// The fully reduced cross-shard view — the paper's PALID reduce
+    /// phase (Fig. 5) done properly on partitioned data: instead of
+    /// merely *ranking* shard-local detections, fragments of a
+    /// dominant cluster that straddles a routing hyperplane are
+    /// *joined* by re-running the detection dynamics on their member
+    /// union.
+    ///
+    /// The pipeline (see [`crate::reduce`] for the stages): take a
+    /// consistent cut of every shard's clusters with their merge
+    /// evidence; generate candidate fragment pairs from router
+    /// signatures of the centroids (fragments of one straddling
+    /// cluster have near-identical signatures by construction — no
+    /// all-pairs scan); accept pairs whose centroid/support-sample
+    /// kernel affinity clears the detection threshold; re-detect on
+    /// the member union of each accepted group via
+    /// [`alid_core::detect_on_subset`]; and resolve all surviving
+    /// claims by the paper's maximum-density rule with the
+    /// deterministic `(shard, cluster)` tie-break.
+    ///
+    /// The result is cached and invalidated whenever applied state
+    /// changes (a drain that applied items, any sweep), so repeated
+    /// queries between mutations never re-pay the reduction; plain
+    /// admission leaves the cache hot, since queued items cannot
+    /// appear in any cluster until drained.
+    /// Determinism: the view is a pure function of the cut shard
+    /// states, so it is bit-identical across reruns and worker
+    /// counts; the re-detected clusters are additionally a pure
+    /// function of the member *union*, which is what makes the merged
+    /// view agree with a single-shard run on straddling fixtures (see
+    /// `tests/service.rs`).
+    pub fn merged_view(&self) -> Arc<MergedView> {
+        let hint = self.epoch.load(Ordering::SeqCst);
+        if let Some((tag, view)) = self.merged.lock().expect("merged cache").as_ref() {
+            if *tag == hint {
+                return Arc::clone(view);
+            }
+        }
+        let cut = self.reduce_cut();
+        let view = Arc::new(reduce::merge(cut, &self.cfg.params, &self.cost));
+        *self.merged.lock().expect("merged cache") = Some((view.epoch, Arc::clone(&view)));
+        view
+    }
+
+    /// The `k` densest clusters of the [`Self::merged_view`] — the
+    /// `top_k` analogue after fragment joining (the `top_k_merged`
+    /// library API behind `GET /clusters?view=merged`).
+    pub fn top_k_merged(&self, k: usize) -> Vec<MergedCluster> {
+        self.merged_view().clusters.iter().take(k).cloned().collect()
+    }
+
+    /// Extracts everything the reducer needs under one consistent cut
+    /// (all shard locks + the placement lock, the `lock_all`
+    /// discipline), leaving the expensive union re-detection to run
+    /// *after* the locks drop: fragment summaries with merge
+    /// evidence, signature-generated candidate groups, and the member
+    /// union (ids + vectors) of every accepted group.
+    fn reduce_cut(&self) -> ReduceCut {
+        let (shards, placements) = self.lock_all();
+        // Read under the full cut: a mutation serialized before this
+        // cut either already bumped (tag exact) or bumps after (tag
+        // older than the state — the cache then recomputes once, it
+        // never serves a stale view).
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        // Reverse placement map: (shard, local) -> global id, for the
+        // applied prefix of every shard (cluster members are always
+        // applied; queued items have local indices past `stream.len()`).
+        let mut rev: Vec<Vec<u64>> =
+            shards.iter().map(|g| vec![u64::MAX; g.stream.len()]).collect();
+        for (gid, p) in placements.iter().enumerate() {
+            if let Some(slot) = rev[p.shard as usize].get_mut(p.local as usize) {
+                *slot = gid as u64;
+            }
+        }
+        let mut fragments = Vec::new();
+        for (s, guard) in shards.iter().enumerate() {
+            for (c, cluster) in guard.stream.clusters().iter().enumerate() {
+                let evidence = guard.stream.merge_evidence(c, self.cfg.merge_sample);
+                let members: Vec<u64> =
+                    cluster.members.iter().map(|&m| rev[s][m as usize]).collect();
+                fragments.push(FragmentCut {
+                    r: ClusterRef { shard: s as u32, cluster: c as u32 },
+                    members,
+                    density: cluster.density,
+                    signature: self.router.signature(&evidence.centroid),
+                    evidence,
+                });
+            }
+        }
+        // A radius wider than the signature itself would trip the
+        // probe enumerator's assertion — while this cut holds every
+        // lock, poisoning the whole service — so narrow routers clamp
+        // it (probing the full Hamming ball of a 1-bit signature is
+        // already exhaustive).
+        let radius = self.cfg.merge_radius.min(self.cfg.router_bits as u32);
+        let (groups, pairs_tested, pairs_linked) = reduce::candidate_groups(
+            &fragments,
+            &self.router,
+            radius,
+            &self.cfg.params.kernel,
+            self.cfg.params.density_threshold,
+            &self.cost,
+        );
+        // The union data set: every grouped fragment's members, in
+        // ascending global-id order — canonical in the member sets
+        // alone, so any partitioning producing the same unions
+        // re-detects identically.
+        let mut union_gids: Vec<u64> = groups
+            .iter()
+            .flat_map(|g| g.iter().flat_map(|&f| fragments[f].members.iter().copied()))
+            .collect();
+        union_gids.sort_unstable();
+        union_gids.dedup();
+        let mut union_data = Dataset::with_capacity(self.cfg.dim, union_gids.len());
+        for &gid in &union_gids {
+            let p = placements[gid as usize];
+            union_data.push(shards[p.shard as usize].stream.data().get(p.local as usize));
+        }
+        let groups = groups
+            .into_iter()
+            .map(|g| {
+                let mut rows: Vec<u32> = g
+                    .iter()
+                    .flat_map(|&f| fragments[f].members.iter())
+                    .map(|gid| {
+                        union_gids.binary_search(gid).expect("union covers its groups") as u32
+                    })
+                    .collect();
+                rows.sort_unstable();
+                rows.dedup();
+                UnionCut { fragment_ids: g, rows }
+            })
+            .collect();
+        ReduceCut { epoch, fragments, union_gids, union_data, groups, pairs_tested, pairs_linked }
+    }
+}
+
+/// [`ClusterSummary`] under the reduction rank: higher density is
+/// greater; equal densities rank the *smaller* `(shard, cluster)`
+/// greater (the deterministic tie-break).
+struct Ranked(ClusterSummary);
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Ranked {}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .density
+            .total_cmp(&other.0.density)
+            .then_with(|| other.0.cluster.cmp(&self.0.cluster))
     }
 }
 
@@ -623,5 +940,145 @@ mod tests {
     fn ingest_rejects_wrong_dim() {
         let svc = service(1);
         let _ = svc.ingest(&[1.0]);
+    }
+
+    /// The bounded selection must agree with the old clone-and-sort
+    /// reduction at every k, including k = 0, k beyond the cluster
+    /// count, and the `usize::MAX` "everything" query.
+    #[test]
+    fn top_k_heap_matches_full_sort_at_every_k() {
+        let svc = service(4);
+        let items = two_blob_items(60);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        svc.drain();
+        svc.sweep();
+        let mut full = svc.summaries();
+        full.sort_by(|a, b| {
+            b.density.total_cmp(&a.density).then_with(|| a.cluster.cmp(&b.cluster))
+        });
+        assert!(full.len() >= 2, "fixture must produce several clusters");
+        for k in 0..full.len() + 2 {
+            assert_eq!(svc.top_k(k), full[..k.min(full.len())], "k = {k}");
+        }
+        assert_eq!(svc.top_k(usize::MAX), full);
+    }
+
+    #[test]
+    fn busy_admissions_are_counted_per_shard() {
+        let cfg = ServiceConfig::new(2, 1, test_params()).with_queue_capacity(2);
+        let svc = Service::new(cfg);
+        let items = two_blob_items(6);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        assert_eq!(svc.depths()[0].busy, 4, "four of six admissions refused");
+        svc.drain();
+        assert_eq!(svc.depths()[0].busy, 4, "draining never clears the telemetry");
+    }
+
+    /// On one shard no cross-shard pair exists, so the merged view is
+    /// exactly the raw reduction.
+    #[test]
+    fn merged_view_on_one_shard_equals_the_raw_view() {
+        let svc = service(1);
+        let items = two_blob_items(60);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        svc.drain();
+        svc.sweep();
+        let merged = svc.merged_view();
+        assert_eq!(merged.stats.clusters_merged, 0);
+        assert_eq!(merged.stats.pairs_tested, 0);
+        let raw = svc.top_k(usize::MAX);
+        assert_eq!(merged.clusters.len(), raw.len());
+        for (m, r) in merged.clusters.iter().zip(&raw) {
+            assert_eq!(m.rep, r.cluster);
+            assert_eq!(m.fragments, vec![r.cluster]);
+            assert_eq!(m.size(), r.size);
+            assert_eq!(m.density.to_bits(), r.density.to_bits());
+        }
+    }
+
+    #[test]
+    fn merged_view_is_cached_until_a_mutation() {
+        let svc = service(4);
+        let items = two_blob_items(60);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        svc.drain();
+        svc.sweep();
+        let first = svc.merged_view();
+        // Unmutated repeats serve the same Arc, not a recomputation.
+        let second = svc.merged_view();
+        assert!(Arc::ptr_eq(&first, &second), "cache must serve repeats");
+        // A mutation invalidates; the fresh view explains the new
+        // member (global id 60, inside blob A).
+        let in_first = first.clusters.iter().any(|c| c.members.contains(&60));
+        assert!(!in_first, "id 60 does not exist yet");
+        svc.ingest(&[0.01, 0.0]);
+        // Enqueue alone leaves the cache hot: a queued item cannot
+        // appear in any cluster until a drain applies it.
+        assert!(
+            Arc::ptr_eq(&first, &svc.merged_view()),
+            "admission without a drain must not invalidate the cache"
+        );
+        svc.drain();
+        svc.sweep();
+        let third = svc.merged_view();
+        assert!(!Arc::ptr_eq(&first, &third), "ingest must invalidate the cache");
+        assert!(
+            third.clusters.iter().any(|c| c.members.contains(&60)),
+            "the new member shows up in the merged view: {:?}",
+            third.clusters
+        );
+    }
+
+    /// Regression: a router narrower than the merge radius used to
+    /// trip the probe enumerator's assertion while the reduce held
+    /// every lock, poisoning the whole service off one query. The
+    /// radius now clamps to the signature width.
+    #[test]
+    fn merged_view_survives_a_router_narrower_than_the_merge_radius() {
+        let mut cfg = ServiceConfig::new(2, 2, test_params()).with_batch(8).with_merge_radius(4);
+        cfg.router_bits = 1;
+        let svc = Service::new(cfg);
+        let items = two_blob_items(40);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        svc.drain();
+        svc.sweep();
+        let view = svc.merged_view();
+        assert!(!view.clusters.is_empty());
+        // And the service is still alive for every other query.
+        assert!(matches!(svc.ingest(&items[0]), Admission::Enqueued { .. }));
+    }
+
+    /// `set_merge_knobs` reconfigures the reducer post-construction
+    /// (the serve CLI's restore path) and invalidates the cache.
+    #[test]
+    fn set_merge_knobs_applies_and_invalidates() {
+        let mut svc = service(2);
+        let items = two_blob_items(40);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        svc.drain();
+        svc.sweep();
+        let before = svc.merged_view();
+        svc.set_merge_knobs(3, 1);
+        assert_eq!(svc.config().merge_sample, 3);
+        assert_eq!(svc.config().merge_radius, 1);
+        let after = svc.merged_view();
+        assert!(!Arc::ptr_eq(&before, &after), "knob changes must invalidate the cache");
+    }
+
+    #[test]
+    fn top_k_merged_truncates_the_ranked_view() {
+        let svc = service(2);
+        let items = two_blob_items(40);
+        svc.ingest_batch(items.iter().map(Vec::as_slice));
+        svc.drain();
+        svc.sweep();
+        let all = svc.merged_view();
+        assert!(all.clusters.len() >= 2);
+        let top = svc.top_k_merged(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0], all.clusters[0]);
+        for w in all.clusters.windows(2) {
+            assert!(w[0].density >= w[1].density, "merged view must stay rank-ordered");
+        }
     }
 }

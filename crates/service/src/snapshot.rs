@@ -18,8 +18,13 @@
 //!   router_seed)`;
 //! * execution policies — a runtime choice; any worker count yields
 //!   the same bytes, so the restorer picks its own;
-//! * peel telemetry — diagnostics that never feed back into
-//!   detection.
+//! * peel telemetry and per-shard busy counts — diagnostics that
+//!   never feed back into detection;
+//! * the merged-view cache and the merge knobs (`merge_sample`,
+//!   `merge_radius`) — the reduction is recomputed on demand from
+//!   restored shard state, and because its evidence is canonical in
+//!   the member sets, a restored service's merged view is
+//!   bit-identical to the uninterrupted one.
 
 use std::fmt;
 
@@ -344,7 +349,9 @@ fn shard_from_json(
         pending,
         since_sweep,
     );
-    Ok(Shard { stream, queue })
+    // Busy counts are process-lifetime telemetry, not state: a
+    // restored service starts refusing from zero.
+    Ok(Shard { stream, queue, busy: 0 })
 }
 
 /// Restores a service from [`snapshot_bytes`] output. `exec` becomes
@@ -379,6 +386,12 @@ pub fn restore(bytes: &[u8], exec: ExecPolicy) -> Result<Service, SnapshotError>
     let router_seed = u64_field(&body, "router_seed")?;
     let mut params = params_from_json(field(&body, "params")?)?;
     params.exec = exec;
+    // The merge knobs are query-time reducer configuration, not
+    // behavioural state (like `exec`, they never change what a shard
+    // computes): restores take the serving defaults and the caller
+    // re-applies any overrides via `Service::set_merge_knobs` (the
+    // serve CLI does exactly that).
+    let defaults = ServiceConfig::new(dim, shards, params);
     let cfg = ServiceConfig {
         dim,
         shards,
@@ -388,6 +401,8 @@ pub fn restore(bytes: &[u8], exec: ExecPolicy) -> Result<Service, SnapshotError>
         router_seed,
         params,
         exec,
+        merge_sample: defaults.merge_sample,
+        merge_radius: defaults.merge_radius,
     };
     let shard_states = arr_field(&body, "shard_states")?;
     if shard_states.len() != shards {

@@ -64,13 +64,15 @@ pub mod prelude {
     pub use alid_affinity::cost::CostModel;
     pub use alid_affinity::kernel::{LaplacianKernel, LpNorm};
     pub use alid_affinity::vector::Dataset;
-    pub use alid_core::streaming::{StreamUpdate, StreamingAlid};
+    pub use alid_core::streaming::{MergeEvidence, StreamUpdate, StreamingAlid};
     pub use alid_core::{
-        detect_one, palid_detect, AlidParams, PalidParams, PeelStats, Peeler, RoundStats,
-        SpeculationParams,
+        detect_on_subset, detect_one, palid_detect, AlidParams, PalidParams, PeelStats, Peeler,
+        RoundStats, SpeculationParams,
     };
     pub use alid_data::groundtruth::{GroundTruth, LabeledDataset};
     pub use alid_exec::ExecPolicy;
     pub use alid_lsh::{LshIndex, LshParams, ShardRouter, SimHashIndex, SimHashParams};
-    pub use alid_service::{Admission, ClusterSummary, Service, ServiceConfig};
+    pub use alid_service::{
+        Admission, ClusterSummary, MergedCluster, MergedView, ReduceStats, Service, ServiceConfig,
+    };
 }

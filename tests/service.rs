@@ -216,6 +216,139 @@ fn cross_shard_top_k_agrees_with_single_shard_on_separable_data() {
     }
 }
 
+/// Builds a service over the straddle fixture's router seed and
+/// detection params, ingests everything and flushes the tail.
+fn straddle_service(
+    fx: &alid_bench::fixtures::StraddleFixture,
+    shards: usize,
+    workers: usize,
+) -> Service {
+    let exec = ExecPolicy::workers(workers);
+    let mut p = fx.params;
+    p.exec = exec;
+    let mut cfg = ServiceConfig::new(2, shards, p).with_batch(8).with_exec(exec);
+    cfg.router_seed = fx.router_seed;
+    let svc = Service::new(cfg);
+    ingest_all(&svc, &fx.items);
+    svc.sweep();
+    svc
+}
+
+/// Member sets of a merged view, canonicalized for cross-shard-count
+/// comparison.
+fn canonical_members(view: &MergedView) -> Vec<Vec<u64>> {
+    let mut sets: Vec<Vec<u64>> = view.clusters.iter().map(|c| c.members.clone()).collect();
+    sets.sort();
+    sets
+}
+
+fn assert_views_bit_identical(a: &MergedView, b: &MergedView, tag: &str) {
+    assert_eq!(a.stats, b.stats, "{tag}: reduce stats differ");
+    assert_eq!(a.clusters.len(), b.clusters.len(), "{tag}");
+    for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
+        assert_eq!(ca.rep, cb.rep, "{tag}");
+        assert_eq!(ca.fragments, cb.fragments, "{tag}");
+        assert_eq!(ca.members, cb.members, "{tag}");
+        assert_eq!(ca.density.to_bits(), cb.density.to_bits(), "{tag}: density bits");
+    }
+}
+
+/// (4) The tentpole acceptance: a tight cluster split across the
+/// router's first hyperplane shows up as ≥ 2 raw fragments, while
+/// the merged view is member-set-identical to the single-shard run —
+/// for shard counts {1, 2, 4, 8}, bit-identical across reruns and
+/// worker counts.
+#[test]
+fn merged_view_joins_straddling_fragments_across_shard_counts() {
+    let fx = alid_bench::fixtures::straddling_cluster();
+    let single = straddle_service(&fx, 1, 1);
+    let reference = canonical_members(&single.merged_view());
+    assert!(
+        reference.contains(&fx.straddler),
+        "single shard must hold the straddler whole: {reference:?}"
+    );
+    assert!(reference.contains(&fx.control), "control cluster intact: {reference:?}");
+    for shards in [2usize, 4, 8] {
+        let svc = straddle_service(&fx, shards, 1);
+        // Raw view: the straddler is fragmented across shards.
+        let refs: std::collections::BTreeSet<_> = fx
+            .straddler
+            .iter()
+            .map(|&id| {
+                svc.assignment(id).expect("known id").expect("straddler members are explained")
+            })
+            .collect();
+        assert!(refs.len() >= 2, "{shards} shards: the raw view must fragment, got {refs:?}");
+        let shards_used: std::collections::BTreeSet<u32> = refs.iter().map(|r| r.shard).collect();
+        assert!(shards_used.len() >= 2, "{shards} shards: fragments live on one shard");
+        // Merged view: member-set-identical to the single-shard run.
+        let view = svc.merged_view();
+        assert_eq!(canonical_members(&view), reference, "{shards} shards");
+        let joined = view
+            .clusters
+            .iter()
+            .find(|c| c.members == fx.straddler)
+            .expect("the straddler is one merged cluster");
+        assert!(joined.is_merged(), "{shards} shards: join must be flagged");
+        assert_eq!(
+            joined.fragments.len(),
+            refs.len(),
+            "{shards} shards: the join covers every fragment"
+        );
+        assert!(view.stats.clusters_merged >= 1, "{shards} shards: {:?}", view.stats);
+        assert!(view.stats.pairs_tested >= 1 && view.stats.groups_rerun >= 1);
+        // Bit-identical across reruns and every worker count.
+        for workers in service_workers() {
+            let again = straddle_service(&fx, shards, workers);
+            assert_views_bit_identical(
+                &view,
+                &again.merged_view(),
+                &format!("{shards} shards, {workers} workers"),
+            );
+        }
+    }
+}
+
+/// (5) snapshot → restore → `/clusters?view=merged` agrees with the
+/// uninterrupted run, bit for bit, with items still queued at the
+/// cut.
+#[test]
+fn merged_view_survives_snapshot_restore() {
+    let fx = alid_bench::fixtures::straddling_cluster();
+    let uninterrupted = straddle_service(&fx, 4, 1);
+    let expected = uninterrupted.merged_view();
+
+    let mut p = fx.params;
+    p.exec = ExecPolicy::workers(1);
+    let mut cfg = ServiceConfig::new(2, 4, p).with_batch(8).with_exec(ExecPolicy::workers(1));
+    cfg.router_seed = fx.router_seed;
+    let first = Service::new(cfg);
+    for v in &fx.items[..10] {
+        first.ingest(v);
+        first.drain();
+    }
+    // A ragged edge: admitted but unapplied items cross the snapshot.
+    for v in &fx.items[10..14] {
+        first.ingest(v);
+    }
+    let bytes = snapshot_bytes(&first);
+    drop(first);
+    for workers in service_workers() {
+        let resumed = restore(&bytes, ExecPolicy::workers(workers)).expect("restore");
+        resumed.drain();
+        for v in &fx.items[14..] {
+            resumed.ingest(v);
+            resumed.drain();
+        }
+        resumed.sweep();
+        assert_views_bit_identical(
+            &expected,
+            &resumed.merged_view(),
+            &format!("restored continuation at {workers} workers"),
+        );
+    }
+}
+
 /// The HTTP front end serves the same bytes the library produces, and
 /// its snapshot endpoint round-trips through `restore`.
 #[test]
@@ -253,6 +386,29 @@ fn http_front_end_matches_library_and_round_trips_snapshots() {
     // The served instance must equal the library run bit-for-bit: the
     // JSON number round-trip through the HTTP pipe is exact.
     assert_services_identical(&reference, &served, "http vs library");
+
+    // The merged view over HTTP serves the library's reduction — same
+    // rank order, sizes and exact density bits (the JSON float
+    // round-trip is shortest-exact).
+    let (status, m) = client.request("GET", "/clusters?view=merged", None).expect("merged");
+    assert_eq!(status, 200, "{m:?}");
+    let lib = served.merged_view();
+    let clusters = m.get("clusters").and_then(Json::as_arr).expect("clusters array");
+    assert_eq!(clusters.len(), lib.clusters.len());
+    for (j, c) in clusters.iter().zip(lib.clusters.iter()) {
+        assert_eq!(j.get("shard").and_then(Json::as_u64), Some(c.rep.shard as u64));
+        assert_eq!(j.get("cluster").and_then(Json::as_u64), Some(c.rep.cluster as u64));
+        assert_eq!(j.get("size").and_then(Json::as_u64), Some(c.size() as u64));
+        assert_eq!(
+            j.get("density").and_then(Json::as_f64).map(f64::to_bits),
+            Some(c.density.to_bits()),
+            "density bits must survive the HTTP pipe"
+        );
+        let frags = j.get("fragments").and_then(Json::as_arr).expect("fragments");
+        assert_eq!(frags.len(), c.fragments.len());
+    }
+    let reduce = m.get("reduce").expect("reduce stats");
+    assert_eq!(reduce.get("fragments").and_then(Json::as_u64), Some(lib.stats.fragments as u64));
 
     // Snapshot through the endpoint (to the server's configured
     // path), restore through the library.

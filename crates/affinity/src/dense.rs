@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use alid_exec::{ExecPolicy, SharedSlice};
 
+use crate::block::BlockEval;
 use crate::cost::CostModel;
 use crate::kernel::LaplacianKernel;
 use crate::vector::Dataset;
@@ -29,13 +30,23 @@ impl DenseAffinity {
     /// Cost: `n(n-1)/2` kernel evaluations, `n^2` stored entries.
     pub fn build(ds: &Dataset, kernel: &LaplacianKernel, cost: Arc<CostModel>) -> Self {
         let n = ds.len();
+        let dim = ds.dim();
+        let flat = ds.as_flat();
         let mut a = vec![0.0; n * n];
+        let mut scratch = BlockEval::new();
+        let mut vals = vec![0.0; n.saturating_sub(1)];
         for i in 0..n {
+            // Row i owns pairs (i, i+1..n), whose rows are contiguous
+            // in flat storage — the blocked evaluator's best case.
+            let tail = n - i - 1;
+            if tail == 0 {
+                break;
+            }
             let vi = ds.get(i);
-            for j in (i + 1)..n {
-                let v = kernel.eval(vi, ds.get(j));
-                a[i * n + j] = v;
-                a[j * n + i] = v;
+            scratch.eval_rows(kernel, dim, &flat[(i + 1) * dim..], vi, &mut vals[..tail]);
+            a[i * n + i + 1..(i + 1) * n].copy_from_slice(&vals[..tail]);
+            for (off, &v) in vals[..tail].iter().enumerate() {
+                a[(i + 1 + off) * n + i] = v;
             }
         }
         cost.record_kernel_evals((n as u64).saturating_mul((n as u64).saturating_sub(1)) / 2);
@@ -71,24 +82,37 @@ impl DenseAffinity {
         exec: ExecPolicy,
     ) -> Self {
         let n = ds.len();
+        let dim = ds.dim();
+        let flat = ds.as_flat();
         let mut a = vec![0.0; n * n];
         if n > 0 {
             // Row i owns pairs (i, i+1..n) — a triangular workload the
             // exec layer's strided partition balances across workers.
+            // Each worker runs the blocked evaluator over the (already
+            // contiguous) tail rows with its own scratch.
             let shared = SharedSlice::new(&mut a);
-            exec.for_each_index(n, |i| {
-                let vi = ds.get(i);
-                for j in (i + 1)..n {
-                    let v = kernel.eval(vi, ds.get(j));
-                    // SAFETY: cells (i,j) and (j,i) with i < j are
-                    // written exactly once, by the unique worker that
-                    // for_each_index handed row i to.
-                    unsafe {
-                        shared.write(i * n + j, v);
-                        shared.write(j * n + i, v);
+            exec.for_each_index_with(
+                n,
+                || (BlockEval::new(), vec![0.0; n.saturating_sub(1)]),
+                |(scratch, vals), i| {
+                    let tail = n - i - 1;
+                    if tail == 0 {
+                        return;
                     }
-                }
-            });
+                    let vi = ds.get(i);
+                    scratch.eval_rows(kernel, dim, &flat[(i + 1) * dim..], vi, &mut vals[..tail]);
+                    for (off, &v) in vals[..tail].iter().enumerate() {
+                        let j = i + 1 + off;
+                        // SAFETY: cells (i,j) and (j,i) with i < j are
+                        // written exactly once, by the unique worker
+                        // that the exec layer handed row i to.
+                        unsafe {
+                            shared.write(i * n + j, v);
+                            shared.write(j * n + i, v);
+                        }
+                    }
+                },
+            );
         }
         cost.record_kernel_evals((n as u64).saturating_mul((n as u64).saturating_sub(1)) / 2);
         cost.alloc_entries((n * n) as u64);

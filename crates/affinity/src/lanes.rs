@@ -1,0 +1,252 @@
+//! Explicit `f64x4` lanes for the blocked kernel (the opt-in
+//! `simd-lanes` cargo feature).
+//!
+//! The portable register-tile loops in [`crate::block`] already keep
+//! four independent accumulator chains in flight; this module spells
+//! the same layout out in AVX intrinsics for the cases where the
+//! portable code does not get packed (older LLVM cost models, the
+//! baseline x86-64 target's SSE2-only packing). Each AVX register
+//! holds **four different pairs' accumulators**; dimension terms are
+//! added in ascending `d` order per pair, exactly like the scalar
+//! loop. The main loop loads four dimensions of four row-major rows
+//! and transposes them 4×4 *in registers* (`vunpcklpd`/`vunpckhpd` +
+//! `vperm2f128`) — shuffles are exact bit movements, so the values
+//! entering the arithmetic are untouched. The instruction set used —
+//! `vsubpd`, `vmulpd`, `vaddpd`, `vandpd` (for `abs`), `vsqrtpd` — is
+//! IEEE-754 correctly rounded per lane, and **no FMA is ever emitted**
+//! (the scalar path rounds after the multiply and after the add, so a
+//! fused contraction would change results). Bit-for-bit parity with
+//! both the scalar and the portable blocked path is pinned by
+//! `tests/proptest_block.rs`, which CI runs with this feature enabled.
+//!
+//! On x86-64 the AVX path is selected at runtime via
+//! `is_x86_feature_detected!`; anywhere else (or when the CPU lacks
+//! AVX) the hooks report "not handled" and the portable loops run.
+
+/// `true` when the explicit AVX path will actually execute on this CPU.
+pub fn available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+static AVX: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+/// L2 distances for `out.len()` contiguous row-major rows, explicit
+/// lanes. Returns `false` when the platform cannot run the intrinsics
+/// and the caller must fall back to the portable loop.
+pub fn l2_rows(rows: &[f64], dim: usize, query: &[f64], out: &mut [f64]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if available() {
+            // SAFETY: AVX support was just verified at runtime.
+            unsafe { x86::l2_rows_avx(rows, dim, query, out) };
+            return true;
+        }
+    }
+    let _ = (rows, dim, query, out);
+    false
+}
+
+/// L1 distances for contiguous row-major rows, explicit lanes. Same
+/// fallback contract as [`l2_rows`].
+pub fn l1_rows(rows: &[f64], dim: usize, query: &[f64], out: &mut [f64]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if available() {
+            // SAFETY: AVX support was just verified at runtime.
+            unsafe { x86::l1_rows_avx(rows, dim, query, out) };
+            return true;
+        }
+    }
+    let _ = (rows, dim, query, out);
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_andnot_pd, _mm256_loadu_pd, _mm256_mul_pd,
+        _mm256_permute2f128_pd, _mm256_set1_pd, _mm256_set_pd, _mm256_setzero_pd, _mm256_sqrt_pd,
+        _mm256_storeu_pd, _mm256_sub_pd, _mm256_unpackhi_pd, _mm256_unpacklo_pd,
+    };
+
+    /// 4×4 in-register transpose: `v{0..3}` hold four consecutive
+    /// dimensions of pairs 0..3; the result `t_k` holds dimension
+    /// `d + k` of all four pairs (lane `j` = pair `j`). Pure bit
+    /// movement, no arithmetic.
+    #[inline(always)]
+    unsafe fn transpose4(
+        v0: __m256d,
+        v1: __m256d,
+        v2: __m256d,
+        v3: __m256d,
+    ) -> (__m256d, __m256d, __m256d, __m256d) {
+        let lo01 = _mm256_unpacklo_pd(v0, v1); // [p0d, p1d, p0d+2, p1d+2]
+        let hi01 = _mm256_unpackhi_pd(v0, v1); // [p0d+1, p1d+1, p0d+3, p1d+3]
+        let lo23 = _mm256_unpacklo_pd(v2, v3);
+        let hi23 = _mm256_unpackhi_pd(v2, v3);
+        (
+            _mm256_permute2f128_pd(lo01, lo23, 0x20), // dim d   of pairs 0..3
+            _mm256_permute2f128_pd(hi01, hi23, 0x20), // dim d+1
+            _mm256_permute2f128_pd(lo01, lo23, 0x31), // dim d+2
+            _mm256_permute2f128_pd(hi01, hi23, 0x31), // dim d+3
+        )
+    }
+
+    /// Per-lane accumulation of four pairs' L2 sums straight from
+    /// row-major storage, then one packed (correctly rounded) square
+    /// root. Dimension terms are added in ascending order per lane.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn l2_rows_avx(rows: &[f64], dim: usize, query: &[f64], out: &mut [f64]) {
+        let b = out.len();
+        debug_assert_eq!(rows.len(), dim * b);
+        debug_assert_eq!(query.len(), dim);
+        let mut j = 0;
+        while j + 4 <= b {
+            // SAFETY: j + 4 <= b keeps all four row bases in bounds.
+            let r0 = unsafe { rows.as_ptr().add(j * dim) };
+            let r1 = unsafe { r0.add(dim) };
+            let r2 = unsafe { r1.add(dim) };
+            let r3 = unsafe { r2.add(dim) };
+            let mut acc: __m256d = _mm256_setzero_pd();
+            let mut d = 0;
+            while d + 4 <= dim {
+                // SAFETY: d + 4 <= dim keeps every load inside its row
+                // (and inside `query`).
+                let q = unsafe { _mm256_loadu_pd(query.as_ptr().add(d)) };
+                let v0 = unsafe { _mm256_sub_pd(_mm256_loadu_pd(r0.add(d)), q) };
+                let v1 = unsafe { _mm256_sub_pd(_mm256_loadu_pd(r1.add(d)), q) };
+                let v2 = unsafe { _mm256_sub_pd(_mm256_loadu_pd(r2.add(d)), q) };
+                let v3 = unsafe { _mm256_sub_pd(_mm256_loadu_pd(r3.add(d)), q) };
+                let (t0, t1, t2, t3) = unsafe { transpose4(v0, v1, v2, v3) };
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(t0, t0));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(t1, t1));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(t2, t2));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(t3, t3));
+                d += 4;
+            }
+            while d < dim {
+                // SAFETY: d < dim keeps the scalar loads in bounds;
+                // set_pd takes arguments high-lane-first.
+                let q = unsafe { _mm256_set1_pd(*query.get_unchecked(d)) };
+                let v = unsafe { _mm256_set_pd(*r3.add(d), *r2.add(d), *r1.add(d), *r0.add(d)) };
+                let diff = _mm256_sub_pd(v, q);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+                d += 1;
+            }
+            // SAFETY: j + 4 <= b == out.len().
+            unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(j), _mm256_sqrt_pd(acc)) };
+            j += 4;
+        }
+        // Tail pairs (< 4 of them): plain scalar, same per-pair order.
+        for t in j..b {
+            let row = &rows[t * dim..(t + 1) * dim];
+            let mut acc = 0.0;
+            for (d, &q) in query.iter().enumerate() {
+                let diff = row[d] - q;
+                acc += diff * diff;
+            }
+            out[t] = acc.sqrt();
+        }
+    }
+
+    /// Per-lane accumulation of four pairs' L1 sums; `abs` is a sign
+    /// mask, which is exact (applied before the transpose — shuffles
+    /// move bits untouched).
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn l1_rows_avx(rows: &[f64], dim: usize, query: &[f64], out: &mut [f64]) {
+        let b = out.len();
+        debug_assert_eq!(rows.len(), dim * b);
+        debug_assert_eq!(query.len(), dim);
+        let sign = _mm256_set1_pd(-0.0);
+        let mut j = 0;
+        while j + 4 <= b {
+            // SAFETY: j + 4 <= b keeps all four row bases in bounds.
+            let r0 = unsafe { rows.as_ptr().add(j * dim) };
+            let r1 = unsafe { r0.add(dim) };
+            let r2 = unsafe { r1.add(dim) };
+            let r3 = unsafe { r2.add(dim) };
+            let mut acc: __m256d = _mm256_setzero_pd();
+            let mut d = 0;
+            while d + 4 <= dim {
+                // SAFETY: d + 4 <= dim keeps every load inside its row
+                // (and inside `query`).
+                let q = unsafe { _mm256_loadu_pd(query.as_ptr().add(d)) };
+                let v0 =
+                    unsafe { _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r0.add(d)), q)) };
+                let v1 =
+                    unsafe { _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r1.add(d)), q)) };
+                let v2 =
+                    unsafe { _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r2.add(d)), q)) };
+                let v3 =
+                    unsafe { _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r3.add(d)), q)) };
+                let (t0, t1, t2, t3) = unsafe { transpose4(v0, v1, v2, v3) };
+                acc = _mm256_add_pd(acc, t0);
+                acc = _mm256_add_pd(acc, t1);
+                acc = _mm256_add_pd(acc, t2);
+                acc = _mm256_add_pd(acc, t3);
+                d += 4;
+            }
+            while d < dim {
+                // SAFETY: d < dim keeps the scalar loads in bounds;
+                // set_pd takes arguments high-lane-first.
+                let q = unsafe { _mm256_set1_pd(*query.get_unchecked(d)) };
+                let v = unsafe { _mm256_set_pd(*r3.add(d), *r2.add(d), *r1.add(d), *r0.add(d)) };
+                acc = _mm256_add_pd(acc, _mm256_andnot_pd(sign, _mm256_sub_pd(v, q)));
+                d += 1;
+            }
+            // SAFETY: j + 4 <= b == out.len().
+            unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(j), acc) };
+            j += 4;
+        }
+        for t in j..b {
+            let row = &rows[t * dim..(t + 1) * dim];
+            let mut acc = 0.0;
+            for (d, &q) in query.iter().enumerate() {
+                acc += (row[d] - q).abs();
+            }
+            out[t] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::block::BlockEval;
+    use crate::kernel::{LaplacianKernel, LpNorm};
+    use crate::vector::Dataset;
+
+    #[test]
+    fn lanes_path_matches_scalar_bitwise_when_active() {
+        // With the feature on, eval_rows routes through this module on
+        // AVX hardware; either way the result must equal scalar.
+        let dim = 7;
+        let data: Vec<f64> = (0..dim * 53).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let ds = Dataset::from_flat(dim, data);
+        let k = LaplacianKernel::new(1.3, LpNorm::L2);
+        let query = ds.get(5).to_vec();
+        let mut out = vec![0.0; ds.len()];
+        BlockEval::new().eval_rows(&k, dim, ds.as_flat(), &query, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            assert_eq!(got.to_bits(), k.eval(ds.get(i), &query).to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn availability_probe_is_stable() {
+        assert_eq!(super::available(), super::available());
+    }
+}

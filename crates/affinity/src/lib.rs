@@ -25,19 +25,27 @@
 //!   Table 1 and Figs. 7/9 can be reproduced hardware-independently;
 //! * [`simplex`] — utilities for vectors on the standard simplex, the
 //!   state space of the evolutionary-game dynamics;
-//! * [`clustering`] — the shared `Clustering` output vocabulary.
+//! * [`clustering`] — the shared `Clustering` output vocabulary;
+//! * [`block`] — blocked, lane-per-pair batch kernel evaluation
+//!   (bit-identical to scalar; opt-in explicit AVX via the
+//!   `simd-lanes` feature) that every consumer above routes through,
+//!   feeding measured per-pair cost into the exec-layer autotuner.
 
 #![warn(missing_docs)]
+pub mod block;
 pub mod clustering;
 pub mod cost;
 pub mod dense;
 pub mod fx;
 pub mod kernel;
+#[cfg(feature = "simd-lanes")]
+pub mod lanes;
 pub mod local;
 pub mod simplex;
 pub mod sparse;
 pub mod vector;
 
+pub use block::{BlockEval, KERNEL_BLOCK_TUNE};
 pub use clustering::{Clustering, DetectedCluster};
 pub use cost::{CostModel, CostSnapshot};
 pub use dense::DenseAffinity;

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use crate::block::BlockEval;
 use crate::cost::CostModel;
 use crate::fx::FxHashMap;
 use crate::kernel::LaplacianKernel;
@@ -26,6 +27,14 @@ pub struct LocalAffinity<'a> {
     beta: Vec<u32>,
     /// Global index -> position in `beta`.
     pos: FxHashMap<u32, u32>,
+    /// The rows of `β` packed contiguously (position-parallel to
+    /// `beta`), so column pulls run the blocked kernel evaluator over
+    /// flat memory instead of `|β|` scattered `get`s. A copy of input
+    /// data, not of computed affinities — it does not count against the
+    /// paper's stored-entry bound.
+    beta_flat: Vec<f64>,
+    /// Blocked-evaluation scratch reused across column pulls.
+    scratch: BlockEval,
     /// Cached columns `A_{β i}`, keyed by *global* vertex id `i`. Each
     /// column is parallel to `beta`.
     columns: FxHashMap<u32, Box<[f64]>>,
@@ -52,7 +61,21 @@ impl<'a> LocalAffinity<'a> {
             let dup = pos.insert(g, p as u32);
             assert!(dup.is_none(), "duplicate vertex {g} in local range");
         }
-        Self { ds, kernel, cost, beta, pos, columns: FxHashMap::default(), stored: 0 }
+        let mut beta_flat = Vec::with_capacity(beta.len() * ds.dim());
+        for &g in &beta {
+            beta_flat.extend_from_slice(ds.get(g as usize));
+        }
+        Self {
+            ds,
+            kernel,
+            cost,
+            beta,
+            pos,
+            beta_flat,
+            scratch: BlockEval::new(),
+            columns: FxHashMap::default(),
+            stored: 0,
+        }
     }
 
     /// The local range (global indices).
@@ -117,11 +140,14 @@ impl<'a> LocalAffinity<'a> {
         assert!((g as usize) < self.ds.len(), "vertex {g} out of range");
         if !self.columns.contains_key(&g) {
             let vg = self.ds.get(g as usize);
-            let col: Box<[f64]> = self
-                .beta
-                .iter()
-                .map(|&b| if b == g { 0.0 } else { self.kernel.eval(self.ds.get(b as usize), vg) })
-                .collect();
+            let mut col: Box<[f64]> = vec![0.0; self.beta.len()].into_boxed_slice();
+            self.scratch.eval_rows(&self.kernel, self.ds.dim(), &self.beta_flat, vg, &mut col);
+            // Eq. 1 zeroes the diagonal; the blocked pass evaluated
+            // that slot along with the rest, so it is not an eval the
+            // scalar path would have recorded either.
+            if let Some(&p) = self.pos.get(&g) {
+                col[p as usize] = 0.0;
+            }
             let evals = col.len() as u64 - u64::from(self.pos.contains_key(&g));
             self.cost.record_kernel_evals(evals);
             self.cost.alloc_entries(col.len() as u64);
@@ -131,25 +157,56 @@ impl<'a> LocalAffinity<'a> {
         &self.columns[&g]
     }
 
-    /// Computes `A_{rows, alpha} · w` directly, without caching — the
-    /// `(A_{ψ α} x̂_α)` rows of the CIVS update (Eq. 17). `rows` and
-    /// `alpha` are global indices; `w` is parallel to `alpha`.
+    /// Computes `A_{rows, alpha} · w` — the `(A_{ψ α} x̂_α)` rows of the
+    /// CIVS update (Eq. 17). `rows` and `alpha` are global indices; `w`
+    /// is parallel to `alpha`.
+    ///
+    /// A row whose column `A_{β r}` is already cached (and whose needed
+    /// entries all lie inside `β`) is served **from the cache**: the
+    /// symmetric kernel gives `A_{r a} = A_{a r} = column(r)[pos(a)]`,
+    /// so nothing is re-evaluated and no fresh evals are recorded for
+    /// it. Uncached rows run the blocked evaluator over the gathered
+    /// `alpha` rows and record one eval per non-self pair, exactly like
+    /// before.
     ///
     /// # Panics
     /// Panics if `alpha.len() != w.len()`.
     pub fn product_rows(&self, rows: &[u32], alpha: &[u32], w: &[f64]) -> Vec<f64> {
         assert_eq!(alpha.len(), w.len(), "support/weight length mismatch");
+        // Cached columns are parallel to beta, so they can substitute
+        // for fresh evaluation only when every alpha member sits in it.
+        let alpha_pos: Option<Vec<usize>> =
+            alpha.iter().map(|a| self.pos.get(a).map(|&p| p as usize)).collect();
+        let mut gathered: Vec<f64> = Vec::new();
+        let mut vals = vec![0.0; alpha.len()];
+        let mut scratch = BlockEval::new();
         let mut out = Vec::with_capacity(rows.len());
         let mut evals = 0u64;
         for &r in rows {
-            let vr = self.ds.get(r as usize);
+            let cached = alpha_pos.as_ref().and_then(|ps| self.columns.get(&r).map(|c| (ps, c)));
             let mut acc = 0.0;
-            for (&a, &wa) in alpha.iter().zip(w) {
-                if a == r {
-                    continue;
+            if let Some((ps, col)) = cached {
+                for ((&a, &wa), &p) in alpha.iter().zip(w).zip(ps) {
+                    if a == r {
+                        continue;
+                    }
+                    acc += wa * col[p];
                 }
-                acc += wa * self.kernel.eval(self.ds.get(a as usize), vr);
-                evals += 1;
+            } else {
+                if gathered.is_empty() && !alpha.is_empty() {
+                    for &a in alpha {
+                        gathered.extend_from_slice(self.ds.get(a as usize));
+                    }
+                }
+                let vr = self.ds.get(r as usize);
+                scratch.eval_rows(&self.kernel, self.ds.dim(), &gathered, vr, &mut vals);
+                for ((&a, &wa), &v) in alpha.iter().zip(w).zip(&vals) {
+                    if a == r {
+                        continue;
+                    }
+                    acc += wa * v;
+                    evals += 1;
+                }
             }
             out.push(acc);
         }
@@ -163,12 +220,26 @@ impl<'a> LocalAffinity<'a> {
     pub fn density(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.beta.len());
         let sup: Vec<usize> = (0..x.len()).filter(|&i| x[i] > 0.0).collect();
+        // Pack the support rows once so every upper-triangle pass runs
+        // the blocked evaluator over one contiguous buffer.
+        let dim = self.ds.dim();
+        let mut packed = Vec::with_capacity(sup.len() * dim);
+        for &i in &sup {
+            packed.extend_from_slice(&self.beta_flat[i * dim..(i + 1) * dim]);
+        }
+        let mut scratch = BlockEval::new();
+        let mut vals = vec![0.0; sup.len().saturating_sub(1)];
         let mut acc = 0.0;
         let mut evals = 0u64;
         for (a, &i) in sup.iter().enumerate() {
+            let tail = sup.len() - a - 1;
+            if tail == 0 {
+                break;
+            }
             let vi = self.ds.get(self.beta[i] as usize);
-            for &j in &sup[a + 1..] {
-                acc += x[i] * x[j] * self.kernel.eval(vi, self.ds.get(self.beta[j] as usize));
+            scratch.eval_rows(&self.kernel, dim, &packed[(a + 1) * dim..], vi, &mut vals[..tail]);
+            for (&v, &j) in vals[..tail].iter().zip(&sup[a + 1..]) {
+                acc += x[i] * x[j] * v;
                 evals += 1;
             }
         }
@@ -261,6 +332,46 @@ mod tests {
         // Row 0 with alpha containing 0: the self pair contributes zero.
         let got = local.product_rows(&[0], &[0, 1], &[0.5, 0.5]);
         let expect = 0.5 * k.eval(ds.get(1), ds.get(0));
+        assert!((got[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_rows_reuses_cached_columns_without_fresh_evals() {
+        let (ds, k) = fixture();
+        let cost = CostModel::shared();
+        let mut local = LocalAffinity::new(&ds, k, Arc::clone(&cost), vec![0, 1, 2]);
+        let alpha = [0u32, 2];
+        let w = [0.3, 0.7];
+        // Nothing cached yet: both rows pay their two non-self pairs.
+        let fresh = local.product_rows(&[1, 3], &alpha, &w);
+        assert_eq!(cost.snapshot().kernel_evals, 4);
+        // Cache column A_{β 1}; its evals land on the counter once.
+        local.column(1);
+        let after_column = cost.snapshot().kernel_evals;
+        // Row 1 is now served from the cache — zero fresh evals, same
+        // bits as the fresh path. Row 3 stays uncached and pays.
+        let got = local.product_rows(&[1, 3], &alpha, &w);
+        assert_eq!(
+            cost.snapshot().kernel_evals,
+            after_column + 2,
+            "cached row must not be recounted; uncached row pays its two pairs"
+        );
+        assert_eq!(got[0].to_bits(), fresh[0].to_bits(), "cache reuse changed the value");
+        assert_eq!(got[1].to_bits(), fresh[1].to_bits());
+    }
+
+    #[test]
+    fn product_rows_ignores_cache_when_alpha_leaves_beta() {
+        let (ds, k) = fixture();
+        let cost = CostModel::shared();
+        let mut local = LocalAffinity::new(&ds, k, Arc::clone(&cost), vec![0, 1]);
+        local.column(0);
+        let before = cost.snapshot().kernel_evals;
+        // Alpha member 3 has no position in β, so the cached column
+        // cannot serve row 0 and the fresh path must run (and count).
+        let got = local.product_rows(&[0], &[1, 3], &[0.5, 0.5]);
+        assert_eq!(cost.snapshot().kernel_evals, before + 2);
+        let expect = 0.5 * k.eval(ds.get(1), ds.get(0)) + 0.5 * k.eval(ds.get(3), ds.get(0));
         assert!((got[0] - expect).abs() < 1e-12);
     }
 

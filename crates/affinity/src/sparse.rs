@@ -17,6 +17,7 @@ use alid_exec::{ExecPolicy, SharedSlice, TuneState};
 /// telemetry (`bench_speculation` emits its snapshot).
 pub static SPARSE_BUILD_TUNE: TuneState = TuneState::new();
 
+use crate::block::BlockEval;
 use crate::cost::CostModel;
 use crate::fx::FxHashSet;
 use crate::kernel::LaplacianKernel;
@@ -98,20 +99,40 @@ impl SparseBuilder {
         let mut edges: Vec<(u32, u32)> = self.edges.into_iter().collect();
         edges.sort_unstable();
         // One kernel evaluation per edge, parallel over the edge set.
+        // Workers steal whole spans of the sorted edge list; inside a
+        // span, each run of edges sharing a source row `i` becomes one
+        // blocked batch (row i vs the gathered `j` rows), so the kernel
+        // runs SoA over flat memory instead of pair-at-a-time. The
+        // per-edge values are independent of where spans (or runs) are
+        // cut, so any worker count yields identical bytes.
         let mut edge_vals = vec![0.0f64; edges.len()];
         {
             let shared = SharedSlice::new(&mut edge_vals);
-            exec.for_each_index_tuned_with(
+            exec.for_each_span_tuned_with(
                 &SPARSE_BUILD_TUNE,
                 edges.len(),
-                || (),
-                |(), e| {
-                    let (i, j) = edges[e];
-                    let v = kernel.eval(ds.get(i as usize), ds.get(j as usize));
-                    // SAFETY: slot e is written only by the worker that
-                    // owns index e (each index is handed to exactly one
-                    // worker).
-                    unsafe { shared.write(e, v) };
+                || (BlockEval::new(), Vec::<u32>::new(), Vec::<f64>::new()),
+                |(scratch, ids, vals), span| {
+                    let mut e = span.start;
+                    while e < span.end {
+                        let i = edges[e].0;
+                        let mut run = e + 1;
+                        while run < span.end && edges[run].0 == i {
+                            run += 1;
+                        }
+                        ids.clear();
+                        ids.extend(edges[e..run].iter().map(|&(_, j)| j));
+                        vals.clear();
+                        vals.resize(run - e, 0.0);
+                        scratch.eval_indexed(kernel, ds, ids, ds.get(i as usize), vals);
+                        for (off, &v) in vals.iter().enumerate() {
+                            // SAFETY: slot e + off lies inside this
+                            // worker's stolen span, and spans are
+                            // disjoint.
+                            unsafe { shared.write(e + off, v) };
+                        }
+                        e = run;
+                    }
                 },
             );
         }

@@ -1,0 +1,54 @@
+//! The chunk autotuner demonstrably consumes blocked-kernel
+//! measurements. Integration test on purpose: it runs in its own
+//! process, so the `KERNEL_BLOCK_TUNE` / `SPARSE_BUILD_TUNE` statics
+//! start cold and the arithmetic below is deterministic.
+
+use alid_affinity::block::{BlockEval, KERNEL_BLOCK_TUNE};
+use alid_affinity::cost::CostModel;
+use alid_affinity::kernel::LaplacianKernel;
+use alid_affinity::sparse::{SparseBuilder, SPARSE_BUILD_TUNE};
+use alid_affinity::vector::Dataset;
+use alid_exec::tune::TARGET_CHUNK_NANOS;
+use alid_exec::ExecPolicy;
+
+fn dataset(n: usize, dim: usize) -> Dataset {
+    let data: Vec<f64> = (0..n * dim).map(|i| (i as f64 * 0.013).sin() * 4.0).collect();
+    Dataset::from_flat(dim, data)
+}
+
+#[test]
+fn blocked_kernel_cost_drives_chunk_sizing() {
+    assert_eq!(KERNEL_BLOCK_TUNE.snapshot().samples, 0, "handle must start cold");
+    let (n, dim) = (4096, 32);
+    let ds = dataset(n, dim);
+    let kern = LaplacianKernel::l2(1.0);
+    let query = ds.get(0).to_vec();
+    let mut out = vec![0.0; n];
+    BlockEval::new().eval_rows(&kern, dim, ds.as_flat(), &query, &mut out);
+
+    let snap = KERNEL_BLOCK_TUNE.snapshot();
+    assert_eq!(snap.samples, 1, "one blocked batch, one sample");
+    assert!(snap.per_item_ns > 0.0, "measured per-pair cost must be positive");
+
+    // Chunk sizing now derives from the measurement, not the cold
+    // heuristic: TARGET_CHUNK_NANOS worth of measured pairs per steal
+    // (the steal ceiling is far away at this n).
+    let huge = 64 * 1024 * 1024;
+    let expected = ((TARGET_CHUNK_NANOS / snap.per_item_ns).floor() as usize).max(1).min(huge / 4);
+    assert_eq!(KERNEL_BLOCK_TUNE.chunk_for(huge, 1), expected);
+
+    // The sparse builder's own handle sees the post-SIMD edge cost the
+    // same way: its span phase times the blocked batches it runs.
+    assert_eq!(SPARSE_BUILD_TUNE.snapshot().samples, 0);
+    let mut builder = SparseBuilder::new(n);
+    for i in 0..n as u32 {
+        for d in 1..=6u32 {
+            builder.add_edge(i, (i + d) % n as u32);
+        }
+    }
+    let sparse = builder.build_with(&ds, &kern, CostModel::shared(), ExecPolicy::sequential());
+    assert!(sparse.nnz() > 0);
+    let sp = SPARSE_BUILD_TUNE.snapshot();
+    assert_eq!(sp.samples, 1, "one edge-evaluation phase, one sample");
+    assert!(sp.per_item_ns > 0.0);
+}

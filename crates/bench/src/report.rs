@@ -10,13 +10,23 @@ use serde::{Json, Serialize};
 /// with, so trajectories are comparable across machines and commits:
 /// a schema tag (report format, versioned by its producer), the git
 /// revision the binary was built from (best effort — "unknown"
-/// outside a checkout), and the exec-layer worker count the run used.
+/// outside a checkout), the host's CPU count, and the effective
+/// exec-layer worker count the run used. `host_cpus` vs `workers` is
+/// what lets a reader tell a 1-CPU-container curve from a genuinely
+/// multi-core one (the long-carried ROADMAP re-measure item).
 pub fn run_header(schema: &str, workers: usize) -> Vec<(&'static str, Json)> {
     vec![
         ("schema", schema.to_json()),
         ("git_rev", git_rev().to_json()),
+        ("host_cpus", host_cpus().to_json()),
         ("workers", workers.to_json()),
     ]
+}
+
+/// The parallelism the OS reports for this host (1 when detection
+/// fails) — recorded so shard/worker curves are interpretable.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// `git rev-parse --short HEAD`, or "unknown" when git or the
@@ -98,13 +108,15 @@ mod tests {
     }
 
     #[test]
-    fn run_header_has_the_three_provenance_fields() {
+    fn run_header_has_the_four_provenance_fields() {
         let header = run_header("alid-bench/test/1", 4);
         let obj = Json::Obj(header.iter().map(|(k, v)| (k.to_string(), v.clone())).collect());
         assert_eq!(obj.get("schema").and_then(Json::as_str), Some("alid-bench/test/1"));
         assert_eq!(obj.get("workers").and_then(Json::as_u64), Some(4));
         let rev = obj.get("git_rev").and_then(Json::as_str).unwrap();
         assert!(!rev.is_empty());
+        let cpus = obj.get("host_cpus").and_then(Json::as_u64).unwrap();
+        assert!(cpus >= 1, "host CPU count must be at least 1");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! range is rebuilt as `β ← α ∪ ψ` with the product vector carried over
 //! per Eq. 17.
 
+use alid_affinity::block::BlockEval;
 use alid_affinity::fx::FxHashSet;
 use alid_affinity::kernel::LaplacianKernel;
 use alid_affinity::vector::Dataset;
@@ -41,14 +42,18 @@ pub fn civs(
     let hits = index.multi_query(queries);
     let raw_hits = hits.len();
     let alpha_set: FxHashSet<u32> = alpha.iter().copied().collect();
+    // Verify all novel hits against the ROI ball in one blocked batch
+    // (gather the candidate rows, distances to the centre SoA-style) —
+    // bit-identical to the per-hit scalar distance, so the filter and
+    // the sort keys are unchanged.
+    let novel: Vec<u32> = hits.into_iter().filter(|id| !alpha_set.contains(id)).collect();
+    let mut dists = vec![0.0; novel.len()];
+    BlockEval::new().distances_indexed(kernel.norm, ds, &novel, center, &mut dists);
     // (distance to centre, id) for in-ROI novelties.
-    let mut in_roi: Vec<(f64, u32)> = hits
+    let mut in_roi: Vec<(f64, u32)> = novel
         .into_iter()
-        .filter(|id| !alpha_set.contains(id))
-        .filter_map(|id| {
-            let d = kernel.norm.distance(ds.get(id as usize), center);
-            (d <= radius).then_some((d, id))
-        })
+        .zip(dists)
+        .filter_map(|(id, d)| (d <= radius).then_some((d, id)))
         .collect();
     in_roi.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     in_roi.truncate(delta);

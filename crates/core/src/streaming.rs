@@ -24,6 +24,7 @@
 
 use std::sync::Arc;
 
+use alid_affinity::block::BlockEval;
 use alid_affinity::clustering::{Clustering, DetectedCluster};
 use alid_affinity::cost::CostModel;
 use alid_affinity::vector::Dataset;
@@ -352,12 +353,19 @@ impl StreamingAlid {
         I: IntoIterator<Item = usize>,
     {
         let kernel = self.params.kernel;
+        let mut scratch = BlockEval::new();
+        let mut vals = Vec::new();
         let mut best: Option<(f64, usize, f64)> = None; // (density, cluster, S)
         for c in candidates {
             let cluster = &self.clusters[c];
             let m = cluster.members.len() as f64;
-            let s: f64 =
-                cluster.members.iter().map(|&j| kernel.eval(self.data.get(j as usize), v)).sum();
+            // One blocked batch per candidate cluster; summing the
+            // per-member affinities in member order reproduces the
+            // scalar map-sum bit for bit.
+            vals.clear();
+            vals.resize(cluster.members.len(), 0.0);
+            scratch.eval_indexed(&kernel, &self.data, &cluster.members, v, &mut vals);
+            let s: f64 = vals.iter().sum();
             self.cost.record_kernel_evals(cluster.members.len() as u64);
             // π(s_new, x_c) with uniform weights = S / m.
             if s / m >= cluster.density && best.is_none_or(|(d, _, _)| cluster.density > d) {

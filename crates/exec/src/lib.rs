@@ -310,6 +310,60 @@ impl ExecPolicy {
         tune.record(n, busy_nanos.load(Ordering::Relaxed));
     }
 
+    /// [`Self::for_each_index_tuned_with`] handing each worker **whole
+    /// stolen spans** `start..end` instead of single indices, so the
+    /// body can batch-process a contiguous run (gather rows once,
+    /// evaluate a kernel block, write a slab of results) without paying
+    /// a closure call per index.
+    ///
+    /// The contract tightens accordingly: the phase's observable effect
+    /// for index `i` must be independent of *how `0..n` is cut into
+    /// spans* — any partition into disjoint, covering ranges must
+    /// produce byte-identical output. Batched kernel evaluation
+    /// satisfies this because each pair's accumulation stays private to
+    /// its own lane (see `alid-affinity`'s `block` module); a body that
+    /// carried state across the indices of one span would not.
+    ///
+    /// The sequential path runs one span `0..n`; the parallel path
+    /// steals spans of the tuned chunk size and feeds the measured
+    /// per-item cost back, exactly like the per-index variant.
+    pub fn for_each_span_tuned_with<S, I, F>(&self, tune: &TuneState, n: usize, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, std::ops::Range<usize>) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let workers = self.workers.get().min(n);
+        if workers <= 1 || n <= 1 {
+            let started = Instant::now();
+            let mut scratch = init();
+            f(&mut scratch, 0..n);
+            tune.record(n, started.elapsed().as_nanos() as u64);
+            return;
+        }
+        let chunk = tune.chunk_for(n, workers);
+        let cursor = AtomicUsize::new(0);
+        let busy_nanos = AtomicU64::new(0);
+        pool::global().run_phase(workers, &|_t| {
+            let mut scratch = init();
+            let mut local_nanos = 0u64;
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let t0 = Instant::now();
+                f(&mut scratch, start..end);
+                local_nanos += t0.elapsed().as_nanos() as u64;
+            }
+            busy_nanos.fetch_add(local_nanos, Ordering::Relaxed);
+        });
+        tune.record(n, busy_nanos.load(Ordering::Relaxed));
+    }
+
     /// [`Self::map_indexed_chunked`] with a heuristic chunk size:
     /// one-at-a-time below 4 tasks per worker (latency-bound fan-out,
     /// e.g. ALID detections), and `n / (8 * workers)` above it
@@ -529,6 +583,44 @@ mod tests {
             );
             assert!(tune.snapshot().samples >= 1, "{workers} workers fed no sample");
         }
+    }
+
+    #[test]
+    fn for_each_span_tuned_with_covers_every_index_exactly_once() {
+        for workers in [1usize, 2, 3, 7] {
+            let tune = TuneState::new();
+            let n = 203;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            ExecPolicy::workers(workers).for_each_span_tuned_with(
+                &tune,
+                n,
+                || (),
+                |(), span| {
+                    for i in span {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            );
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{workers} workers missed or repeated an index"
+            );
+            assert!(tune.snapshot().samples >= 1, "{workers} workers fed no sample");
+        }
+    }
+
+    #[test]
+    fn for_each_span_tuned_with_sequential_path_sees_one_span() {
+        let tune = TuneState::new();
+        let spans = Mutex::new(Vec::new());
+        ExecPolicy::sequential().for_each_span_tuned_with(
+            &tune,
+            97,
+            || (),
+            |(), span| spans.lock().unwrap().push((span.start, span.end)),
+        );
+        assert_eq!(*spans.lock().unwrap(), vec![(0, 97)]);
+        assert_eq!(tune.snapshot().samples, 1);
     }
 
     #[test]

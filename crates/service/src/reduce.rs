@@ -53,6 +53,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use alid_affinity::block::BlockEval;
 use alid_affinity::cost::CostModel;
 use alid_affinity::kernel::LaplacianKernel;
 use alid_affinity::vector::Dataset;
@@ -267,10 +268,21 @@ fn affinity_clears(
     }
     let pairs = a.sample.len() * b.sample.len();
     cost.record_kernel_evals(pairs as u64);
+    // Flatten b's sample once, then evaluate each of a's vectors
+    // against the whole block; accumulating the batch in q-order keeps
+    // the sum bit-identical to the scalar nested loop.
+    let dim = b.sample.first().map_or(0, Vec::len);
+    let mut flat_b = Vec::with_capacity(b.sample.len() * dim);
+    for q in &b.sample {
+        flat_b.extend_from_slice(q);
+    }
+    let mut scratch = BlockEval::new();
+    let mut vals = vec![0.0; b.sample.len()];
     let mut acc = 0.0;
     for p in &a.sample {
-        for q in &b.sample {
-            acc += kernel.eval(p, q);
+        scratch.eval_rows(kernel, dim, &flat_b, p, &mut vals);
+        for &v in &vals {
+            acc += v;
         }
     }
     pairs > 0 && acc / pairs as f64 >= threshold

@@ -136,6 +136,7 @@ impl BlockEval {
     ) {
         let n = out.len();
         let timed = n >= TUNE_MIN_PAIRS;
+        // alid-lint: allow(no-raw-time) -- feeds only the block autotuner; the tuned block size never changes output bytes
         let started = timed.then(Instant::now);
         block_distances(kernel.norm, dim, rows, query, out, block);
         for o in out.iter_mut() {
@@ -163,6 +164,7 @@ impl BlockEval {
         gather_rows(&mut self.gather, ds, ids);
         let n = out.len();
         let timed = n >= TUNE_MIN_PAIRS;
+        // alid-lint: allow(no-raw-time) -- feeds only the block autotuner; the tuned block size never changes output bytes
         let started = timed.then(Instant::now);
         let block = default_block_rows(ds.dim());
         block_distances(kernel.norm, ds.dim(), &self.gather, query, out, block);

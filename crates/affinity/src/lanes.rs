@@ -81,6 +81,9 @@ mod x86 {
     /// dimensions of pairs 0..3; the result `t_k` holds dimension
     /// `d + k` of all four pairs (lane `j` = pair `j`). Pure bit
     /// movement, no arithmetic.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX.
     #[inline(always)]
     unsafe fn transpose4(
         v0: __m256d,
@@ -114,21 +117,23 @@ mod x86 {
         let mut j = 0;
         while j + 4 <= b {
             // SAFETY: j + 4 <= b keeps all four row bases in bounds.
-            let r0 = unsafe { rows.as_ptr().add(j * dim) };
-            let r1 = unsafe { r0.add(dim) };
-            let r2 = unsafe { r1.add(dim) };
-            let r3 = unsafe { r2.add(dim) };
+            let (r0, r1, r2, r3) = unsafe {
+                let r0 = rows.as_ptr().add(j * dim);
+                (r0, r0.add(dim), r0.add(2 * dim), r0.add(3 * dim))
+            };
             let mut acc: __m256d = _mm256_setzero_pd();
             let mut d = 0;
             while d + 4 <= dim {
                 // SAFETY: d + 4 <= dim keeps every load inside its row
                 // (and inside `query`).
-                let q = unsafe { _mm256_loadu_pd(query.as_ptr().add(d)) };
-                let v0 = unsafe { _mm256_sub_pd(_mm256_loadu_pd(r0.add(d)), q) };
-                let v1 = unsafe { _mm256_sub_pd(_mm256_loadu_pd(r1.add(d)), q) };
-                let v2 = unsafe { _mm256_sub_pd(_mm256_loadu_pd(r2.add(d)), q) };
-                let v3 = unsafe { _mm256_sub_pd(_mm256_loadu_pd(r3.add(d)), q) };
-                let (t0, t1, t2, t3) = unsafe { transpose4(v0, v1, v2, v3) };
+                let (t0, t1, t2, t3) = unsafe {
+                    let q = _mm256_loadu_pd(query.as_ptr().add(d));
+                    let v0 = _mm256_sub_pd(_mm256_loadu_pd(r0.add(d)), q);
+                    let v1 = _mm256_sub_pd(_mm256_loadu_pd(r1.add(d)), q);
+                    let v2 = _mm256_sub_pd(_mm256_loadu_pd(r2.add(d)), q);
+                    let v3 = _mm256_sub_pd(_mm256_loadu_pd(r3.add(d)), q);
+                    transpose4(v0, v1, v2, v3)
+                };
                 acc = _mm256_add_pd(acc, _mm256_mul_pd(t0, t0));
                 acc = _mm256_add_pd(acc, _mm256_mul_pd(t1, t1));
                 acc = _mm256_add_pd(acc, _mm256_mul_pd(t2, t2));
@@ -138,8 +143,12 @@ mod x86 {
             while d < dim {
                 // SAFETY: d < dim keeps the scalar loads in bounds;
                 // set_pd takes arguments high-lane-first.
-                let q = unsafe { _mm256_set1_pd(*query.get_unchecked(d)) };
-                let v = unsafe { _mm256_set_pd(*r3.add(d), *r2.add(d), *r1.add(d), *r0.add(d)) };
+                let (q, v) = unsafe {
+                    (
+                        _mm256_set1_pd(*query.get_unchecked(d)),
+                        _mm256_set_pd(*r3.add(d), *r2.add(d), *r1.add(d), *r0.add(d)),
+                    )
+                };
                 let diff = _mm256_sub_pd(v, q);
                 acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
                 d += 1;
@@ -175,25 +184,23 @@ mod x86 {
         let mut j = 0;
         while j + 4 <= b {
             // SAFETY: j + 4 <= b keeps all four row bases in bounds.
-            let r0 = unsafe { rows.as_ptr().add(j * dim) };
-            let r1 = unsafe { r0.add(dim) };
-            let r2 = unsafe { r1.add(dim) };
-            let r3 = unsafe { r2.add(dim) };
+            let (r0, r1, r2, r3) = unsafe {
+                let r0 = rows.as_ptr().add(j * dim);
+                (r0, r0.add(dim), r0.add(2 * dim), r0.add(3 * dim))
+            };
             let mut acc: __m256d = _mm256_setzero_pd();
             let mut d = 0;
             while d + 4 <= dim {
                 // SAFETY: d + 4 <= dim keeps every load inside its row
                 // (and inside `query`).
-                let q = unsafe { _mm256_loadu_pd(query.as_ptr().add(d)) };
-                let v0 =
-                    unsafe { _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r0.add(d)), q)) };
-                let v1 =
-                    unsafe { _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r1.add(d)), q)) };
-                let v2 =
-                    unsafe { _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r2.add(d)), q)) };
-                let v3 =
-                    unsafe { _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r3.add(d)), q)) };
-                let (t0, t1, t2, t3) = unsafe { transpose4(v0, v1, v2, v3) };
+                let (t0, t1, t2, t3) = unsafe {
+                    let q = _mm256_loadu_pd(query.as_ptr().add(d));
+                    let v0 = _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r0.add(d)), q));
+                    let v1 = _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r1.add(d)), q));
+                    let v2 = _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r2.add(d)), q));
+                    let v3 = _mm256_andnot_pd(sign, _mm256_sub_pd(_mm256_loadu_pd(r3.add(d)), q));
+                    transpose4(v0, v1, v2, v3)
+                };
                 acc = _mm256_add_pd(acc, t0);
                 acc = _mm256_add_pd(acc, t1);
                 acc = _mm256_add_pd(acc, t2);
@@ -203,8 +210,12 @@ mod x86 {
             while d < dim {
                 // SAFETY: d < dim keeps the scalar loads in bounds;
                 // set_pd takes arguments high-lane-first.
-                let q = unsafe { _mm256_set1_pd(*query.get_unchecked(d)) };
-                let v = unsafe { _mm256_set_pd(*r3.add(d), *r2.add(d), *r1.add(d), *r0.add(d)) };
+                let (q, v) = unsafe {
+                    (
+                        _mm256_set1_pd(*query.get_unchecked(d)),
+                        _mm256_set_pd(*r3.add(d), *r2.add(d), *r1.add(d), *r0.add(d)),
+                    )
+                };
                 acc = _mm256_add_pd(acc, _mm256_andnot_pd(sign, _mm256_sub_pd(v, q)));
                 d += 1;
             }

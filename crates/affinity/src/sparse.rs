@@ -96,8 +96,9 @@ impl SparseBuilder {
         let n = self.n;
         // Canonical edge order: makes the CSR fill (and therefore the
         // pre-sort entry layout) independent of FxHashSet iteration.
-        let mut edges: Vec<(u32, u32)> = self.edges.into_iter().collect();
-        edges.sort_unstable();
+        // alid-lint: allow(no-unordered-iteration) -- drained into a Vec and canonically sorted on the next line
+        let mut edge_list: Vec<(u32, u32)> = self.edges.into_iter().collect();
+        edge_list.sort_unstable();
         // One kernel evaluation per edge, parallel over the edge set.
         // Workers steal whole spans of the sorted edge list; inside a
         // span, each run of edges sharing a source row `i` becomes one
@@ -105,23 +106,23 @@ impl SparseBuilder {
         // runs SoA over flat memory instead of pair-at-a-time. The
         // per-edge values are independent of where spans (or runs) are
         // cut, so any worker count yields identical bytes.
-        let mut edge_vals = vec![0.0f64; edges.len()];
+        let mut edge_vals = vec![0.0f64; edge_list.len()];
         {
             let shared = SharedSlice::new(&mut edge_vals);
             exec.for_each_span_tuned_with(
                 &SPARSE_BUILD_TUNE,
-                edges.len(),
+                edge_list.len(),
                 || (BlockEval::new(), Vec::<u32>::new(), Vec::<f64>::new()),
                 |(scratch, ids, vals), span| {
                     let mut e = span.start;
                     while e < span.end {
-                        let i = edges[e].0;
+                        let i = edge_list[e].0;
                         let mut run = e + 1;
-                        while run < span.end && edges[run].0 == i {
+                        while run < span.end && edge_list[run].0 == i {
                             run += 1;
                         }
                         ids.clear();
-                        ids.extend(edges[e..run].iter().map(|&(_, j)| j));
+                        ids.extend(edge_list[e..run].iter().map(|&(_, j)| j));
                         vals.clear();
                         vals.resize(run - e, 0.0);
                         scratch.eval_indexed(kernel, ds, ids, ds.get(i as usize), vals);
@@ -138,7 +139,7 @@ impl SparseBuilder {
         }
         // Count per-row degrees (both directions).
         let mut deg = vec![0usize; n];
-        for &(i, j) in &edges {
+        for &(i, j) in &edge_list {
             deg[i as usize] += 1;
             deg[j as usize] += 1;
         }
@@ -151,7 +152,7 @@ impl SparseBuilder {
         let mut col_idx = vec![0u32; nnz];
         let mut values = vec![0.0f64; nnz];
         let mut fill = row_ptr.clone();
-        for (&(i, j), &v) in edges.iter().zip(&edge_vals) {
+        for (&(i, j), &v) in edge_list.iter().zip(&edge_vals) {
             let pi = fill[i as usize];
             col_idx[pi] = j;
             values[pi] = v;
@@ -174,7 +175,7 @@ impl SparseBuilder {
                 values[lo + off] = v;
             }
         }
-        cost.record_kernel_evals(edges.len() as u64);
+        cost.record_kernel_evals(edge_list.len() as u64);
         cost.alloc_entries(nnz as u64);
         SparseAffinity { n, row_ptr, col_idx, values, cost }
     }

@@ -20,6 +20,7 @@
 //! crossovers) are what EXPERIMENTS.md compares. Results are printed as
 //! aligned tables and mirrored as JSON under `experiments/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod fit;
 pub mod fixtures;

@@ -42,6 +42,7 @@
 //! # let _ = LaplacianKernel::l2(1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod alid;
 pub mod civs;

@@ -25,6 +25,7 @@ use alid_affinity::fx::FxHashMap;
 use alid_affinity::vector::Dataset;
 use alid_exec::ExecPolicy;
 use alid_lsh::LshIndex;
+use std::collections::BTreeMap;
 
 use crate::alid::detect_one;
 use crate::config::AlidParams;
@@ -131,17 +132,17 @@ fn reduce(n: usize, outcomes: Vec<(u32, DetectedCluster)>) -> Clustering {
         // member sets; keep one cluster per label (densest wins above).
         by_label.entry(label).or_insert(cluster);
     }
-    let mut members_of: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    // BTreeMap so clusters come out in ascending-label order without a
+    // separate sort (the output order is part of the determinism
+    // contract).
+    let mut members_of: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
     for (item, slot) in winner.iter().enumerate() {
         if let Some((_, label)) = slot {
             members_of.entry(*label).or_default().push(item as u32);
         }
     }
-    let mut labels: Vec<u32> = members_of.keys().copied().collect();
-    labels.sort_unstable();
     let mut clustering = Clustering::new(n);
-    for label in labels {
-        let members = members_of.remove(&label).expect("label present");
+    for (label, members) in members_of {
         let original = &by_label[&label];
         // Carry the converged weights for members the reducer kept.
         let mut weights = Vec::with_capacity(members.len());

@@ -5,10 +5,10 @@
 //! dominant clusters live. PALID samples its initial vertices uniformly
 //! from every bucket holding more than five items, at a 20% rate.
 
-use alid_affinity::fx::FxHashSet;
 use alid_lsh::LshIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
 /// Samples seeds from every bucket with at least `min_bucket` alive
 /// members, taking `ceil(rate * |bucket|)` items per bucket uniformly
@@ -21,7 +21,8 @@ use rand::{Rng, SeedableRng};
 pub fn sample_seeds(index: &LshIndex, min_bucket: usize, rate: f64, seed: u64) -> Vec<u32> {
     assert!(rate > 0.0 && rate <= 1.0, "sample rate must be in (0, 1], got {rate}");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut chosen: FxHashSet<u32> = FxHashSet::default();
+    // BTreeSet: dedup and the sorted task-list order in one structure.
+    let mut chosen: BTreeSet<u32> = BTreeSet::new();
     for mut bucket in index.large_buckets(min_bucket) {
         let take = ((bucket.len() as f64 * rate).ceil() as usize).clamp(1, bucket.len());
         // Partial Fisher–Yates: the first `take` slots become the sample.
@@ -31,9 +32,7 @@ pub fn sample_seeds(index: &LshIndex, min_bucket: usize, rate: f64, seed: u64) -
             chosen.insert(bucket[t]);
         }
     }
-    let mut seeds: Vec<u32> = chosen.into_iter().collect();
-    seeds.sort_unstable();
-    seeds
+    chosen.into_iter().collect()
 }
 
 /// The paper's configuration: buckets with more than 5 items, 20% rate.

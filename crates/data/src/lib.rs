@@ -24,6 +24,7 @@
 //! * [`rng`] — the sampling primitives (normal, gamma, Dirichlet,
 //!   sphere) implemented on top of plain `rand`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod groundtruth;
 pub mod io;

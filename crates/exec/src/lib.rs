@@ -412,6 +412,8 @@ pub struct SharedSlice<'a, T> {
 // contract requires callers to target disjoint indices from distinct
 // threads; under that contract data races cannot occur.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+// SAFETY: same argument as `Send` above — shared references only ever
+// permit the disjoint-index `write` contract.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {

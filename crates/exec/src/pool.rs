@@ -86,6 +86,8 @@ struct BodyPtr(*const (dyn Fn(usize) + Sync));
 // SAFETY: the pointee is `Sync` (so `&body` may be used from any
 // thread) and `run_phase`'s latch guarantees it outlives every use.
 unsafe impl Send for BodyPtr {}
+// SAFETY: same argument as `Send` above — the pointee is `Sync` and
+// outlives every use.
 unsafe impl Sync for BodyPtr {}
 
 struct Phase {

@@ -1,0 +1,27 @@
+//! Malformed suppression annotations: each is itself a `bad-allow`
+//! finding — an unjustified suppression must never silently pass.
+
+fn empty_reason() {
+    // alid-lint: allow(no-fma)
+    let _ = 1;
+}
+
+fn empty_reason_with_dashes() {
+    // alid-lint: allow(no-fma) --
+    let _ = 1;
+}
+
+fn unknown_rule() {
+    // alid-lint: allow(no-such-rule) -- reason text
+    let _ = 1;
+}
+
+fn no_rule() {
+    // alid-lint: allow() -- reason text
+    let _ = 1;
+}
+
+fn malformed() {
+    // alid-lint: disallow everything
+    let _ = 1;
+}

@@ -1,0 +1,26 @@
+//! Seeded `no-fma` violations.
+
+fn fused_fires(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}
+
+fn intrinsic_name_fires() {
+    let _f = my_fmadd(1.0);
+}
+
+fn suppressed(a: f64, b: f64, c: f64) -> f64 {
+    // alid-lint: allow(no-fma) -- corpus demonstration of a justified fused product
+    a.mul_add(b, c)
+}
+
+fn separate_rounding_is_fine(a: f64, b: f64, c: f64) -> f64 {
+    a * b + c
+}
+
+fn my_fmadd(x: f64) -> f64 {
+    x
+}
+
+fn in_text_does_not_fire() {
+    let _ = "mul_add in a string literal";
+}

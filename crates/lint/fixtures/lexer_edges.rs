@@ -1,0 +1,26 @@
+//! Token-stream edge cases: none of these may produce findings. Rule
+//! keywords buried in strings, raw strings, byte strings, chars and
+//! (nested) comments must be invisible to every rule.
+
+fn strings_and_comments() {
+    let _a = "unsafe { *p } HashMap::new() thread::spawn Instant::now()";
+    let _b = r#"m.iter() "quoted" unsafe impl Send"#;
+    let _c = b"mul_add";
+    let _d = br##"SystemTime::now() r#"nested"# .values()"##;
+    /* block comment: unsafe { } m.keys() /* nested: Instant::now() */ still a comment */
+    let _e = 'x';
+    let _f = '\'';
+    let _g = '\u{41}';
+}
+
+fn lifetimes<'a>(x: &'a str) -> &'a str {
+    let r#type = x;
+    r#type
+}
+
+fn numbers() {
+    let _r = 0..10;
+    let _f = 1.0e-3_f64;
+    let _h = 0xFF_u32;
+    let _m = (2.5_f64).floor();
+}

@@ -1,0 +1,42 @@
+//! Seeded `lock-order` violations.
+
+struct Svc {
+    shards: Vec<std::sync::Mutex<u32>>,
+}
+
+impl Svc {
+    fn shard(&self, s: usize) -> std::sync::MutexGuard<'_, u32> {
+        self.shards[s].lock().unwrap()
+    }
+
+    fn lock_shards(&self) -> Vec<std::sync::MutexGuard<'_, u32>> {
+        self.shards.iter().map(|m| m.lock().unwrap()).collect()
+    }
+
+    fn two_direct_acquisitions_fire(&self) -> u32 {
+        let a = *self.shard(0);
+        let b = *self.shard(1);
+        a + b
+    }
+
+    fn loop_acquisition_fires(&self) -> u32 {
+        let mut total = 0;
+        for s in 0..2 {
+            total += *self.shard(s);
+        }
+        total
+    }
+
+    fn single_acquisition_is_fine(&self) -> u32 {
+        *self.shard(0)
+    }
+
+    fn suppressed(&self) -> u32 {
+        let mut total = 0;
+        for s in 0..2 {
+            // alid-lint: allow(lock-order) -- read-only metric; one lock at a time by design
+            total += *self.shard(s);
+        }
+        total
+    }
+}

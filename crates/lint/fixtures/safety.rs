@@ -1,0 +1,47 @@
+//! Seeded `unsafe-needs-safety` violations.
+
+fn missing_comment_fires() {
+    let x = [1u8, 2];
+    let _ = unsafe { *x.as_ptr() };
+}
+
+fn commented_block_is_fine() {
+    let x = [1u8, 2];
+    // SAFETY: the array is non-empty, so the pointer is valid.
+    let _ = unsafe { *x.as_ptr() };
+}
+
+/// Reads the first byte.
+///
+/// # Safety
+/// `p` must point at at least one readable byte.
+pub unsafe fn doc_safety_is_fine(p: *const u8) -> u8 {
+    // SAFETY: contract forwarded to the caller.
+    unsafe { *p }
+}
+
+pub unsafe fn undocumented_fn_fires(p: *const u8) -> u8 {
+    // SAFETY: contract forwarded to the caller.
+    unsafe { *p }
+}
+
+struct Wrapper(*const u8);
+
+// SAFETY: the pointer is never dereferenced off-thread.
+unsafe impl Send for Wrapper {}
+
+unsafe impl Sync for Wrapper {}
+
+// SAFETY: raw read guarded by the caller's length check; the comment
+// scan hops the attribute line to find this justification.
+#[inline(always)]
+unsafe fn attribute_hop_is_fine(p: *const u8) -> u8 {
+    // SAFETY: caller contract.
+    unsafe { *p }
+}
+
+fn suppressed_block() {
+    let x = [1u8];
+    // alid-lint: allow(unsafe-needs-safety) -- corpus demonstration; the justification lives in the module docs
+    let _ = unsafe { *x.as_ptr() };
+}

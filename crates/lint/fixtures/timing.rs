@@ -1,0 +1,37 @@
+//! Seeded `no-raw-threads` / `no-raw-time` violations.
+
+use std::time::{Instant, SystemTime};
+
+fn spawn_fires() {
+    let h = std::thread::spawn(|| 7);
+    let _ = h.join();
+}
+
+fn builder_spawn_fires() {
+    let b = std::thread::Builder::new();
+    let _ = b.spawn(|| 7);
+}
+
+fn instant_fires() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+fn system_time_fires() -> SystemTime {
+    SystemTime::now()
+}
+
+fn suppressed_clock() {
+    // alid-lint: allow(no-raw-time) -- duration printed to stderr only; never reaches outputs
+    let _ = Instant::now();
+}
+
+fn suppressed_spawn() {
+    // alid-lint: allow(no-raw-threads) -- corpus demonstration of a justified helper thread
+    let h = std::thread::spawn(|| 0);
+    let _ = h.join();
+}
+
+fn sleeping_is_fine() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

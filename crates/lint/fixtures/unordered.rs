@@ -1,0 +1,36 @@
+//! Seeded `no-unordered-iteration` violations and their remedies.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn hash_iteration_fires() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+    let keys: Vec<u32> = m.keys().copied().collect();
+    let set = HashSet::from([1u32]);
+    for x in set {
+        let _ = (x, &keys);
+    }
+}
+
+fn suppressed_with_reason() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    // alid-lint: allow(no-unordered-iteration) -- drained into a Vec and sorted on the next line
+    let mut vals: Vec<u32> = m.values().copied().collect();
+    vals.sort_unstable();
+}
+
+fn ordered_is_fine() {
+    let mut b: BTreeMap<u32, u32> = BTreeMap::new();
+    b.insert(1, 2);
+    for (k, v) in b.iter() {
+        let _ = (k, v);
+    }
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let _ = m.get(&1);
+    let _ = m.contains_key(&1);
+}

@@ -1,0 +1,424 @@
+//! A small Rust lexer: just enough fidelity that the rules never
+//! mistake the *contents* of a string or comment for code.
+//!
+//! What it gets right (and what the fixture corpus pins):
+//!
+//! * line comments and **nested** block comments (`/* /* */ */`);
+//! * plain, raw (`r"…"`, `r#"…"#`, any hash depth), byte and raw-byte
+//!   strings, with escapes in the non-raw forms;
+//! * `'a` lifetimes vs `'x'` char literals (including `'\''`, `'\u{…}'`
+//!   and the pathological `'}'`-style punctuation chars);
+//! * raw identifiers (`r#type`);
+//! * numbers with enough shape (`1_000.5e-3`, `0xFF`, `1.0f64`) not to
+//!   swallow a following `..` range or method call.
+//!
+//! Comments are kept out of the code-token stream but preserved — with
+//! their line spans and text — because two rules are *about* comments
+//! (`unsafe-needs-safety`, and the suppression-annotation grammar
+//! itself).
+
+/// One code token. Multi-char operators arrive as single-char `Punct`
+/// tokens; the rules match token subsequences, so `::` being two `:`s
+/// costs nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: Kind,
+    /// Identifier text (or the single punctuation char). String and
+    /// char literals keep only their kind — no rule looks inside.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Ident,
+    Lifetime,
+    CharLit,
+    StrLit,
+    NumLit,
+    Punct,
+}
+
+/// One comment (line or block), with its text and 1-based line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// Lexed file: code tokens, comments, and which lines contain code.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    /// `code_lines[l]` is true when 1-based line `l` holds at least one
+    /// code token (index 0 unused).
+    pub code_lines: Vec<bool>,
+}
+
+impl Lexed {
+    /// True when 1-based `line` contains at least one code token.
+    pub fn has_code(&self, line: u32) -> bool {
+        self.code_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Concatenated text of every comment touching 1-based `line`.
+    pub fn comment_text_on(&self, line: u32) -> Option<String> {
+        let mut out = String::new();
+        for c in &self.comments {
+            if c.line <= line && line <= c.end_line {
+                out.push_str(&c.text);
+                out.push('\n');
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+pub fn lex(src: &str) -> Lexed {
+    Lexer { s: src.as_bytes(), i: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.i < self.s.len() {
+            let c = self.s[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    // Multi-byte UTF-8 (only legal in strings/comments
+                    // and idents we don't care about) and ASCII
+                    // punctuation both land here; emit a single punct.
+                    let ch = char::from(if c.is_ascii() { c } else { b'?' });
+                    self.push(Kind::Punct, ch.to_string());
+                    self.i += utf8_len(c);
+                }
+            }
+        }
+        self.finish_lines();
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.s.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: Kind, text: String) {
+        self.out.toks.push(Tok { kind, text, line: self.line });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.out.comments.push(Comment { text, line: self.line, end_line: self.line });
+    }
+
+    fn block_comment(&mut self) {
+        let (start, first_line) = (self.i, self.line);
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.s.len() && depth > 0 {
+            match (self.s[self.i], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.out.comments.push(Comment { text, line: first_line, end_line: self.line });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br#"…"#`, `b'…'`.
+    /// Returns true when it consumed something; false means the `r`/`b`
+    /// starts a plain identifier and the caller should lex it as such.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c = self.s[self.i];
+        let (mut j, mut raw) = (self.i + 1, false);
+        if c == b'b' && self.s.get(j) == Some(&b'r') {
+            j += 1;
+            raw = true;
+        }
+        if c == b'r' {
+            raw = true;
+        }
+        let hashes_start = j;
+        while self.s.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        let hashes = j - hashes_start;
+        match self.s.get(j) {
+            Some(b'"') if raw || c == b'b' => {
+                if raw {
+                    self.raw_string(j, hashes);
+                } else {
+                    // b"…": escape rules of a plain string.
+                    self.i = j;
+                    self.string();
+                }
+                true
+            }
+            Some(b'\'') if c == b'b' && hashes == 0 => {
+                self.i = j;
+                self.quote();
+                true
+            }
+            _ if c == b'r' && hashes == 1 && self.s.get(j).is_some_and(|&b| ident_start(b)) => {
+                // Raw identifier r#type: lex as the identifier `type`.
+                self.i = j;
+                self.ident();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Body of a raw string whose opening quote sits at `quote`;
+    /// terminated by `"` followed by `hashes` `#`s.
+    fn raw_string(&mut self, quote: usize, hashes: usize) {
+        let line = self.line;
+        self.i = quote + 1;
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' if self.s[self.i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&b| b == b'#')
+                    .count()
+                    == hashes =>
+                {
+                    self.i += 1 + hashes;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.toks.push(Tok { kind: Kind::StrLit, text: String::new(), line });
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.i += 1;
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'\\' => self.i += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.toks.push(Tok { kind: Kind::StrLit, text: String::new(), line });
+    }
+
+    /// A `'`: lifetime (`'a`, `'_`, `'static`) or char literal (`'x'`,
+    /// `'\''`, `'\u{1F600}'`). The discriminator: after `'` + one
+    /// ident-shaped char run, a closing `'` makes it a char literal
+    /// (`'a'`), its absence makes it a lifetime (`'a`). Escapes and
+    /// non-ident chars (`'}'`, `'"'`) are always char literals.
+    fn quote(&mut self) {
+        let j = self.i + 1;
+        match self.s.get(j) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote,
+                // starting at the backslash so `'\''` consumes the
+                // escaped quote as part of the escape.
+                self.i = j;
+                while self.i < self.s.len() && self.s[self.i] != b'\'' {
+                    self.i += if self.s[self.i] == b'\\' { 2 } else { 1 };
+                }
+                self.i += 1;
+                self.push(Kind::CharLit, String::new());
+            }
+            Some(&c) if ident_start(c) => {
+                let mut k = j;
+                while self.s.get(k).is_some_and(|&b| ident_continue(b)) {
+                    k += 1;
+                }
+                if self.s.get(k) == Some(&b'\'') {
+                    self.push(Kind::CharLit, String::new());
+                    self.i = k + 1;
+                } else {
+                    let name = String::from_utf8_lossy(&self.s[j..k]).into_owned();
+                    self.push(Kind::Lifetime, name);
+                    self.i = k;
+                }
+            }
+            Some(_) => {
+                // '}' or any other single non-ident char.
+                let close = self.i + 2;
+                self.i = if self.s.get(close) == Some(&b'\'') { close + 1 } else { j + 1 };
+                self.push(Kind::CharLit, String::new());
+            }
+            None => {
+                self.i = j;
+                self.push(Kind::Punct, "'".to_string());
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        while self.i < self.s.len() && ident_continue(self.s[self.i]) {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.push(Kind::Ident, text);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        // Integer part (covers 0x/0b/0o bodies and type suffixes: any
+        // alphanumeric/underscore run).
+        while self.i < self.s.len() && (ident_continue(self.s[self.i])) {
+            self.i += 1;
+        }
+        // Fraction: a '.' followed by a digit (so `0..n` and
+        // `1.method()` stay separate tokens).
+        if self.s.get(self.i) == Some(&b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.i += 1;
+            while self.i < self.s.len() && ident_continue(self.s[self.i]) {
+                self.i += 1;
+            }
+        }
+        // Exponent sign (the `e` itself was consumed above): `1e-5`.
+        if (self.s.get(self.i) == Some(&b'-') || self.s.get(self.i) == Some(&b'+'))
+            && self.s.get(self.i.wrapping_sub(1)).is_some_and(|&b| b == b'e' || b == b'E')
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.i += 1;
+            while self.i < self.s.len() && ident_continue(self.s[self.i]) {
+                self.i += 1;
+            }
+        }
+        let _ = start;
+        self.push(Kind::NumLit, String::new());
+    }
+
+    fn finish_lines(&mut self) {
+        let last = self.out.toks.last().map_or(self.line, |t| t.line).max(self.line);
+        let mut lines = vec![false; last as usize + 2];
+        for t in &self.out.toks {
+            lines[t.line as usize] = true;
+        }
+        self.out.code_lines = lines;
+    }
+}
+
+fn ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        _ if b < 0x80 => 1,
+        _ if b & 0xE0 == 0xC0 => 2,
+        _ if b & 0xF0 == 0xE0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == Kind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let x = "unsafe HashMap";"#), ["let", "x"]);
+        assert_eq!(idents(r##"let x = r#"unsafe "quoted" HashMap"#;"##), ["let", "x"]);
+        assert_eq!(idents("let x = b\"unsafe\";"), ["let", "x"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_depth_zero() {
+        let l = lex("/* outer /* unsafe inner */ still comment */ fn f() {}");
+        let names: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == Kind::Ident).map(|t| t.text.clone()).collect();
+        assert_eq!(names, ["fn", "f"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == Kind::Lifetime).map(|t| t.text.clone()).collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == Kind::CharLit).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_calls() {
+        let l = lex("for i in 0..10 { let y = 1.0e-5f64; let z = 2.max(3); }");
+        let dots = l.toks.iter().filter(|t| t.kind == Kind::Punct && t.text == ".").count();
+        // `..` (two) and `2.max` (one).
+        assert_eq!(dots, 3);
+        assert!(idents("2.max(3)").contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn comment_lines_carry_no_code() {
+        let l = lex("// SAFETY: fine\nlet x = 1;\n");
+        assert!(!l.has_code(1));
+        assert!(l.has_code(2));
+        assert!(l.comment_text_on(1).unwrap().contains("SAFETY"));
+    }
+}

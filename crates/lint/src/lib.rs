@@ -1,0 +1,425 @@
+//! `alid-lint` — the workspace determinism & safety linter.
+//!
+//! Every guarantee this reproduction ships (byte-identical results
+//! across worker counts, restore-then-continue parity, merged-view
+//! equivalence, bit-for-bit blocked/SIMD kernels) is otherwise only
+//! enforced *dynamically*, by parity tests that can miss whatever the
+//! fixtures don't reach. This crate encodes the constraints those
+//! guarantees rest on as a static-analysis pass over the whole
+//! workspace — a real (hand-rolled, std-only) Rust lexer plus a
+//! lightweight item scanner, feeding five rules:
+//!
+//! * [`no-unordered-iteration`] — iterating a `HashMap`/`HashSet` in a
+//!   result-affecting crate leaks hash order into outputs;
+//! * [`no-fma`] — `mul_add`/FMA intrinsics in kernel crates break the
+//!   bit-for-bit blocked/SIMD argument (round once per op, not fused);
+//! * [`unsafe-needs-safety`] — every `unsafe` block/fn/impl must carry
+//!   a `// SAFETY:` comment (or `# Safety` doc section);
+//! * [`no-raw-threads`] / [`no-raw-time`] — thread spawns and clock
+//!   reads only in allowlisted modules, so timing can never feed
+//!   output values;
+//! * [`lock-order`] — in `crates/service`, more than one shard lock
+//!   outside `lock_shards` violates the consistent-cut discipline.
+//!
+//! Suppression is per-site and must be justified:
+//!
+//! ```text
+//! // alid-lint: allow(no-unordered-iteration) -- drained into a Vec and sorted below
+//! ```
+//!
+//! An empty reason is itself an error (`bad-allow`), as is an unknown
+//! rule name. Findings are emitted as a human table or JSON; `--deny`
+//! turns any finding into a non-zero exit for CI. See DESIGN.md,
+//! "Enforced invariants".
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, in severity-agnostic display order. `bad-allow`
+/// (malformed suppression) is a meta-rule: always on, not listed here.
+pub const RULES: [&str; 6] = [
+    "no-unordered-iteration",
+    "no-fma",
+    "unsafe-needs-safety",
+    "no-raw-threads",
+    "no-raw-time",
+    "lock-order",
+];
+
+/// One finding, pointing at a workspace-relative file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub msg: String,
+}
+
+/// Where each rule applies, as workspace-relative path prefixes
+/// (forward slashes). Injectable so the fixture tests can point every
+/// rule at a corpus directory.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose outputs are part of the determinism contract:
+    /// `no-unordered-iteration` fires here.
+    pub ordered: Vec<String>,
+    /// Kernel crates: `no-fma` fires here.
+    pub kernel: Vec<String>,
+    /// Paths where thread spawns / clock reads are legitimate (the
+    /// exec pool and autotuner, benches, the HTTP front end). Timing
+    /// there feeds chunk sizes and reports, never output values.
+    pub timing_allow: Vec<String>,
+    /// The sharded service: `lock-order` fires here.
+    pub service: Vec<String>,
+    /// Files that only enter the build under a cargo feature, keyed by
+    /// that feature; skipped unless the feature is in `features`. CI
+    /// runs the linter once per feature set so these are still covered.
+    pub gated_files: Vec<(String, String)>,
+    /// Enabled cargo features (`--features`).
+    pub features: Vec<String>,
+    /// Enabled rules (`--only` / `--disable` reduce this set).
+    pub enabled: BTreeSet<String>,
+}
+
+impl Config {
+    /// The real workspace policy (documented in DESIGN.md).
+    pub fn workspace() -> Self {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        Config {
+            ordered: v(&["crates/core/", "crates/affinity/", "crates/lsh/", "crates/service/"]),
+            kernel: v(&["crates/affinity/", "crates/linalg/"]),
+            timing_allow: v(&[
+                "crates/exec/",
+                "crates/bench/",
+                "crates/service/src/http.rs",
+                "crates/shims/criterion/",
+                "examples/",
+            ]),
+            service: v(&["crates/service/"]),
+            gated_files: vec![("crates/affinity/src/lanes.rs".into(), "simd-lanes".into())],
+            features: Vec::new(),
+            enabled: RULES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// A config whose every rule applies everywhere — what the fixture
+    /// corpus is linted with.
+    pub fn all_paths() -> Self {
+        let everywhere = vec![String::new()];
+        Config {
+            ordered: everywhere.clone(),
+            kernel: everywhere.clone(),
+            timing_allow: Vec::new(),
+            service: everywhere,
+            gated_files: Vec::new(),
+            features: Vec::new(),
+            enabled: RULES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    pub fn rule_on(&self, rule: &str) -> bool {
+        self.enabled.contains(rule)
+    }
+
+    pub fn in_any(prefixes: &[String], rel: &str) -> bool {
+        prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+}
+
+/// Result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+    pub files_scanned: usize,
+    pub files_skipped: Vec<String>,
+}
+
+/// Lints one file's source text. Returns findings plus the number of
+/// findings a suppression annotation covered.
+pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> (Vec<Finding>, usize) {
+    let lx = lexer::lex(src);
+    let fns = scan::fns(&lx);
+    let attrs = scan::attr_lines(&lx);
+    let ctx = rules::Ctx { rel, lx: &lx, fns: &fns, attrs: &attrs, cfg };
+
+    let mut raw = Vec::new();
+    rules::no_unordered_iteration(&ctx, &mut raw);
+    rules::no_fma(&ctx, &mut raw);
+    rules::unsafe_needs_safety(&ctx, &mut raw);
+    rules::raw_threads_and_time(&ctx, &mut raw);
+    rules::lock_order(&ctx, &mut raw);
+
+    let (allows, mut bad) = parse_allows(rel, &lx);
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        if allows.iter().any(|a| a.rules.contains(&f.rule) && a.covers(f.line)) {
+            suppressed += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    kept.append(&mut bad);
+    kept.sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
+    // Two acquisitions on one line (or two rules tripping on the same
+    // token) read as a single finding.
+    kept.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.msg == b.msg);
+    (kept, suppressed)
+}
+
+/// One parsed suppression directive (marker + rules + reason). It covers the
+/// statement beginning on the first code line at/after the annotation
+/// (so one annotation above a multi-line statement covers all of it).
+struct Allow {
+    rules: Vec<String>,
+    from: u32,
+    to: u32,
+}
+
+impl Allow {
+    fn covers(&self, line: u32) -> bool {
+        self.from <= line && line <= self.to
+    }
+}
+
+const MARKER: &str = "alid-lint:";
+
+fn parse_allows(rel: &str, lx: &lexer::Lexed) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lx.comments {
+        for (off, text) in c.text.lines().enumerate() {
+            let line = c.line + off as u32;
+            let Some(at) = text.find(MARKER) else { continue };
+            let rest = text[at + MARKER.len()..].trim_start();
+            let mut err = |msg: String| {
+                bad.push(Finding { file: rel.into(), line, rule: "bad-allow".into(), msg });
+            };
+            let Some(args) = rest
+                .strip_prefix("allow(")
+                .and_then(|r| r.find(')').map(|close| (&r[..close], r[close + 1..].trim_start())))
+            else {
+                err(format!("malformed annotation; expected `{MARKER} allow(<rule>) -- <reason>`"));
+                continue;
+            };
+            let (args, tail) = args;
+            let names: Vec<String> =
+                args.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+            let unknown: Vec<&String> =
+                names.iter().filter(|n| !RULES.contains(&n.as_str())).collect();
+            if names.is_empty() {
+                err("allow() names no rule".into());
+                continue;
+            }
+            if let Some(u) = unknown.first() {
+                err(format!("unknown rule `{u}` (known: {})", RULES.join(", ")));
+                continue;
+            }
+            let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+            if reason.is_empty() {
+                err(format!(
+                    "suppressing `{}` needs a non-empty reason: `-- <why this is sound>`",
+                    names.join(", ")
+                ));
+                continue;
+            }
+            // Coverage: the annotation's own line if it has code,
+            // otherwise the statement starting at the next code line
+            // (through its terminating `;`/`{`, capped at 5 lines).
+            let from = if lx.has_code(line) {
+                line
+            } else {
+                let mut l = line + 1;
+                while !lx.has_code(l) && (l as usize) < lx.code_lines.len() {
+                    l += 1;
+                }
+                l
+            };
+            let mut to = from;
+            if let Some(first) = lx.toks.iter().position(|t| t.line >= from) {
+                for t in &lx.toks[first..] {
+                    to = t.line;
+                    if t.text == ";" || t.text == "{" || t.line > from + 5 {
+                        break;
+                    }
+                }
+            }
+            allows.push(Allow { rules: names, from, to });
+        }
+    }
+    (allows, bad)
+}
+
+/// Walks `root` for `.rs` files (skipping `target/`, VCS dirs, and the
+/// linter's own seeded-violation corpus) and lints each.
+pub fn lint_root(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut rep = Report::default();
+    for rel in files {
+        if let Some((_, feature)) =
+            cfg.gated_files.iter().find(|(p, _)| p == &rel).map(|(p, f)| (p, f))
+        {
+            if !cfg.features.iter().any(|f| f == feature) {
+                rep.files_skipped.push(rel);
+                continue;
+            }
+        }
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let (mut findings, suppressed) = lint_source(&rel, &src, cfg);
+        rep.findings.append(&mut findings);
+        rep.suppressed += suppressed;
+        rep.files_scanned += 1;
+    }
+    Ok(rep)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') || name == "fixtures" {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The CLI (shared by the `alid-lint` binary and `alid lint`).
+/// Returns the process exit code.
+pub fn cli_main(args: &[String]) -> i32 {
+    let mut cfg = Config::workspace();
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_err("--root needs a path"),
+            },
+            "--features" => match it.next() {
+                Some(f) => cfg
+                    .features
+                    .extend(f.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty())),
+                None => return usage_err("--features needs a comma-separated list"),
+            },
+            "--only" => match it.next() {
+                Some(list) => {
+                    let wanted: BTreeSet<String> =
+                        list.split(',').map(|s| s.trim().to_string()).collect();
+                    if let Some(u) = wanted.iter().find(|r| !RULES.contains(&r.as_str())) {
+                        return usage_err(&format!("unknown rule `{u}`"));
+                    }
+                    cfg.enabled = wanted;
+                }
+                None => return usage_err("--only needs a comma-separated rule list"),
+            },
+            "--disable" => match it.next() {
+                Some(list) => {
+                    for r in list.split(',').map(str::trim) {
+                        if !RULES.contains(&r) {
+                            return usage_err(&format!("unknown rule `{r}`"));
+                        }
+                        cfg.enabled.remove(r);
+                    }
+                }
+                None => return usage_err("--disable needs a comma-separated rule list"),
+            },
+            "--help" | "-h" => {
+                println!("{}", USAGE);
+                return 0;
+            }
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(r) => r,
+        None => {
+            eprintln!("alid-lint: no workspace root found (pass --root)");
+            return 2;
+        }
+    };
+    match lint_root(&root, &cfg) {
+        Ok(rep) => {
+            if json {
+                println!("{}", report::to_json(&rep, &cfg));
+            } else {
+                print!("{}", report::to_table(&rep));
+            }
+            if deny && !rep.findings.is_empty() {
+                1
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("alid-lint: {e}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "usage: alid-lint [options]\n\
+     \n\
+     Walks the workspace and enforces the determinism & safety rules\n\
+     (DESIGN.md, \"Enforced invariants\"). Suppress per site with\n\
+     `// alid-lint: allow(<rule>) -- <reason>`; the reason is required.\n\
+     \n\
+     options:\n\
+       --root <path>       workspace root (default: nearest [workspace])\n\
+       --deny              exit 1 when any finding remains (CI mode)\n\
+       --json              machine-readable output\n\
+       --features <csv>    cargo features in effect (feature-gated files\n\
+                           are skipped unless their feature is listed)\n\
+       --only <rules>      run only these rules\n\
+       --disable <rules>   run all but these rules\n\
+       --help";
+
+fn usage_err(msg: &str) -> i32 {
+    eprintln!("alid-lint: {msg}\n{USAGE}");
+    2
+}

@@ -1,0 +1,8 @@
+//! `alid-lint` binary — also reachable as `alid lint`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(alid_lint::cli_main(&args) as u8)
+}

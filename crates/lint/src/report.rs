@@ -1,0 +1,79 @@
+//! Finding output: an aligned human table and hand-rolled JSON (the
+//! crate is std-only by design — see the workspace manifest's note on
+//! registry access; pulling the serde shim in here would make the
+//! linter depend on a crate it lints).
+
+use crate::{Config, Report};
+
+/// `file:line  rule  message`, aligned, with a one-line summary.
+pub fn to_table(rep: &Report) -> String {
+    let mut out = String::new();
+    let mut rows: Vec<(String, &str, &str)> = rep
+        .findings
+        .iter()
+        .map(|f| (format!("{}:{}", f.file, f.line), f.rule.as_str(), f.msg.as_str()))
+        .collect();
+    rows.sort();
+    let loc_w = rows.iter().map(|(l, _, _)| l.len()).max().unwrap_or(0);
+    let rule_w = rows.iter().map(|(_, r, _)| r.len()).max().unwrap_or(0);
+    for (loc, rule, msg) in &rows {
+        out.push_str(&format!("{loc:<loc_w$}  {rule:<rule_w$}  {msg}\n"));
+    }
+    out.push_str(&format!(
+        "{} finding{} ({} suppressed by annotations) across {} files{}\n",
+        rep.findings.len(),
+        if rep.findings.len() == 1 { "" } else { "s" },
+        rep.suppressed,
+        rep.files_scanned,
+        if rep.files_skipped.is_empty() {
+            String::new()
+        } else {
+            format!("; skipped (feature-gated): {}", rep.files_skipped.join(", "))
+        },
+    ));
+    out
+}
+
+pub fn to_json(rep: &Report, cfg: &Config) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in rep.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(&f.rule),
+            json_str(&f.msg)
+        ));
+    }
+    if !rep.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"suppressed\": {},\n", rep.suppressed));
+    out.push_str(&format!("  \"files_scanned\": {},\n", rep.files_scanned));
+    let skipped: Vec<String> = rep.files_skipped.iter().map(|s| json_str(s)).collect();
+    out.push_str(&format!("  \"files_skipped\": [{}],\n", skipped.join(", ")));
+    let feats: Vec<String> = cfg.features.iter().map(|s| json_str(s)).collect();
+    out.push_str(&format!("  \"features\": [{}]\n}}", feats.join(", ")));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

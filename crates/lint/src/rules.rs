@@ -1,0 +1,427 @@
+//! The five rules. All operate on the lexed token stream (so string
+//! and comment contents can never trip them) plus the item scanner's
+//! function spans; none of them parse full Rust. Where a rule is a
+//! heuristic, the heuristic is chosen to over-approximate — a false
+//! positive costs one justified `allow` annotation, a false negative
+//! costs a silent determinism hole.
+
+use crate::lexer::{Kind, Lexed, Tok};
+use crate::scan::{self, FnSpan};
+use crate::{Config, Finding};
+
+pub struct Ctx<'a> {
+    pub rel: &'a str,
+    pub lx: &'a Lexed,
+    pub fns: &'a [FnSpan],
+    pub attrs: &'a [bool],
+    pub cfg: &'a Config,
+}
+
+impl Ctx<'_> {
+    fn emit(&self, out: &mut Vec<Finding>, line: u32, rule: &str, msg: String) {
+        out.push(Finding { file: self.rel.to_string(), line, rule: rule.into(), msg });
+    }
+}
+
+/// Hash-container type names whose iteration order is not canonical.
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Methods that observe a container's iteration order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// `no-unordered-iteration`: in result-affecting crates, iterating a
+/// `HashMap`/`HashSet` leaks hash order into outputs. The pass first
+/// registers every binding/field/parameter whose declared type or
+/// initializer names a hash container, then flags (a) order-observing
+/// method calls (`.iter()`, `.keys()`, `.values()`, `.drain()`, …)
+/// whose receiver ends in a registered name, and (b) `for … in`
+/// loops whose iterated expression is a registered name. Key lookups
+/// (`get`, `contains`, `insert`, `entry`) never fire. Fix by
+/// converting to `BTreeMap`/`BTreeSet` (or sorting into a `Vec`
+/// first), or annotate the site with a reason.
+pub fn no_unordered_iteration(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const RULE: &str = "no-unordered-iteration";
+    if !ctx.cfg.rule_on(RULE) || !Config::in_any(&ctx.cfg.ordered, ctx.rel) {
+        return;
+    }
+    let t = &ctx.lx.toks;
+    // (name, token range it applies to) — a binding inside a fn only
+    // taints uses in that fn; struct fields and file-level items taint
+    // the whole file.
+    let mut regs: Vec<(String, Option<(usize, usize)>)> = Vec::new();
+    let mut register = |name: &Tok, at: usize| {
+        let scope = scan::enclosing_fn(ctx.fns, at).map(|f| (f.start, f.end));
+        regs.push((name.text.clone(), scope));
+    };
+    for (i, tok) in t.iter().enumerate() {
+        if tok.kind != Kind::Ident || !HASH_TYPES.contains(&tok.text.as_str()) {
+            continue;
+        }
+        // Hop backward over a `path::to::` prefix to the head segment.
+        let mut j = i;
+        while j >= 3
+            && scan::is(&t[j - 1], ":")
+            && scan::is(&t[j - 2], ":")
+            && t[j - 3].kind == Kind::Ident
+        {
+            j -= 3;
+        }
+        // `name: [&]['a][mut] Type` — declaration, field or parameter.
+        let mut k = j;
+        while k > 0
+            && (scan::is(&t[k - 1], "&")
+                || scan::is(&t[k - 1], "mut")
+                || t[k - 1].kind == Kind::Lifetime)
+        {
+            k -= 1;
+        }
+        if k >= 2
+            && scan::is(&t[k - 1], ":")
+            && !scan::is(&t[k - 2], ":")
+            && t[k - 2].kind == Kind::Ident
+        {
+            register(&t[k - 2], i);
+            continue;
+        }
+        // `name = Type::new()` / `let mut name = Type::default()`.
+        if j >= 2 && scan::is(&t[j - 1], "=") && t[j - 2].kind == Kind::Ident {
+            register(&t[j - 2], i);
+        }
+    }
+
+    let flagged = |name: &str, at: usize| {
+        regs.iter().any(|(n, scope)| n == name && scope.is_none_or(|(s, e)| s <= at && at < e))
+    };
+    for (i, tok) in t.iter().enumerate() {
+        // receiver . method (
+        if tok.kind == Kind::Ident
+            && ITER_METHODS.contains(&tok.text.as_str())
+            && i >= 2
+            && scan::is(&t[i - 1], ".")
+            && t[i - 2].kind == Kind::Ident
+            && flagged(&t[i - 2].text, i)
+            && scan::is_at(t, i + 1, "(")
+        {
+            ctx.emit(
+                out,
+                tok.line,
+                RULE,
+                format!(
+                    "`{}.{}()` iterates a hash container in a result-affecting crate; \
+                     use a BTree collection / sort first, or annotate with \
+                     `// alid-lint: allow({RULE}) -- <reason>`",
+                    t[i - 2].text,
+                    tok.text
+                ),
+            );
+        }
+        // for pat in [&][mut] name {
+        if scan::is(tok, "for") {
+            let Some(in_at) = find_in(t, i) else { continue };
+            let mut e = in_at + 1;
+            while e < t.len() && (scan::is(&t[e], "&") || scan::is(&t[e], "mut")) {
+                e += 1;
+            }
+            if e + 1 < t.len()
+                && t[e].kind == Kind::Ident
+                && flagged(&t[e].text, e)
+                && scan::is(&t[e + 1], "{")
+            {
+                ctx.emit(
+                    out,
+                    t[e].line,
+                    RULE,
+                    format!(
+                        "`for … in {}` iterates a hash container in a result-affecting \
+                         crate; use a BTree collection / sort first, or annotate with \
+                         `// alid-lint: allow({RULE}) -- <reason>`",
+                        t[e].text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Token index of the `in` belonging to the `for` at `i` (skipping
+/// any nested parens/brackets in the pattern).
+fn find_in(t: &[Tok], for_at: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, tok) in t.iter().enumerate().skip(for_at + 1).take(64) {
+        match tok.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 => return Some(j),
+            "{" | ";" => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `no-fma`: fused multiply-add rounds once where the scalar reference
+/// rounds twice, so any `mul_add` (or `_mm*_fmadd_*`-family intrinsic)
+/// in a kernel crate silently breaks the bit-for-bit blocked/SIMD
+/// parity argument (DESIGN.md, "Blocked + SIMD kernel evaluation").
+pub fn no_fma(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const RULE: &str = "no-fma";
+    if !ctx.cfg.rule_on(RULE) || !Config::in_any(&ctx.cfg.kernel, ctx.rel) {
+        return;
+    }
+    for tok in &ctx.lx.toks {
+        if tok.kind != Kind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        let fused = name == "mul_add"
+            || name == "fma"
+            || ["fmadd", "fmsub", "fnmadd", "fnmsub"].iter().any(|p| name.contains(p));
+        if fused {
+            ctx.emit(
+                out,
+                tok.line,
+                RULE,
+                format!(
+                    "`{name}` fuses multiply-add (one rounding instead of two) — banned in \
+                     kernel crates; the bit-for-bit parity contract requires per-op rounding"
+                ),
+            );
+        }
+    }
+}
+
+/// `unsafe-needs-safety`: every `unsafe` block, fn or impl must be
+/// preceded by a `// SAFETY:` comment (an `unsafe fn` may carry a
+/// `# Safety` doc section instead). The comment must sit directly
+/// above the statement/item containing the `unsafe` keyword —
+/// attribute lines in between are skipped, blank lines are not.
+pub fn unsafe_needs_safety(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const RULE: &str = "unsafe-needs-safety";
+    if !ctx.cfg.rule_on(RULE) {
+        return;
+    }
+    let t = &ctx.lx.toks;
+    for (i, tok) in t.iter().enumerate() {
+        if !(tok.kind == Kind::Ident && tok.text == "unsafe") {
+            continue;
+        }
+        // Statement/item start: the token after the nearest `;`/`{`/`}`.
+        let mut j = i;
+        while j > 0 && !matches!(t[j - 1].text.as_str(), ";" | "{" | "}") {
+            j -= 1;
+        }
+        let stmt_line = t[j].line;
+        let mut text = String::new();
+        for l in [stmt_line, tok.line] {
+            if let Some(c) = ctx.lx.comment_text_on(l) {
+                text.push_str(&c);
+            }
+        }
+        let mut l = stmt_line.saturating_sub(1);
+        while l > 0 {
+            if ctx.attrs.get(l as usize).copied().unwrap_or(false) {
+                l -= 1;
+                continue;
+            }
+            if ctx.lx.has_code(l) {
+                break;
+            }
+            match ctx.lx.comment_text_on(l) {
+                Some(c) => {
+                    text.push_str(&c);
+                    l -= 1;
+                }
+                None => break,
+            }
+        }
+        if !(text.contains("SAFETY:") || text.contains("# Safety")) {
+            let what = match t.get(i + 1).map(|n| n.text.as_str()) {
+                Some("fn") => "unsafe fn",
+                Some("impl") => "unsafe impl",
+                _ => "unsafe block",
+            };
+            ctx.emit(
+                out,
+                tok.line,
+                RULE,
+                format!(
+                    "{what} without a `// SAFETY:` comment (or `# Safety` doc section) \
+                     directly above its statement"
+                ),
+            );
+        }
+    }
+}
+
+/// `no-raw-threads` / `no-raw-time`: `thread::spawn` (and `.spawn()`
+/// builders) and `Instant::now`/`SystemTime::now` are confined to the
+/// allowlisted modules (exec pool/autotuner, benches, the HTTP front
+/// end) — everywhere else a clock read or an unmanaged thread is a
+/// channel through which scheduling could feed output values.
+pub fn raw_threads_and_time(ctx: &Ctx, out: &mut Vec<Finding>) {
+    if Config::in_any(&ctx.cfg.timing_allow, ctx.rel) {
+        return;
+    }
+    let t = &ctx.lx.toks;
+    for (i, tok) in t.iter().enumerate() {
+        if tok.kind != Kind::Ident {
+            continue;
+        }
+        let path_call = |head: &str, tail: usize| {
+            tok.text == head
+                && scan::is_at(t, i + 1, ":")
+                && scan::is_at(t, i + 2, ":")
+                && t.get(i + 3).is_some_and(|n| n.text == ["spawn", "now"][tail])
+        };
+        if ctx.cfg.rule_on("no-raw-threads") {
+            let spawn_path = path_call("thread", 0);
+            let spawn_method = tok.text == "spawn"
+                && i >= 1
+                && scan::is(&t[i - 1], ".")
+                && scan::is_at(t, i + 1, "(");
+            if spawn_path || spawn_method {
+                ctx.emit(
+                    out,
+                    tok.line,
+                    "no-raw-threads",
+                    "raw thread spawn outside the exec pool allowlist; route parallelism \
+                     through `ExecPolicy` (or annotate with a reason)"
+                        .into(),
+                );
+            }
+        }
+        if ctx.cfg.rule_on("no-raw-time") && (path_call("Instant", 1) || path_call("SystemTime", 1))
+        {
+            ctx.emit(
+                out,
+                tok.line,
+                "no-raw-time",
+                format!(
+                    "`{}::now()` outside the timing allowlist; clock reads must never be \
+                     able to feed output values (annotate with a reason if this one cannot)",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// Calls that run their closure argument once per element — an
+/// acquisition inside one is "many acquisitions".
+const ITER_CALLS: [&str; 9] = [
+    "map",
+    "map_indexed",
+    "map_indexed_tuned",
+    "map_tasks",
+    "for_each",
+    "for_each_index",
+    "for_each_index_with",
+    "for_each_index_tuned_with",
+    "flat_map",
+];
+
+/// `lock-order`: in the service crate, a function (other than
+/// `lock_shards`, the sanctioned consistent-cut constructor) that
+/// acquires more than one shard lock — two-plus textual acquisitions,
+/// or one inside a loop / per-element closure — is flagged. Shard-lock
+/// acquisitions are `.lock()` calls whose receiver chain names the
+/// `shards` field, and calls to the `shard(…)`/`shard_state(…)`
+/// accessors. Per-shard fan-outs that deliberately hold one lock at a
+/// time must say so in an `allow` annotation.
+pub fn lock_order(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const RULE: &str = "lock-order";
+    if !ctx.cfg.rule_on(RULE) || !Config::in_any(&ctx.cfg.service, ctx.rel) {
+        return;
+    }
+    let t = &ctx.lx.toks;
+    for f in ctx.fns {
+        if f.name == "lock_shards" || f.body == usize::MAX {
+            continue;
+        }
+        // Skip nested fn items: they are scanned as their own entry.
+        let nested: Vec<(usize, usize)> = ctx
+            .fns
+            .iter()
+            .filter(|g| g.start > f.start && g.end <= f.end)
+            .map(|g| (g.start, g.end))
+            .collect();
+
+        let mut acquisitions: Vec<(u32, bool)> = Vec::new(); // (line, multiple)
+        let mut brace_loops: Vec<bool> = Vec::new(); // frame = loop body?
+        let mut paren_iter: Vec<bool> = Vec::new(); // frame = per-element call?
+        let mut pending_loop = false;
+        let mut k = f.body;
+        while k < f.end {
+            if let Some(&(_, e)) = nested.iter().find(|&&(s, _)| s == k) {
+                k = e;
+                continue;
+            }
+            let tok = &t[k];
+            match tok.text.as_str() {
+                "for" | "while" | "loop" => pending_loop = true,
+                "{" => {
+                    brace_loops.push(pending_loop);
+                    pending_loop = false;
+                }
+                "}" => {
+                    brace_loops.pop();
+                }
+                "(" => {
+                    let callee = t.get(k.wrapping_sub(1)).map(|c| c.text.as_str()).unwrap_or("");
+                    paren_iter.push(ITER_CALLS.contains(&callee));
+                }
+                ")" => {
+                    paren_iter.pop();
+                }
+                "lock" | "shard" | "shard_state" => {
+                    let method_call =
+                        k >= 1 && scan::is(&t[k - 1], ".") && scan::is_at(t, k + 1, "(");
+                    let is_acq = match tok.text.as_str() {
+                        // `….shards[…].lock()` — receiver names the field.
+                        "lock" => {
+                            method_call
+                                && t[k.saturating_sub(8)..k].iter().any(|p| p.text == "shards")
+                        }
+                        // the single-shard accessors
+                        _ => method_call || (k >= 1 && !scan::is(&t[k - 1], "fn")),
+                    };
+                    if is_acq && scan::is_at(t, k + 1, "(") {
+                        let many =
+                            brace_loops.iter().skip(1).any(|&b| b) || paren_iter.iter().any(|&b| b);
+                        acquisitions.push((tok.line, many));
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let total: usize = acquisitions.iter().map(|&(_, many)| if many { 2 } else { 1 }).sum();
+        if total > 1 {
+            for &(line, many) in &acquisitions {
+                let shape = if many { "a per-shard loop/closure" } else { "a direct call" };
+                ctx.emit(
+                    out,
+                    line,
+                    RULE,
+                    format!(
+                        "fn `{}` acquires more than one shard lock outside `lock_shards` \
+                         ({shape} here); take a consistent cut via `lock_shards`/`lock_all`, \
+                         or annotate why one-at-a-time locking is sound",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}

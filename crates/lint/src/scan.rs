@@ -1,0 +1,165 @@
+//! Lightweight item/block scanning over the token stream: function
+//! spans (for per-function rules like `lock-order`) and attribute
+//! lines (so comment look-ups can hop over `#[…]` rows between a
+//! `// SAFETY:` comment and the `unsafe fn` it documents).
+
+use crate::lexer::{Kind, Lexed, Tok};
+
+/// One `fn` item (including nested fns; closures are not items).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub start: usize,
+    /// Token index of the body `{`, or `usize::MAX` for bodyless decls.
+    pub body: usize,
+    /// Token index one past the closing `}` (or past the `;`).
+    pub end: usize,
+}
+
+/// Scans all `fn` items. Bodies are found by walking from the name
+/// past the balanced parameter list to the first `{` or `;` at
+/// bracket depth zero (return types never contain braces), then
+/// matching braces.
+pub fn fns(lx: &Lexed) -> Vec<FnSpan> {
+    let t = &lx.toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if is(&t[i], "fn") && t.get(i + 1).is_some_and(|n| n.kind == Kind::Ident) {
+            let name = t[i + 1].text.clone();
+            let mut j = i + 2;
+            let mut depth = 0i32; // () and [] nesting
+            let mut body = usize::MAX;
+            while j < t.len() {
+                match t[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body = j;
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end = if body == usize::MAX { j + 1 } else { matching_brace(t, body) + 1 };
+            out.push(FnSpan { name, start: i, body, end });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_brace(t: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, tok) in t.iter().enumerate().skip(open) {
+        match tok.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    t.len().saturating_sub(1)
+}
+
+/// The innermost fn whose span contains token index `k`.
+pub fn enclosing_fn(fns: &[FnSpan], k: usize) -> Option<&FnSpan> {
+    fns.iter().filter(|f| f.start <= k && k < f.end).max_by_key(|f| f.start)
+}
+
+/// Marks lines whose code tokens all belong to outer attributes
+/// (`#[…]` / `#![…]`), so comment scans can skip over them.
+pub fn attr_lines(lx: &Lexed) -> Vec<bool> {
+    let t = &lx.toks;
+    let mut attr = vec![false; lx.code_lines.len()];
+    let mut covered = vec![false; t.len()];
+    let mut i = 0;
+    while i + 1 < t.len() {
+        if is(&t[i], "#") && (is(&t[i + 1], "[") || (is(&t[i + 1], "!") && is_at(t, i + 2, "["))) {
+            let open = if is(&t[i + 1], "[") { i + 1 } else { i + 2 };
+            let mut depth = 0i32;
+            let mut j = open;
+            while j < t.len() {
+                match t[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            for c in covered.iter_mut().take(j.min(t.len() - 1) + 1).skip(i) {
+                *c = true;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    // A line is attribute-only when every code token on it is covered.
+    let mut all = vec![true; attr.len()];
+    let mut any = vec![false; attr.len()];
+    for (k, tok) in t.iter().enumerate() {
+        let l = tok.line as usize;
+        any[l] = true;
+        if !covered[k] {
+            all[l] = false;
+        }
+    }
+    for l in 0..attr.len() {
+        attr[l] = any[l] && all[l];
+    }
+    attr
+}
+
+pub fn is(t: &Tok, s: &str) -> bool {
+    t.text == s
+}
+
+pub fn is_at(t: &[Tok], i: usize, s: &str) -> bool {
+    t.get(i).is_some_and(|x| x.text == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_spans_cover_bodies_and_nesting() {
+        let lx = lex("fn outer() { fn inner(x: u32) -> Vec<u32> { vec![x] } inner(1); }");
+        let f = fns(&lx);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].name, "outer");
+        assert_eq!(f[1].name, "inner");
+        let inner_tok = f[1].body + 1;
+        assert_eq!(enclosing_fn(&f, inner_tok).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn bodyless_trait_method_has_no_body() {
+        let lx = lex("trait T { fn f(&self) -> usize; }");
+        let f = fns(&lx);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].body, usize::MAX);
+    }
+
+    #[test]
+    fn attribute_only_lines_are_marked() {
+        let lx = lex("#[inline(always)]\n#[target_feature(enable = \"avx\")]\nfn f() {}\n");
+        let attrs = attr_lines(&lx);
+        assert!(attrs[1] && attrs[2]);
+        assert!(!attrs[3]);
+    }
+}

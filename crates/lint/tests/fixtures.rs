@@ -1,0 +1,152 @@
+//! The seeded-violation corpus: every rule must fire on its fixture,
+//! every annotation must suppress, and disabling a rule must silence
+//! it (proving a finding comes from that rule, not a neighbour). The
+//! final test lints the real workspace and requires it clean — the
+//! same gate CI runs via `alid lint --deny`.
+
+use std::path::Path;
+
+use alid_lint::{lexer, lint_root, lint_source, Config, Finding};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()))
+}
+
+fn lint_fixture(name: &str, cfg: &Config) -> (Vec<Finding>, usize) {
+    lint_source(name, &fixture(name), cfg)
+}
+
+fn lines(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings.iter().filter(|f| f.rule == rule).map(|f| f.line).collect()
+}
+
+fn without(rule: &str) -> Config {
+    let mut cfg = Config::all_paths();
+    cfg.enabled.remove(rule);
+    cfg
+}
+
+#[test]
+fn unordered_iteration_fires_and_suppresses() {
+    let (f, suppressed) = lint_fixture("unordered.rs", &Config::all_paths());
+    assert_eq!(lines(&f, "no-unordered-iteration"), vec![8, 11, 13]);
+    assert_eq!(f.len(), 3, "only this rule may fire: {f:?}");
+    assert_eq!(suppressed, 1, "the annotated values() drain");
+
+    let (f, _) = lint_fixture("unordered.rs", &without("no-unordered-iteration"));
+    assert!(f.is_empty(), "disabled rule must be silent: {f:?}");
+}
+
+#[test]
+fn fma_fires_and_suppresses() {
+    let (f, suppressed) = lint_fixture("fma.rs", &Config::all_paths());
+    assert_eq!(lines(&f, "no-fma"), vec![4, 8, 20]);
+    assert_eq!(f.len(), 3, "only this rule may fire: {f:?}");
+    assert_eq!(suppressed, 1, "the annotated mul_add");
+
+    let (f, _) = lint_fixture("fma.rs", &without("no-fma"));
+    assert!(f.is_empty(), "disabled rule must be silent: {f:?}");
+}
+
+#[test]
+fn unsafe_needs_safety_fires_and_suppresses() {
+    let (f, suppressed) = lint_fixture("safety.rs", &Config::all_paths());
+    assert_eq!(lines(&f, "unsafe-needs-safety"), vec![5, 23, 33]);
+    assert_eq!(f.len(), 3, "only this rule may fire: {f:?}");
+    assert_eq!(suppressed, 1, "the annotated block");
+
+    let (f, _) = lint_fixture("safety.rs", &without("unsafe-needs-safety"));
+    assert!(f.is_empty(), "disabled rule must be silent: {f:?}");
+}
+
+#[test]
+fn raw_threads_and_time_fire_and_suppress() {
+    let (f, suppressed) = lint_fixture("timing.rs", &Config::all_paths());
+    assert_eq!(lines(&f, "no-raw-threads"), vec![6, 12]);
+    assert_eq!(lines(&f, "no-raw-time"), vec![16, 21]);
+    assert_eq!(f.len(), 4, "only these rules may fire: {f:?}");
+    assert_eq!(suppressed, 2, "one annotated spawn, one annotated clock read");
+
+    let (f, _) = lint_fixture("timing.rs", &without("no-raw-threads"));
+    assert!(lines(&f, "no-raw-threads").is_empty());
+    assert_eq!(lines(&f, "no-raw-time").len(), 2, "sibling rule unaffected");
+
+    let (f, _) = lint_fixture("timing.rs", &without("no-raw-time"));
+    assert!(lines(&f, "no-raw-time").is_empty());
+    assert_eq!(lines(&f, "no-raw-threads").len(), 2, "sibling rule unaffected");
+}
+
+#[test]
+fn lock_order_fires_and_suppresses() {
+    let (f, suppressed) = lint_fixture("locks.rs", &Config::all_paths());
+    assert_eq!(lines(&f, "lock-order"), vec![17, 18, 25]);
+    assert_eq!(f.len(), 3, "only this rule may fire: {f:?}");
+    assert_eq!(suppressed, 1, "the annotated per-shard metric loop");
+
+    let (f, _) = lint_fixture("locks.rs", &without("lock-order"));
+    assert!(f.is_empty(), "disabled rule must be silent: {f:?}");
+}
+
+#[test]
+fn lexer_edges_never_trip_any_rule() {
+    let (f, suppressed) = lint_fixture("lexer_edges.rs", &Config::all_paths());
+    assert!(f.is_empty(), "keywords in strings/comments must be invisible: {f:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn malformed_annotations_are_findings_themselves() {
+    let (f, _) = lint_fixture("allow_bad.rs", &Config::all_paths());
+    assert_eq!(lines(&f, "bad-allow"), vec![5, 10, 15, 20, 25]);
+    assert_eq!(f.len(), 5, "only bad-allow may fire: {f:?}");
+
+    // bad-allow is a meta-rule: disabling every listed rule leaves it on.
+    let mut cfg = Config::all_paths();
+    cfg.enabled.clear();
+    let (f, _) = lint_fixture("allow_bad.rs", &cfg);
+    assert_eq!(lines(&f, "bad-allow").len(), 5);
+}
+
+/// Raw-string hash depths, nested block comments, lifetime-vs-char and
+/// raw identifiers straight through the lexer (the fixture above
+/// checks the same shapes end-to-end through the rules).
+#[test]
+fn lexer_edge_tokens() {
+    let lx = lexer::lex(r####"let s = r###"has "## inside"###;"####);
+    assert_eq!(lx.toks.iter().filter(|t| t.kind == lexer::Kind::StrLit).count(), 1);
+
+    let lx = lexer::lex("/* a /* b /* c */ */ */ fn f() {}");
+    assert_eq!(lx.comments.len(), 1);
+    assert!(lx.toks.iter().any(|t| t.text == "fn"));
+
+    let lx = lexer::lex("fn g<'a>(x: &'a u8) -> u8 { let c = 'x'; *x + c as u8 }");
+    assert_eq!(lx.toks.iter().filter(|t| t.kind == lexer::Kind::Lifetime).count(), 2);
+    assert_eq!(lx.toks.iter().filter(|t| t.kind == lexer::Kind::CharLit).count(), 1);
+
+    let lx = lexer::lex("let r#unsafe = 1;");
+    assert!(lx.toks.iter().any(|t| t.kind == lexer::Kind::Ident && t.text == "unsafe"));
+    // ...but a raw identifier must not read as the `unsafe` keyword in
+    // rules: the lexer marks it by keeping the `r#` out of the text
+    // while rules only see real keyword positions via statement shape.
+}
+
+/// The workspace itself must lint clean — under the default feature
+/// set and with `simd-lanes` (which un-gates the AVX kernel file).
+/// This is the self-test behind the CI `--deny` gate.
+#[test]
+fn workspace_is_clean_under_both_feature_sets() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap();
+
+    let cfg = Config::workspace();
+    let rep = lint_root(&root, &cfg).expect("workspace walk");
+    assert!(rep.findings.is_empty(), "workspace findings: {:#?}", rep.findings);
+    assert!(rep.files_scanned > 100, "walk looks truncated: {}", rep.files_scanned);
+    assert_eq!(rep.files_skipped, vec!["crates/affinity/src/lanes.rs".to_string()]);
+
+    let mut cfg = Config::workspace();
+    cfg.features.push("simd-lanes".into());
+    let rep = lint_root(&root, &cfg).expect("workspace walk");
+    assert!(rep.findings.is_empty(), "simd-lanes findings: {:#?}", rep.findings);
+    assert!(rep.files_skipped.is_empty());
+}

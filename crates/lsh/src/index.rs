@@ -1,10 +1,11 @@
 //! The LSH index: `l` tables of `mu` concatenated Gaussian projections,
 //! with an inverted list and tombstone deletion.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use alid_affinity::cost::CostModel;
-use alid_affinity::fx::{mix_words, FxHashMap};
+use alid_affinity::fx::mix_words;
 use alid_affinity::vector::Dataset;
 use alid_exec::{ExecPolicy, SharedSlice, TuneState};
 use rand::rngs::StdRng;
@@ -28,8 +29,11 @@ struct Table {
     proj: Vec<f64>,
     /// Offsets `b ~ U[0, r)`, one per projection.
     offsets: Vec<f64>,
-    /// Bucket key -> item ids (insertion order).
-    buckets: FxHashMap<u64, Vec<u32>>,
+    /// Bucket key -> item ids (insertion order within a bucket).
+    /// BTreeMap so whole-table iteration (`large_buckets`, the sparse
+    /// degree estimate) runs in ascending key order — hash-map order
+    /// would silently couple seed sampling to the hasher.
+    buckets: BTreeMap<u64, Vec<u32>>,
 }
 
 /// A p-stable LSH index over a data set.
@@ -85,7 +89,7 @@ impl LshIndex {
                 (0..params.projections * dim).map(|_| sample_standard_normal(&mut rng)).collect();
             let offsets: Vec<f64> =
                 (0..params.projections).map(|_| rng.gen::<f64>() * params.r).collect();
-            tables.push(Table { proj, offsets, buckets: FxHashMap::default() });
+            tables.push(Table { proj, offsets, buckets: BTreeMap::new() });
         }
         let mut index = Self {
             params,

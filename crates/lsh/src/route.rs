@@ -277,7 +277,7 @@ mod tests {
         // bit — which is precisely the split the cross-shard top-k
         // merge is documented to tolerate; see DESIGN.md.)
         let r = ShardRouter::new(2, 16, 3);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for i in 0..40 {
             let t = i as f64;
             let v = [(t * 0.7).sin() * 0.05, (t * 1.3).cos() * 0.05];

@@ -35,6 +35,7 @@
 //! See DESIGN.md ("Sharded serving") for the determinism argument and
 //! for what the reduction rule gives up versus single-instance ALID.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;

@@ -50,7 +50,7 @@
 //! pure function of the member *union* — the shard-count invariance
 //! the straddling-fixture tests assert.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use alid_affinity::block::BlockEval;
@@ -239,7 +239,9 @@ pub(crate) fn candidate_groups(
             link(&mut parent, i, j);
         }
     }
-    let mut grouped: HashMap<usize, Vec<usize>> = HashMap::new();
+    // BTreeMap: group order must not depend on hash order (the sort
+    // below keys on g[0], so ties between roots never reach the hash).
+    let mut grouped: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for i in 0..fragments.len() {
         let root = find(&mut parent, i);
         grouped.entry(root).or_default().push(i); // ascending: i ascends

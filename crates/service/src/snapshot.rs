@@ -476,6 +476,7 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.depths(), b.depths());
         for s in 0..a.shard_count() {
+            // alid-lint: allow(lock-order) -- test helper compares quiescent services; one shard pair at a time is fine
             let (sa, sb) = (a.shard_state(s), b.shard_state(s));
             assert_eq!(sa.queue, sb.queue, "shard {s} queue");
             assert_eq!(sa.stream.assignments(), sb.stream.assignments(), "shard {s}");
@@ -554,6 +555,7 @@ mod tests {
         let svc = std::sync::Arc::new(Service::new(cfg));
         let writer = {
             let svc = std::sync::Arc::clone(&svc);
+            // alid-lint: allow(no-raw-threads) -- the race under test *is* a raw writer thread against the snapshot path
             std::thread::spawn(move || {
                 for i in 0..400 {
                     let v = [40.0 + (i % 7) as f64 * 0.03, (i % 11) as f64 * 0.03];
@@ -571,6 +573,7 @@ mod tests {
                 restore(&bytes, ExecPolicy::sequential()).expect("mid-ingest snapshot restores");
             let held: usize = (0..restored.shard_count())
                 .map(|s| {
+                    // alid-lint: allow(lock-order) -- `restored` is private to this thread; nothing else can interleave
                     let g = restored.shard_state(s);
                     g.stream.len() + g.queue.len()
                 })

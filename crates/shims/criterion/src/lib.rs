@@ -9,6 +9,7 @@
 //! quick relative comparisons; swap in the real crate for publication
 //! runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

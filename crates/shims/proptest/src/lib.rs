@@ -14,6 +14,7 @@
 //! * `btree_set` reaches its minimum size by redrawing duplicates a
 //!   bounded number of times rather than by rejection sampling.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeSet;

@@ -15,6 +15,7 @@
 //! Swapping this shim for the real crate is a one-line change in the
 //! root manifest; no source file would need to change.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

@@ -19,6 +19,7 @@
 //!   **bit-for-bit** (raw IEEE-754 bits on the wire), which is what
 //!   lets a restored service continue byte-identically.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;

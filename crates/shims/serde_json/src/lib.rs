@@ -5,6 +5,7 @@
 //! (infallible here but keeping the `Result` signature) and
 //! [`from_str`], which the HTTP front end uses for request bodies.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

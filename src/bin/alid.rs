@@ -8,6 +8,8 @@
 //!   subcommand name may be omitted (`alid data.csv ...` still works).
 //! * `alid serve [options]` — the sharded online detection service
 //!   with the std-only HTTP front end (see `alid serve --help`).
+//! * `alid lint [options]` — the workspace determinism & safety
+//!   linter (see DESIGN.md, "Enforced invariants"; `alid lint --help`).
 //!
 //! ```text
 //! alid data.csv --scale 0.3                  # calibrated kernel
@@ -40,6 +42,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: alid [detect] <data.csv> [options]\n\
      \x20      alid serve [options]        (see `alid serve --help`)\n\
+     \x20      alid lint [options]         (see `alid lint --help`)\n\
      \n\
      input: headerless CSV, one item per row, f64 columns\n\
      \n\
@@ -156,6 +159,7 @@ fn main() -> ExitCode {
             }
         },
         Some("detect") => detect_main(&argv[1..]),
+        Some("lint") => ExitCode::from(alid_lint::cli_main(&argv[1..]) as u8),
         _ => detect_main(&argv),
     }
 }

@@ -49,6 +49,8 @@
 //! assert!(alid::data::metrics::avg_f1(&ds.truth, &dominant) > 0.99);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use alid_affinity as affinity;
 pub use alid_baselines as baselines;
 pub use alid_core as core;

@@ -137,9 +137,12 @@ impl Drop for PhaseWait<'_> {
             let mine = queue
                 .iter()
                 .position(|job| std::ptr::eq(Arc::as_ptr(&job.phase), self.0 as *const Phase));
-            match mine {
-                Some(idx) => {
-                    let job = queue.remove(idx).expect("indexed job");
+            // `position` and `remove` run under one continuous lock,
+            // so the index cannot go stale; resolving the `Option` via
+            // the wait arm (instead of unwrapping) keeps any panic from
+            // ever poisoning the pool queue.
+            match mine.and_then(|idx| queue.remove(idx)) {
+                Some(job) => {
                     drop(queue);
                     job.run();
                     queue = shared.queue.lock().expect("pool queue");
@@ -185,10 +188,15 @@ impl Pool {
         let mut spawned = self.spawned.lock().expect("pool size");
         while *spawned < wanted {
             let shared = Arc::clone(&self.shared);
-            std::thread::Builder::new()
+            let spawn = std::thread::Builder::new()
                 .name(format!("alid-exec-{}", *spawned))
-                .spawn(move || worker_loop(shared))
-                .expect("spawn exec pool worker");
+                .spawn(move || worker_loop(shared));
+            if let Err(e) = spawn {
+                // Release the counter before panicking so diagnostics
+                // readers (`thread_count`) never see a poisoned lock.
+                drop(spawned);
+                panic!("spawn exec pool worker: {e}");
+            }
             *spawned += 1;
         }
     }

@@ -1,0 +1,29 @@
+//! Call-graph fixture, module A: a typed field chain, a same-file
+//! helper that module B shadows, and direct recursion.
+
+pub struct Widget {
+    pub label: Label,
+}
+
+pub struct Label;
+
+impl Label {
+    pub fn paint(&self) {}
+}
+
+impl Widget {
+    pub fn render(&self) {
+        self.label.paint();
+        helper();
+    }
+}
+
+pub fn helper() {
+    recurse(1);
+}
+
+fn recurse(n: u32) {
+    if n > 0 {
+        recurse(n - 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Call-graph fixture, module C: cross-module calls. The
+//! path-qualified call resolves by module name; the bare call has no
+//! local candidate, so it must merge both shadowed `helper`s.
+
+pub fn run() {
+    a::helper();
+    helper();
+}

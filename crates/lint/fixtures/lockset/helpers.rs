@@ -1,0 +1,33 @@
+//! Cross-file helpers the lock-set fixture calls through — the
+//! multi-hop witness chains land here. `help_foreign` reaches an exec
+//! dispatch two hops down, re-creating the PR 4 deadlock shape (a
+//! pool waiter helping a foreign drain job while the caller already
+//! holds that shard's mutex).
+
+struct Pol;
+
+impl Pol {
+    fn map_indexed(&self, n: usize) -> usize {
+        n
+    }
+}
+
+fn help_foreign(pol: &Pol) {
+    fan_out(pol);
+}
+
+fn fan_out(pol: &Pol) {
+    pol.map_indexed(4);
+}
+
+fn validate_stream() {
+    assert!(total() > 0, "stream invariant");
+}
+
+fn total() -> usize {
+    1
+}
+
+fn slurp(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_default()
+}

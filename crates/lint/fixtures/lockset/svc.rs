@@ -1,0 +1,126 @@
+//! Seeded lock-set violations, mirroring the service shapes: a shard
+//! array behind mutexes, a placement ledger, a guard-returning
+//! accessor and a sanctioned cut constructor. The exact expected
+//! fire/suppress line sets live in `tests/fixtures.rs`.
+
+use std::sync::{Mutex, MutexGuard};
+
+struct Stream;
+
+struct Shard {
+    stream: Stream,
+}
+
+struct Svc {
+    shards: Vec<Mutex<Shard>>,
+    placements: Mutex<Vec<u64>>,
+}
+
+impl Svc {
+    fn shard(&self, s: usize) -> MutexGuard<'_, Shard> {
+        self.shards[s].lock().expect("shard mutex")
+    }
+
+    fn lock_shards(&self) -> Vec<MutexGuard<'_, Shard>> {
+        (0..self.shards.len()).map(|s| self.shard(s)).collect()
+    }
+
+    fn cycle_direct(&self) {
+        let a = self.shards[0].lock().expect("shard mutex");
+        let b = self.shards[1].lock().expect("shard mutex");
+        drop(b);
+        drop(a);
+    }
+
+    fn cycle_transitive(&self) {
+        let g = self.shard(0);
+        let h = self.shard(1);
+        drop(h);
+        drop(g);
+    }
+
+    fn cycle_suppressed(&self) {
+        let a = self.shards[0].lock().expect("shard mutex");
+        // alid-lint: allow(lock-cycle) -- corpus demonstration of a justified second acquisition
+        let b = self.shards[1].lock().expect("shard mutex");
+        drop(b);
+        drop(a);
+    }
+
+    fn cut_via_constructor_is_clean(&self) {
+        let all = self.lock_shards();
+        drop(all);
+    }
+
+    fn sequential_locking_is_clean(&self) {
+        let a = self.shards[0].lock().expect("shard mutex");
+        drop(a);
+        let b = self.shards[1].lock().expect("shard mutex");
+        drop(b);
+    }
+
+    fn exec_under_guard(&self, pol: &Pol) {
+        let g = self.shard(0);
+        help_foreign(pol);
+        drop(g);
+    }
+
+    fn exec_after_drop_is_clean(&self, pol: &Pol) {
+        let g = self.shard(0);
+        drop(g);
+        help_foreign(pol);
+    }
+
+    fn exec_suppressed(&self, pol: &Pol) {
+        let g = self.shard(0);
+        // alid-lint: allow(exec-under-lock) -- corpus demonstration; the pool is quiescent here
+        help_foreign(pol);
+        drop(g);
+    }
+
+    fn panic_direct(&self) -> u64 {
+        let g = self.placements.lock().expect("placements");
+        g.first().copied().unwrap()
+    }
+
+    fn panic_transitive(&self) {
+        let g = self.shard(0);
+        validate_stream();
+        drop(g);
+    }
+
+    fn panic_suppressed(&self) -> u64 {
+        let g = self.placements.lock().expect("placements");
+        // alid-lint: allow(panic-under-lock) -- corpus demonstration of a provably benign poison
+        g.first().copied().unwrap()
+    }
+
+    fn panic_after_drop_is_clean(&self) {
+        let g = self.placements.lock().expect("placements");
+        drop(g);
+        assert!(independent_of_guard());
+    }
+
+    fn block_direct(&self) {
+        let g = self.shard(0);
+        let _ = std::fs::read_to_string("snapshot.bin");
+        drop(g);
+    }
+
+    fn block_transitive(&self) {
+        let g = self.shard(0);
+        let _ = slurp("snapshot.bin");
+        drop(g);
+    }
+
+    fn block_suppressed(&self) {
+        let g = self.shard(0);
+        // alid-lint: allow(block-under-lock) -- corpus demonstration; the path is tmpfs-backed
+        let _ = std::fs::read_to_string("snapshot.bin");
+        drop(g);
+    }
+}
+
+fn independent_of_guard() -> bool {
+    true
+}

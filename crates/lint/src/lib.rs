@@ -7,7 +7,7 @@
 //! fixtures don't reach. This crate encodes the constraints those
 //! guarantees rest on as a static-analysis pass over the whole
 //! workspace — a real (hand-rolled, std-only) Rust lexer plus a
-//! lightweight item scanner, feeding five rules:
+//! lightweight item scanner feeding five per-file rules:
 //!
 //! * [`no-unordered-iteration`] — iterating a `HashMap`/`HashSet` in a
 //!   result-affecting crate leaks hash order into outputs;
@@ -18,8 +18,19 @@
 //! * [`no-raw-threads`] / [`no-raw-time`] — thread spawns and clock
 //!   reads only in allowlisted modules, so timing can never feed
 //!   output values;
-//! * [`lock-order`] — in `crates/service`, more than one shard lock
-//!   outside `lock_shards` violates the consistent-cut discipline.
+//!
+//! plus an **interprocedural lock-set analysis** (a workspace-wide
+//! call graph + effect fixpoint, `callgraph.rs` / `lockset.rs`) behind
+//! four more rules in the lock-disciplined crates:
+//!
+//! * [`lock-cycle`] — a second same-class lock acquisition reachable
+//!   while one is held (self-deadlock; replaces the retired intra-fn
+//!   `lock-order` heuristic);
+//! * [`exec-under-lock`] — an `ExecPolicy` dispatch reachable under a
+//!   shard guard (the PR 4 deadlock class, statically banned);
+//! * [`panic-under-lock`] — `unwrap`/`expect`/`panic!`/`assert!`
+//!   reachable under a guard (mutex poisoning);
+//! * [`block-under-lock`] — file/socket I/O under a guard.
 //!
 //! Suppression is per-site and must be justified:
 //!
@@ -28,13 +39,15 @@
 //! ```
 //!
 //! An empty reason is itself an error (`bad-allow`), as is an unknown
-//! rule name. Findings are emitted as a human table or JSON; `--deny`
-//! turns any finding into a non-zero exit for CI. See DESIGN.md,
-//! "Enforced invariants".
+//! rule name. Findings are emitted as a human table, JSON or SARIF;
+//! `--deny` turns any finding into a non-zero exit for CI. See
+//! DESIGN.md, "Enforced invariants" and "Interprocedural analysis".
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod lockset;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -42,15 +55,20 @@ pub mod scan;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
+pub use alid_exec::ExecPolicy;
+
 /// Rule identifiers, in severity-agnostic display order. `bad-allow`
 /// (malformed suppression) is a meta-rule: always on, not listed here.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 9] = [
     "no-unordered-iteration",
     "no-fma",
     "unsafe-needs-safety",
     "no-raw-threads",
     "no-raw-time",
-    "lock-order",
+    "lock-cycle",
+    "exec-under-lock",
+    "panic-under-lock",
+    "block-under-lock",
 ];
 
 /// One finding, pointing at a workspace-relative file and 1-based line.
@@ -76,8 +94,17 @@ pub struct Config {
     /// exec pool and autotuner, benches, the HTTP front end). Timing
     /// there feeds chunk sizes and reports, never output values.
     pub timing_allow: Vec<String>,
-    /// The sharded service: `lock-order` fires here.
-    pub service: Vec<String>,
+    /// The lock-disciplined crates: guard regions are tracked and the
+    /// four `*-under-lock` / `lock-cycle` rules fire here (effect
+    /// summaries are still computed workspace-wide, so a chain from a
+    /// service guard into `crates/core` is visible).
+    pub lockset: Vec<String>,
+    /// Sanctioned lock constructors, by fn name, with the lock classes
+    /// they acquire in order. Their bodies are exempt from the
+    /// analysis (they acquire one class repeatedly to build a
+    /// consistent cut — the one sanctioned shape); their callers hold
+    /// the listed classes.
+    pub lock_constructors: Vec<(String, Vec<String>)>,
     /// Files that only enter the build under a cargo feature, keyed by
     /// that feature; skipped unless the feature is in `features`. CI
     /// runs the linter once per feature set so these are still covered.
@@ -102,7 +129,11 @@ impl Config {
                 "crates/shims/criterion/",
                 "examples/",
             ]),
-            service: v(&["crates/service/"]),
+            lockset: v(&["crates/service/", "crates/exec/"]),
+            lock_constructors: vec![
+                ("lock_shards".into(), vec!["shards".into()]),
+                ("lock_all".into(), vec!["shards".into(), "placements".into()]),
+            ],
             gated_files: vec![("crates/affinity/src/lanes.rs".into(), "simd-lanes".into())],
             features: Vec::new(),
             enabled: RULES.iter().map(|s| s.to_string()).collect(),
@@ -117,7 +148,11 @@ impl Config {
             ordered: everywhere.clone(),
             kernel: everywhere.clone(),
             timing_allow: Vec::new(),
-            service: everywhere,
+            lockset: everywhere,
+            lock_constructors: vec![
+                ("lock_shards".into(), vec!["shards".into()]),
+                ("lock_all".into(), vec!["shards".into(), "placements".into()]),
+            ],
             gated_files: Vec::new(),
             features: Vec::new(),
             enabled: RULES.iter().map(|s| s.to_string()).collect(),
@@ -142,37 +177,70 @@ pub struct Report {
     pub files_skipped: Vec<String>,
 }
 
-/// Lints one file's source text. Returns findings plus the number of
-/// findings a suppression annotation covered.
-pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> (Vec<Finding>, usize) {
-    let lx = lexer::lex(src);
-    let fns = scan::fns(&lx);
-    let attrs = scan::attr_lines(&lx);
-    let ctx = rules::Ctx { rel, lx: &lx, fns: &fns, attrs: &attrs, cfg };
+/// Per-file phase-1 output: the graph unit plus everything that does
+/// not need cross-file context.
+struct Scanned {
+    unit: callgraph::Unit,
+    local: Vec<Finding>,
+    allows: Vec<Allow>,
+    bad: Vec<Finding>,
+}
 
-    let mut raw = Vec::new();
-    rules::no_unordered_iteration(&ctx, &mut raw);
-    rules::no_fma(&ctx, &mut raw);
-    rules::unsafe_needs_safety(&ctx, &mut raw);
-    rules::raw_threads_and_time(&ctx, &mut raw);
-    rules::lock_order(&ctx, &mut raw);
+fn scan_file(rel: &str, src: &str, cfg: &Config) -> Scanned {
+    let unit = callgraph::unit(rel, src);
+    let ctx = rules::Ctx { rel, lx: &unit.lx, fns: &unit.fns, attrs: &unit.attrs, cfg };
+    let mut local = Vec::new();
+    rules::no_unordered_iteration(&ctx, &mut local);
+    rules::no_fma(&ctx, &mut local);
+    rules::unsafe_needs_safety(&ctx, &mut local);
+    rules::raw_threads_and_time(&ctx, &mut local);
+    let (allows, bad) = parse_allows(rel, &unit.lx);
+    Scanned { unit, local, allows, bad }
+}
 
-    let (allows, mut bad) = parse_allows(rel, &lx);
-    let mut kept = Vec::new();
-    let mut suppressed = 0usize;
-    for f in raw {
-        if allows.iter().any(|a| a.rules.contains(&f.rule) && a.covers(f.line)) {
-            suppressed += 1;
-        } else {
-            kept.push(f);
-        }
+/// Lints a set of files as one workspace: per-file scanning fans out
+/// over `pol` (results come back in input order, so the report is
+/// byte-identical for every worker count), then the call graph, effect
+/// fixpoint and lock-set rules run over the merged units.
+pub fn lint_files(files: &[(String, String)], cfg: &Config, pol: &ExecPolicy) -> Report {
+    let mut scanned: Vec<Scanned> = pol.map_tasks(files, |(rel, src)| scan_file(rel, src, cfg));
+    let mut units = Vec::with_capacity(scanned.len());
+    let mut findings = Vec::new();
+    let mut allows: Vec<(String, Vec<Allow>)> = Vec::new();
+    for s in scanned.drain(..) {
+        findings.extend(s.local);
+        findings.extend(s.bad);
+        allows.push((s.unit.rel.clone(), s.allows));
+        units.push(s.unit);
     }
-    kept.append(&mut bad);
-    kept.sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
-    // Two acquisitions on one line (or two rules tripping on the same
-    // token) read as a single finding.
-    kept.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.msg == b.msg);
-    (kept, suppressed)
+    let g = callgraph::Graph::build(&units);
+    let sums = lockset::summarize(&units, &g, cfg);
+    findings.extend(lockset::check(&units, &g, &sums, cfg));
+    let mut suppressed = 0usize;
+    findings.retain(|f| {
+        let covered = f.rule != "bad-allow"
+            && allows.iter().any(|(rel, aa)| {
+                rel == &f.file
+                    && aa.iter().any(|a| a.covers(f.line) && a.rules.iter().any(|r| r == &f.rule))
+            });
+        if covered {
+            suppressed += 1;
+        }
+        !covered
+    });
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.msg).cmp(&(&b.file, b.line, &b.rule, &b.msg))
+    });
+    findings.dedup();
+    Report { findings, suppressed, files_scanned: units.len(), files_skipped: Vec::new() }
+}
+
+/// Lints one file's source text (single-file view of [`lint_files`]).
+/// Returns findings plus the number a suppression annotation covered.
+pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> (Vec<Finding>, usize) {
+    let files = vec![(rel.to_string(), src.to_string())];
+    let rep = lint_files(&files, cfg, &ExecPolicy::sequential());
+    (rep.findings, rep.suppressed)
 }
 
 /// One parsed suppression directive (marker + rules + reason). It covers the
@@ -259,27 +327,26 @@ fn parse_allows(rel: &str, lx: &lexer::Lexed) -> (Vec<Allow>, Vec<Finding>) {
 }
 
 /// Walks `root` for `.rs` files (skipping `target/`, VCS dirs, and the
-/// linter's own seeded-violation corpus) and lints each.
-pub fn lint_root(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+/// linter's own seeded-violation corpus) and lints them as one
+/// workspace.
+pub fn lint_root(root: &Path, cfg: &Config, pol: &ExecPolicy) -> std::io::Result<Report> {
+    let mut rels = Vec::new();
+    collect_rs(root, root, &mut rels)?;
+    rels.sort();
+    let mut skipped = Vec::new();
     let mut files = Vec::new();
-    collect_rs(root, root, &mut files)?;
-    files.sort();
-    let mut rep = Report::default();
-    for rel in files {
-        if let Some((_, feature)) =
-            cfg.gated_files.iter().find(|(p, _)| p == &rel).map(|(p, f)| (p, f))
-        {
+    for rel in rels {
+        if let Some((_, feature)) = cfg.gated_files.iter().find(|(p, _)| p == &rel) {
             if !cfg.features.iter().any(|f| f == feature) {
-                rep.files_skipped.push(rel);
+                skipped.push(rel);
                 continue;
             }
         }
         let src = std::fs::read_to_string(root.join(&rel))?;
-        let (mut findings, suppressed) = lint_source(&rel, &src, cfg);
-        rep.findings.append(&mut findings);
-        rep.suppressed += suppressed;
-        rep.files_scanned += 1;
+        files.push((rel, src));
     }
+    let mut rep = lint_files(&files, cfg, pol);
+    rep.files_skipped = skipped;
     Ok(rep)
 }
 
@@ -325,18 +392,39 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
+/// Output format for the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Json,
+    Sarif,
+}
+
 /// The CLI (shared by the `alid-lint` binary and `alid lint`).
 /// Returns the process exit code.
 pub fn cli_main(args: &[String]) -> i32 {
     let mut cfg = Config::workspace();
     let mut deny = false;
-    let mut json = false;
+    let mut format = Format::Table;
     let mut root: Option<PathBuf> = None;
+    let mut pol = ExecPolicy::auto();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny" => deny = true,
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match it.next().map(String::as_str) {
+                Some("table") => format = Format::Table,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => return usage_err(&format!("unknown format `{other}`")),
+                None => return usage_err("--format needs table|json|sarif"),
+            },
+            "--workers" => match it.next().and_then(|w| w.parse::<usize>().ok()) {
+                Some(0) | None => return usage_err("--workers needs a positive integer"),
+                Some(1) => pol = ExecPolicy::sequential(),
+                Some(w) => pol = ExecPolicy::workers(w),
+            },
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage_err("--root needs a path"),
@@ -383,12 +471,12 @@ pub fn cli_main(args: &[String]) -> i32 {
             return 2;
         }
     };
-    match lint_root(&root, &cfg) {
+    match lint_root(&root, &cfg, &pol) {
         Ok(rep) => {
-            if json {
-                println!("{}", report::to_json(&rep, &cfg));
-            } else {
-                print!("{}", report::to_table(&rep));
+            match format {
+                Format::Json => println!("{}", report::to_json(&rep, &cfg)),
+                Format::Sarif => println!("{}", report::to_sarif(&rep)),
+                Format::Table => print!("{}", report::to_table(&rep)),
             }
             if deny && !rep.findings.is_empty() {
                 1
@@ -406,13 +494,16 @@ pub fn cli_main(args: &[String]) -> i32 {
 const USAGE: &str = "usage: alid-lint [options]\n\
      \n\
      Walks the workspace and enforces the determinism & safety rules\n\
-     (DESIGN.md, \"Enforced invariants\"). Suppress per site with\n\
+     (DESIGN.md, \"Enforced invariants\"), including the interprocedural\n\
+     lock-set analysis. Suppress per site with\n\
      `// alid-lint: allow(<rule>) -- <reason>`; the reason is required.\n\
      \n\
      options:\n\
        --root <path>       workspace root (default: nearest [workspace])\n\
        --deny              exit 1 when any finding remains (CI mode)\n\
-       --json              machine-readable output\n\
+       --format <f>        table (default) | json | sarif\n\
+       --json              alias for --format json\n\
+       --workers <n>       parallel file scanning (default: auto)\n\
        --features <csv>    cargo features in effect (feature-gated files\n\
                            are skipped unless their feature is listed)\n\
        --only <rules>      run only these rules\n\

@@ -61,6 +61,51 @@ pub fn to_json(rep: &Report, cfg: &Config) -> String {
     out
 }
 
+/// Minimal SARIF 2.1.0 — one run, one rule descriptor per rule that
+/// fired, one result per finding. Enough for GitHub code scanning and
+/// `--deny` CI annotation upload; nothing speculative.
+pub fn to_sarif(rep: &Report) -> String {
+    let mut rules: Vec<&str> = rep.findings.iter().map(|f| f.rule.as_str()).collect();
+    rules.sort();
+    rules.dedup();
+    let mut out = String::from(
+        "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n      \
+         \"tool\": {\n        \"driver\": {\n          \"name\": \"alid-lint\",\n          \
+         \"informationUri\": \"DESIGN.md\",\n          \"rules\": [",
+    );
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n            {{\"id\": {}}}", json_str(r)));
+    }
+    if !rules.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n      \"results\": [");
+    for (i, f) in rep.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": {},\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": {}}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+            json_str(&f.rule),
+            json_str(&f.msg),
+            json_str(&f.file),
+            f.line
+        ));
+    }
+    if !rep.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}");
+    out
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');

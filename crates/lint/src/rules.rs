@@ -1,9 +1,10 @@
-//! The five rules. All operate on the lexed token stream (so string
-//! and comment contents can never trip them) plus the item scanner's
-//! function spans; none of them parse full Rust. Where a rule is a
-//! heuristic, the heuristic is chosen to over-approximate — a false
-//! positive costs one justified `allow` annotation, a false negative
-//! costs a silent determinism hole.
+//! The per-file rules. All operate on the lexed token stream (so
+//! string and comment contents can never trip them) plus the item
+//! scanner's function spans; none of them parse full Rust. Where a
+//! rule is a heuristic, the heuristic is chosen to over-approximate —
+//! a false positive costs one justified `allow` annotation, a false
+//! negative costs a silent determinism hole. The interprocedural
+//! lock rules live in `lockset.rs`.
 
 use crate::lexer::{Kind, Lexed, Tok};
 use crate::scan::{self, FnSpan};
@@ -313,115 +314,6 @@ pub fn raw_threads_and_time(ctx: &Ctx, out: &mut Vec<Finding>) {
                     tok.text
                 ),
             );
-        }
-    }
-}
-
-/// Calls that run their closure argument once per element — an
-/// acquisition inside one is "many acquisitions".
-const ITER_CALLS: [&str; 9] = [
-    "map",
-    "map_indexed",
-    "map_indexed_tuned",
-    "map_tasks",
-    "for_each",
-    "for_each_index",
-    "for_each_index_with",
-    "for_each_index_tuned_with",
-    "flat_map",
-];
-
-/// `lock-order`: in the service crate, a function (other than
-/// `lock_shards`, the sanctioned consistent-cut constructor) that
-/// acquires more than one shard lock — two-plus textual acquisitions,
-/// or one inside a loop / per-element closure — is flagged. Shard-lock
-/// acquisitions are `.lock()` calls whose receiver chain names the
-/// `shards` field, and calls to the `shard(…)`/`shard_state(…)`
-/// accessors. Per-shard fan-outs that deliberately hold one lock at a
-/// time must say so in an `allow` annotation.
-pub fn lock_order(ctx: &Ctx, out: &mut Vec<Finding>) {
-    const RULE: &str = "lock-order";
-    if !ctx.cfg.rule_on(RULE) || !Config::in_any(&ctx.cfg.service, ctx.rel) {
-        return;
-    }
-    let t = &ctx.lx.toks;
-    for f in ctx.fns {
-        if f.name == "lock_shards" || f.body == usize::MAX {
-            continue;
-        }
-        // Skip nested fn items: they are scanned as their own entry.
-        let nested: Vec<(usize, usize)> = ctx
-            .fns
-            .iter()
-            .filter(|g| g.start > f.start && g.end <= f.end)
-            .map(|g| (g.start, g.end))
-            .collect();
-
-        let mut acquisitions: Vec<(u32, bool)> = Vec::new(); // (line, multiple)
-        let mut brace_loops: Vec<bool> = Vec::new(); // frame = loop body?
-        let mut paren_iter: Vec<bool> = Vec::new(); // frame = per-element call?
-        let mut pending_loop = false;
-        let mut k = f.body;
-        while k < f.end {
-            if let Some(&(_, e)) = nested.iter().find(|&&(s, _)| s == k) {
-                k = e;
-                continue;
-            }
-            let tok = &t[k];
-            match tok.text.as_str() {
-                "for" | "while" | "loop" => pending_loop = true,
-                "{" => {
-                    brace_loops.push(pending_loop);
-                    pending_loop = false;
-                }
-                "}" => {
-                    brace_loops.pop();
-                }
-                "(" => {
-                    let callee = t.get(k.wrapping_sub(1)).map(|c| c.text.as_str()).unwrap_or("");
-                    paren_iter.push(ITER_CALLS.contains(&callee));
-                }
-                ")" => {
-                    paren_iter.pop();
-                }
-                "lock" | "shard" | "shard_state" => {
-                    let method_call =
-                        k >= 1 && scan::is(&t[k - 1], ".") && scan::is_at(t, k + 1, "(");
-                    let is_acq = match tok.text.as_str() {
-                        // `….shards[…].lock()` — receiver names the field.
-                        "lock" => {
-                            method_call
-                                && t[k.saturating_sub(8)..k].iter().any(|p| p.text == "shards")
-                        }
-                        // the single-shard accessors
-                        _ => method_call || (k >= 1 && !scan::is(&t[k - 1], "fn")),
-                    };
-                    if is_acq && scan::is_at(t, k + 1, "(") {
-                        let many =
-                            brace_loops.iter().skip(1).any(|&b| b) || paren_iter.iter().any(|&b| b);
-                        acquisitions.push((tok.line, many));
-                    }
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        let total: usize = acquisitions.iter().map(|&(_, many)| if many { 2 } else { 1 }).sum();
-        if total > 1 {
-            for &(line, many) in &acquisitions {
-                let shape = if many { "a per-shard loop/closure" } else { "a direct call" };
-                ctx.emit(
-                    out,
-                    line,
-                    RULE,
-                    format!(
-                        "fn `{}` acquires more than one shard lock outside `lock_shards` \
-                         ({shape} here); take a consistent cut via `lock_shards`/`lock_all`, \
-                         or annotate why one-at-a-time locking is sound",
-                        f.name
-                    ),
-                );
-            }
         }
     }
 }

@@ -6,7 +6,7 @@
 
 use std::path::Path;
 
-use alid_lint::{lexer, lint_root, lint_source, Config, Finding};
+use alid_lint::{lexer, lint_files, lint_root, lint_source, Config, ExecPolicy, Finding};
 
 fn fixture(name: &str) -> String {
     let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
@@ -77,15 +77,139 @@ fn raw_threads_and_time_fire_and_suppress() {
     assert_eq!(lines(&f, "no-raw-threads").len(), 2, "sibling rule unaffected");
 }
 
-#[test]
-fn lock_order_fires_and_suppresses() {
-    let (f, suppressed) = lint_fixture("locks.rs", &Config::all_paths());
-    assert_eq!(lines(&f, "lock-order"), vec![17, 18, 25]);
-    assert_eq!(f.len(), 3, "only this rule may fire: {f:?}");
-    assert_eq!(suppressed, 1, "the annotated per-shard metric loop");
+/// The two-file lock-set corpus, linted as one workspace (the
+/// transitive cases need `helpers.rs` in the same call graph). Run
+/// under both feature sets: the analysis must not care.
+fn lint_lockset(cfg: &Config) -> (Vec<Finding>, usize) {
+    let mut last = None;
+    for feats in [vec![], vec!["simd-lanes".to_string()]] {
+        let mut cfg = cfg.clone();
+        cfg.features = feats;
+        let files: Vec<(String, String)> = ["lockset/svc.rs", "lockset/helpers.rs"]
+            .iter()
+            .map(|rel| (rel.to_string(), fixture(rel)))
+            .collect();
+        let rep = lint_files(&files, &cfg, &ExecPolicy::sequential());
+        if let Some((prev, _)) = &last {
+            assert_eq!(prev, &rep.findings, "feature set must not change lock-set findings");
+        }
+        last = Some((rep.findings, rep.suppressed));
+    }
+    last.unwrap()
+}
 
-    let (f, _) = lint_fixture("locks.rs", &without("lock-order"));
-    assert!(f.is_empty(), "disabled rule must be silent: {f:?}");
+fn msg_of(findings: &[Finding], rule: &str, line: u32) -> String {
+    findings
+        .iter()
+        .find(|f| f.rule == rule && f.line == line)
+        .unwrap_or_else(|| panic!("no {rule} at {line}: {findings:#?}"))
+        .msg
+        .clone()
+}
+
+#[test]
+fn lock_cycle_fires_and_suppresses() {
+    let (f, suppressed) = lint_lockset(&Config::all_paths());
+    assert_eq!(lines(&f, "lock-cycle"), vec![30, 37]);
+    assert_eq!(suppressed, 4, "one annotated site per rule fixture");
+
+    // The transitive case reports the accessor's own acquisition.
+    let msg = msg_of(&f, "lock-cycle", 37);
+    assert!(
+        msg.contains(
+            "witness: `shard` (lockset/svc.rs:37) → `.lock()` on `shards` (lockset/svc.rs:21)"
+        ),
+        "witness chain mismatch: {msg}"
+    );
+
+    let (f, _) = lint_lockset(&without("lock-cycle"));
+    assert!(lines(&f, "lock-cycle").is_empty(), "disabled rule must be silent");
+}
+
+#[test]
+fn exec_under_lock_catches_the_seeded_deadlock_pattern() {
+    let (f, _) = lint_lockset(&Config::all_paths());
+    assert_eq!(lines(&f, "exec-under-lock"), vec![64]);
+
+    // The PR 4 shape: a shard guard held across a dispatch two calls
+    // down — the witness walks the whole chain into the other file.
+    let msg = msg_of(&f, "exec-under-lock", 64);
+    assert!(
+        msg.contains(
+            "witness: `help_foreign` (lockset/svc.rs:64) → fan_out (lockset/helpers.rs:16) \
+             → `.map_indexed(…)` dispatch (lockset/helpers.rs:20)"
+        ),
+        "multi-hop witness mismatch: {msg}"
+    );
+
+    let (f, _) = lint_lockset(&without("exec-under-lock"));
+    assert!(lines(&f, "exec-under-lock").is_empty(), "disabled rule must be silent");
+}
+
+#[test]
+fn panic_under_lock_fires_directly_and_transitively() {
+    let (f, _) = lint_lockset(&Config::all_paths());
+    assert_eq!(lines(&f, "panic-under-lock"), vec![83, 88]);
+
+    let msg = msg_of(&f, "panic-under-lock", 88);
+    assert!(
+        msg.contains(
+            "witness: `validate_stream` (lockset/svc.rs:88) → `assert!` (lockset/helpers.rs:24)"
+        ),
+        "witness chain mismatch: {msg}"
+    );
+
+    let (f, _) = lint_lockset(&without("panic-under-lock"));
+    assert!(lines(&f, "panic-under-lock").is_empty(), "disabled rule must be silent");
+}
+
+#[test]
+fn block_under_lock_fires_directly_and_transitively() {
+    let (f, _) = lint_lockset(&Config::all_paths());
+    assert_eq!(lines(&f, "block-under-lock"), vec![106, 112]);
+
+    let msg = msg_of(&f, "block-under-lock", 112);
+    assert!(
+        msg.contains(
+            "witness: `slurp` (lockset/svc.rs:112) → `fs::read()` (lockset/helpers.rs:32)"
+        ),
+        "witness chain mismatch: {msg}"
+    );
+
+    let (f, _) = lint_lockset(&without("block-under-lock"));
+    assert!(lines(&f, "block-under-lock").is_empty(), "disabled rule must be silent");
+}
+
+#[test]
+fn lockset_fires_only_the_four_rules() {
+    let (f, _) = lint_lockset(&Config::all_paths());
+    assert_eq!(f.len(), 7, "exactly the seeded sites may fire: {f:#?}");
+}
+
+/// Finding order is part of the output contract: the parallel scan
+/// must produce byte-identical reports for every worker count.
+#[test]
+fn parallel_scan_is_deterministic_across_worker_counts() {
+    let cfg = Config::all_paths();
+    let names = [
+        "lockset/svc.rs",
+        "lockset/helpers.rs",
+        "unordered.rs",
+        "fma.rs",
+        "safety.rs",
+        "timing.rs",
+        "allow_bad.rs",
+        "lexer_edges.rs",
+    ];
+    let files: Vec<(String, String)> =
+        names.iter().map(|rel| (rel.to_string(), fixture(rel))).collect();
+    let base = lint_files(&files, &cfg, &ExecPolicy::sequential());
+    assert!(!base.findings.is_empty());
+    for pol in [ExecPolicy::workers(2), ExecPolicy::workers(5), ExecPolicy::auto()] {
+        let rep = lint_files(&files, &cfg, &pol);
+        assert_eq!(base.findings, rep.findings, "worker count changed the report");
+        assert_eq!(base.suppressed, rep.suppressed);
+    }
 }
 
 #[test]
@@ -131,22 +255,34 @@ fn lexer_edge_tokens() {
     // while rules only see real keyword positions via statement shape.
 }
 
-/// The workspace itself must lint clean — under the default feature
-/// set and with `simd-lanes` (which un-gates the AVX kernel file).
-/// This is the self-test behind the CI `--deny` gate.
+/// The workspace itself must lint clean — with all nine rules, under
+/// the default feature set and with `simd-lanes` (which un-gates the
+/// AVX kernel file). This is the self-test behind the CI `--deny`
+/// gate; real sites the interprocedural rules flagged are each
+/// carrying a reasoned `allow`, which must keep counting as
+/// suppressions here.
 #[test]
 fn workspace_is_clean_under_both_feature_sets() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap();
 
     let cfg = Config::workspace();
-    let rep = lint_root(&root, &cfg).expect("workspace walk");
+    assert!(["lock-cycle", "exec-under-lock", "panic-under-lock", "block-under-lock"]
+        .iter()
+        .all(|r| cfg.rule_on(r)));
+    let rep = lint_root(&root, &cfg, &ExecPolicy::auto()).expect("workspace walk");
     assert!(rep.findings.is_empty(), "workspace findings: {:#?}", rep.findings);
     assert!(rep.files_scanned > 100, "walk looks truncated: {}", rep.files_scanned);
     assert_eq!(rep.files_skipped, vec!["crates/affinity/src/lanes.rs".to_string()]);
+    assert!(rep.suppressed >= 8, "the reasoned allows must register: {}", rep.suppressed);
+
+    // Worker count must not change the report.
+    let seq = lint_root(&root, &cfg, &ExecPolicy::sequential()).expect("workspace walk");
+    assert_eq!(seq.findings, rep.findings);
+    assert_eq!(seq.suppressed, rep.suppressed);
 
     let mut cfg = Config::workspace();
     cfg.features.push("simd-lanes".into());
-    let rep = lint_root(&root, &cfg).expect("workspace walk");
+    let rep = lint_root(&root, &cfg, &ExecPolicy::auto()).expect("workspace walk");
     assert!(rep.findings.is_empty(), "simd-lanes findings: {:#?}", rep.findings);
     assert!(rep.files_skipped.is_empty());
 }

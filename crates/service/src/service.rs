@@ -480,11 +480,11 @@ impl Service {
     /// for any worker count.
     pub fn drain(&self) -> DrainReport {
         let reports = self.cfg.exec.map_indexed(self.shards.len(), |s| {
-            // alid-lint: allow(lock-order) -- per-shard fan-out holds exactly one shard lock at a time; no cut semantics needed (epoch bump below invalidates stale views)
             let mut shard = self.shard(s);
             let mut report = DrainReport::default();
             while let Some(v) = shard.queue.pop_front() {
                 report.applied += 1;
+                // alid-lint: allow(panic-under-lock) -- queued vectors were dim-checked at ingest admission; push's dim assert cannot fire here
                 match shard.stream.push(&v) {
                     StreamUpdate::Attached(_) => report.attached += 1,
                     StreamUpdate::Buffered => report.buffered += 1,
@@ -514,7 +514,7 @@ impl Service {
         let promoted = self
             .cfg
             .exec
-            // alid-lint: allow(lock-order) -- per-shard fan-out holds exactly one shard lock at a time; no cut semantics needed (epoch bump below invalidates stale views)
+            // alid-lint: allow(panic-under-lock) -- sweep's asserts are internal invariants over ingest-validated data; a failure means corrupted shard state, where fail-fast poisoning beats serving wrong clusters
             .map_indexed(self.shards.len(), |s| self.shard(s).stream.sweep())
             .into_iter()
             .sum();
@@ -558,6 +558,7 @@ impl Service {
         let s = self.route(v);
         let shard = self.shard(s);
         let all = 0..shard.stream.clusters().len();
+        // alid-lint: allow(panic-under-lock) -- probe dim-asserts its input before taking the shard lock; the evaluation asserts cannot fire on validated data
         shard
             .stream
             .best_infective(v, all)
@@ -568,7 +569,6 @@ impl Service {
     pub fn depths(&self) -> Vec<ShardDepth> {
         (0..self.shards.len())
             .map(|s| {
-                // alid-lint: allow(lock-order) -- load metrics are advisory; one lock at a time, no consistent cut claimed
                 let shard = self.shard(s);
                 ShardDepth {
                     queued: shard.queue.len(),
@@ -726,6 +726,7 @@ impl Service {
         let mut fragments = Vec::new();
         for (s, guard) in shards.iter().enumerate() {
             for (c, cluster) in guard.stream.clusters().iter().enumerate() {
+                // alid-lint: allow(panic-under-lock) -- merge_sample is asserted positive at construction and in set_merge_knobs; the sample-cap assert cannot fire
                 let evidence = guard.stream.merge_evidence(c, self.cfg.merge_sample);
                 let members: Vec<u64> =
                     cluster.members.iter().map(|&m| rev[s][m as usize]).collect();
@@ -733,6 +734,7 @@ impl Service {
                     r: ClusterRef { shard: s as u32, cluster: c as u32 },
                     members,
                     density: cluster.density,
+                    // alid-lint: allow(panic-under-lock) -- the centroid dim comes from the shard dataset, which matches the router dim fixed at construction
                     signature: self.router.signature(&evidence.centroid),
                     evidence,
                 });
@@ -762,11 +764,19 @@ impl Service {
             .collect();
         union_gids.sort_unstable();
         union_gids.dedup();
+        // alid-lint: allow(panic-under-lock) -- cfg.dim is asserted positive at construction; the capacity assert cannot fire
         let mut union_data = Dataset::with_capacity(self.cfg.dim, union_gids.len());
         for &gid in &union_gids {
             let p = placements[gid as usize];
+            // alid-lint: allow(panic-under-lock) -- rows are copied between same-dim datasets; the dim-equality assert cannot fire
             union_data.push(shards[p.shard as usize].stream.data().get(p.local as usize));
         }
+        // The group → union-row mapping needs only `fragments` and
+        // `union_gids`, both owned copies — drop the cut first so the
+        // lookup below can never panic while a lock is held (and
+        // admissions stop queueing behind the reduction's tail work).
+        drop(placements);
+        drop(shards);
         let groups = groups
             .into_iter()
             .map(|g| {
@@ -901,7 +911,6 @@ mod tests {
             if let Some(cref) = a {
                 explained += 1;
                 // The claimed cluster must actually exist.
-                // alid-lint: allow(lock-order) -- single-threaded test reads one shard at a time; no concurrent writers exist
                 let shard = svc.shard(cref.shard as usize);
                 assert!((cref.cluster as usize) < shard.stream.clusters().len());
             }

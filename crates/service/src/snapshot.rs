@@ -476,7 +476,6 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.depths(), b.depths());
         for s in 0..a.shard_count() {
-            // alid-lint: allow(lock-order) -- test helper compares quiescent services; one shard pair at a time is fine
             let (sa, sb) = (a.shard_state(s), b.shard_state(s));
             assert_eq!(sa.queue, sb.queue, "shard {s} queue");
             assert_eq!(sa.stream.assignments(), sb.stream.assignments(), "shard {s}");
@@ -573,7 +572,6 @@ mod tests {
                 restore(&bytes, ExecPolicy::sequential()).expect("mid-ingest snapshot restores");
             let held: usize = (0..restored.shard_count())
                 .map(|s| {
-                    // alid-lint: allow(lock-order) -- `restored` is private to this thread; nothing else can interleave
                     let g = restored.shard_state(s);
                     g.stream.len() + g.queue.len()
                 })

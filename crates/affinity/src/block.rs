@@ -91,8 +91,11 @@ pub struct BlockEval {
 }
 
 impl BlockEval {
-    /// Fresh scratch with no capacity reserved yet.
+    /// Fresh scratch with no capacity reserved yet. Also publishes
+    /// [`KERNEL_BLOCK_TUNE`] into the obs registry (idempotent), so
+    /// any process that evaluates kernels exposes its tuner state.
     pub fn new() -> Self {
+        alid_exec::tune::export_tune("kernel_block", &KERNEL_BLOCK_TUNE);
         Self::default()
     }
 

@@ -107,6 +107,7 @@ impl SparseBuilder {
         // per-edge values are independent of where spans (or runs) are
         // cut, so any worker count yields identical bytes.
         let mut edge_vals = vec![0.0f64; edge_list.len()];
+        alid_exec::tune::export_tune("sparse_build", &SPARSE_BUILD_TUNE);
         {
             let shared = SharedSlice::new(&mut edge_vals);
             exec.for_each_span_tuned_with(

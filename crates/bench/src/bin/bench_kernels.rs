@@ -11,10 +11,12 @@
 //! to the scalar output before its timing counts (the bench doubles
 //! as a parity harness, like `bench_speculation`).
 //!
-//! The report also snapshots [`KERNEL_BLOCK_TUNE`] afterwards so the
-//! JSON shows the autotuner ingesting the same measured per-pair cost
-//! the table prints, and records whether explicit SIMD lanes
-//! (`--features simd-lanes` + runtime AVX detection) were active.
+//! The autotuner's state needs no bespoke plumbing here: `BlockEval`
+//! exports `KERNEL_BLOCK_TUNE` as `alid_tune_*{site="kernel_block"}`
+//! gauges, and the report header's `metrics` snapshot picks those up
+//! along with everything else the process registered. The report also
+//! records whether explicit SIMD lanes (`--features simd-lanes` +
+//! runtime AVX detection) were active.
 //!
 //! Output: aligned tables on stdout plus
 //! `experiments/BENCH_kernels.json`.
@@ -24,7 +26,7 @@
 
 use std::time::Instant;
 
-use alid_affinity::block::{default_block_rows, lanes_active, BlockEval, KERNEL_BLOCK_TUNE};
+use alid_affinity::block::{default_block_rows, lanes_active, BlockEval};
 use alid_affinity::kernel::{LaplacianKernel, LpNorm};
 use alid_affinity::vector::Dataset;
 use alid_bench::report::fmt;
@@ -202,13 +204,9 @@ fn main() {
         &rows,
     );
 
-    let snap = KERNEL_BLOCK_TUNE.snapshot();
-    print_table(
-        "KERNEL_BLOCK_TUNE after the sweep",
-        &["per_item_ns", "last_chunk", "samples"],
-        &[vec![fmt(snap.per_item_ns), snap.last_chunk.to_string(), snap.samples.to_string()]],
-    );
-
+    // Header built after the sweep: its `metrics` snapshot then
+    // carries `alid_tune_*{site="kernel_block"}` — the autotuner state
+    // the old bespoke `kernel_block_tune` field used to duplicate.
     let mut fields = alid_bench::report::run_header("alid-bench/kernels/1", 1);
     fields.extend([
         ("smoke", cli.smoke.to_json()),
@@ -216,14 +214,6 @@ fn main() {
         ("reps", reps.to_json()),
         ("simd_lanes_active", lanes_active().to_json()),
         ("dims", results.to_json()),
-        (
-            "kernel_block_tune",
-            Json::object([
-                ("per_item_ns", snap.per_item_ns.to_json()),
-                ("last_chunk", snap.last_chunk.to_json()),
-                ("samples", snap.samples.to_json()),
-            ]),
-        ),
     ]);
     save_json("BENCH_kernels", &Json::object(fields));
 }

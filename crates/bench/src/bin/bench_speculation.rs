@@ -14,31 +14,33 @@
 //! and mean round width.
 //!
 //! A second section exercises the exec layer's autotuned phases (LSH
-//! build, sparse edge evaluation, matmul) and reports each call site's
-//! `TuneState` snapshot — the chosen chunk size and the measured
-//! per-item cost.
+//! build, sparse edge evaluation, matmul) and reports each call
+//! site's tuner state — the chosen chunk size and the measured
+//! per-item cost — read back from the shared metrics registry (each
+//! build site exports its `TuneState` as `alid_tune_*{site=...}`
+//! gauges) rather than by reaching into every crate's static.
 //!
 //! Output: an aligned table on stdout plus
 //! `experiments/BENCH_speculation.json`.
 //!
 //! Flags: `--smoke` (tiny sizes for CI), `--full` (larger sweep),
-//! `--scale=<f64>`, `--workers=<n>` (extra worker count to include).
+//! `--scale=<f64>`, `--workers=<n>` (extra worker count to include),
+//! `--trace-out=<path>` (record phase spans, drained to JSONL at
+//! exit).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use alid_affinity::cost::CostModel;
 use alid_affinity::kernel::LaplacianKernel;
-use alid_affinity::sparse::{SparseBuilder, SPARSE_BUILD_TUNE};
+use alid_affinity::sparse::SparseBuilder;
 use alid_affinity::vector::Dataset;
 use alid_bench::fixtures::pair_chain;
 use alid_bench::report::fmt;
 use alid_bench::{print_table, save_json};
 use alid_core::{PeelStats, Peeler, SpeculationParams};
-use alid_exec::{ExecPolicy, TuneState};
-use alid_linalg::matrix::{Mat, MATMUL_TUNE};
-use alid_lsh::index::LSH_BUILD_TUNE;
-use alid_lsh::simhash::SIMHASH_BUILD_TUNE;
+use alid_exec::ExecPolicy;
+use alid_linalg::matrix::Mat;
 use alid_lsh::{LshIndex, LshParams, SimHashIndex, SimHashParams};
 use serde::{Json, Serialize};
 
@@ -47,10 +49,11 @@ struct Cli {
     full: bool,
     scale: f64,
     workers: Option<usize>,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_cli() -> Cli {
-    let mut cli = Cli { smoke: false, full: false, scale: 1.0, workers: None };
+    let mut cli = Cli { smoke: false, full: false, scale: 1.0, workers: None, trace_out: None };
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
             cli.smoke = true;
@@ -62,10 +65,13 @@ fn parse_cli() -> Cli {
             let w: usize = v.parse().expect("--workers=<positive integer>");
             assert!(w >= 1, "--workers must be at least 1");
             cli.workers = Some(w);
+        } else if let Some(v) = arg.strip_prefix("--trace-out=") {
+            cli.trace_out = Some(std::path::PathBuf::from(v));
         } else if arg == "--help" || arg == "-h" {
             eprintln!(
                 "options: --smoke (tiny CI sizes), --full (larger sweep), \
-                 --scale=<f64>, --workers=<n> (extra worker count)"
+                 --scale=<f64>, --workers=<n> (extra worker count), \
+                 --trace-out=<path> (span events as JSONL)"
             );
             std::process::exit(0);
         } else {
@@ -120,14 +126,38 @@ impl Serialize for Workload {
     }
 }
 
-fn tune_json(site: &str, tune: &TuneState) -> Json {
-    let snap = tune.snapshot();
-    Json::object([
-        ("site", site.to_json()),
-        ("per_item_ns", snap.per_item_ns.to_json()),
-        ("last_chunk", snap.last_chunk.to_json()),
-        ("samples", snap.samples.to_json()),
-    ])
+/// Reads every exported autotuner back out of the process-global
+/// registry: `alid_tune_<field>{site="<site>"}` gauge series, grouped
+/// by site into the same `{site, per_item_ns, last_chunk, samples}`
+/// objects the report has always carried.
+fn autotune_from_registry() -> Vec<Json> {
+    let samples = alid_bench::report::metrics_snapshot();
+    let field_of = |site: &str, field: &str| {
+        samples.get(&format!("alid_tune_{field}{{site=\"{site}\"}}")).and_then(Json::as_f64)
+    };
+    let mut sites: Vec<String> = match &samples {
+        Json::Obj(fields) => fields
+            .iter()
+            .filter_map(|(k, _)| {
+                k.strip_prefix("alid_tune_per_item_ns{site=\"")
+                    .and_then(|rest| rest.strip_suffix("\"}"))
+                    .map(str::to_string)
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    sites.sort();
+    sites
+        .into_iter()
+        .map(|site| {
+            Json::object([
+                ("site", site.to_json()),
+                ("per_item_ns", field_of(&site, "per_item_ns").unwrap_or(0.0).to_json()),
+                ("last_chunk", (field_of(&site, "last_chunk").unwrap_or(0.0) as u64).to_json()),
+                ("samples", (field_of(&site, "samples").unwrap_or(0.0) as u64).to_json()),
+            ])
+        })
+        .collect()
 }
 
 /// Asserts the speculative clustering is byte-identical to the
@@ -170,6 +200,11 @@ fn exercise_autotuned_phases(n: usize, exec: ExecPolicy) {
 
 fn main() {
     let cli = parse_cli();
+    // Tracing is observation only — assert_parity still proves the
+    // speculative outputs byte-identical with it on.
+    if cli.trace_out.is_some() {
+        alid_obs::trace::enable(alid_obs::trace::DEFAULT_CAPACITY);
+    }
     let pairs = if cli.smoke {
         8
     } else if cli.full {
@@ -250,12 +285,9 @@ fn main() {
     exercise_autotuned_phases(tune_n, ExecPolicy::sequential());
     let max_workers = worker_counts.iter().copied().max().unwrap_or(2);
     exercise_autotuned_phases(tune_n, ExecPolicy::workers(max_workers));
-    let autotune = vec![
-        tune_json("lsh_build", &LSH_BUILD_TUNE),
-        tune_json("simhash_build", &SIMHASH_BUILD_TUNE),
-        tune_json("sparse_build", &SPARSE_BUILD_TUNE),
-        tune_json("matmul", &MATMUL_TUNE),
-    ];
+    // Every tuner the run touched exported itself into the registry at
+    // its build site — including any this bench doesn't know by name.
+    let autotune = autotune_from_registry();
     let mut tune_rows = Vec::new();
     for t in &autotune {
         if let Json::Obj(fields) = t {
@@ -286,4 +318,11 @@ fn main() {
         ("autotune", Json::Arr(autotune)),
     ]);
     save_json("BENCH_speculation", &Json::object(fields));
+
+    if let Some(path) = &cli.trace_out {
+        match alid_obs::trace::drain_to_file(path) {
+            Ok(n) => eprintln!("[traced {n} span events to {}]", path.display()),
+            Err(e) => eprintln!("[trace-out {}: {e}]", path.display()),
+        }
+    }
 }

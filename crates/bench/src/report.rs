@@ -13,14 +13,27 @@ use serde::{Json, Serialize};
 /// outside a checkout), the host's CPU count, and the effective
 /// exec-layer worker count the run used. `host_cpus` vs `workers` is
 /// what lets a reader tell a 1-CPU-container curve from a genuinely
-/// multi-core one (the long-carried ROADMAP re-measure item).
+/// multi-core one (the long-carried ROADMAP re-measure item). The
+/// `metrics` field is a flat snapshot of the process-global registry
+/// at header-build time (pool activity, autotuner state, peeler
+/// telemetry), so every report carries the machine state that shaped
+/// its numbers — build the header *after* the measured work.
 pub fn run_header(schema: &str, workers: usize) -> Vec<(&'static str, Json)> {
     vec![
         ("schema", schema.to_json()),
         ("git_rev", git_rev().to_json()),
         ("host_cpus", host_cpus().to_json()),
         ("workers", workers.to_json()),
+        ("metrics", metrics_snapshot()),
     ]
+}
+
+/// The process-global metrics registry as a flat `series -> value`
+/// JSON object (histograms appear as their `_count`/`_sum` pair).
+pub fn metrics_snapshot() -> Json {
+    // alid-lint: allow(no-metric-branching) -- provenance exposition: values land in the report header, never in measured outputs
+    let samples = alid_obs::global().snapshot_samples();
+    Json::Obj(samples.into_iter().map(|s| (s.series, s.value.to_json())).collect())
 }
 
 /// The parallelism the OS reports for this host (1 when detection
@@ -108,7 +121,7 @@ mod tests {
     }
 
     #[test]
-    fn run_header_has_the_four_provenance_fields() {
+    fn run_header_has_the_five_provenance_fields() {
         let header = run_header("alid-bench/test/1", 4);
         let obj = Json::Obj(header.iter().map(|(k, v)| (k.to_string(), v.clone())).collect());
         assert_eq!(obj.get("schema").and_then(Json::as_str), Some("alid-bench/test/1"));
@@ -117,6 +130,20 @@ mod tests {
         assert!(!rev.is_empty());
         let cpus = obj.get("host_cpus").and_then(Json::as_u64).unwrap();
         assert!(cpus >= 1, "host CPU count must be at least 1");
+        // The metrics snapshot is always present (possibly empty when
+        // nothing registered yet) and flat: series name -> number.
+        let metrics = obj.get("metrics").expect("metrics snapshot field");
+        assert!(matches!(metrics, Json::Obj(_)), "{metrics:?}");
+    }
+
+    /// Registered global series must surface in the header snapshot —
+    /// this is the path that stamps tuner/pool state into every
+    /// `experiments/*.json`.
+    #[test]
+    fn metrics_snapshot_carries_registered_series() {
+        alid_obs::global().counter("alid_bench_header_probe_total", "test probe", &[]).add(3);
+        let snap = metrics_snapshot();
+        assert_eq!(snap.get("alid_bench_header_probe_total").and_then(Json::as_f64), Some(3.0));
     }
 
     #[test]

@@ -140,6 +140,12 @@ impl PeelStats {
     }
 
     fn record_round(&mut self, round: RoundStats) {
+        let m = obs_metrics();
+        m.rounds.inc();
+        m.speculated.add(round.speculated as u64);
+        m.accepted.add(round.accepted as u64);
+        m.absorbed.add(round.absorbed as u64);
+        m.rerun.add(round.rerun as u64);
         self.speculated += round.speculated as u64;
         self.accepted += round.accepted as u64;
         self.absorbed += round.absorbed as u64;
@@ -148,9 +154,58 @@ impl PeelStats {
     }
 
     fn record_sequential(&mut self, detections: u64) {
+        let m = obs_metrics();
+        m.speculated.add(detections);
+        m.accepted.add(detections);
         self.speculated += detections;
         self.accepted += detections;
     }
+}
+
+/// Process-wide write-only peel telemetry — the cross-pass aggregate
+/// of every [`PeelStats`] this process accumulates, published for
+/// `/metrics`. `PeelStats` itself stays the per-driver source of
+/// truth; these counters only ever receive the same increments.
+struct PeelMetrics {
+    rounds: std::sync::Arc<alid_obs::Counter>,
+    speculated: std::sync::Arc<alid_obs::Counter>,
+    accepted: std::sync::Arc<alid_obs::Counter>,
+    absorbed: std::sync::Arc<alid_obs::Counter>,
+    rerun: std::sync::Arc<alid_obs::Counter>,
+}
+
+fn obs_metrics() -> &'static PeelMetrics {
+    static M: std::sync::OnceLock<PeelMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let r = alid_obs::global();
+        PeelMetrics {
+            rounds: r.counter(
+                "alid_peel_rounds_total",
+                "Speculative multi-seed peel rounds run",
+                &[],
+            ),
+            speculated: r.counter(
+                "alid_peel_speculated_total",
+                "Seeds whose detection was launched (sequential or speculative)",
+                &[],
+            ),
+            accepted: r.counter(
+                "alid_peel_accepted_total",
+                "Detections committed as clusters",
+                &[],
+            ),
+            absorbed: r.counter(
+                "alid_peel_absorbed_total",
+                "Speculations discarded because an earlier acceptance absorbed their seed",
+                &[],
+            ),
+            rerun: r.counter(
+                "alid_peel_rerun_total",
+                "Speculations discarded to a conflict re-run",
+                &[],
+            ),
+        }
+    })
 }
 
 /// One full detect-and-peel pass over the alive items of an existing
@@ -202,6 +257,8 @@ pub(crate) fn peel_pass(
         // speculations could only be thrown away.
         let want = width.min(limit - detections.len());
         let Some(seeds) = next_alive_batch_from(index, &mut next_seed, n, want) else { break };
+        let mut round_span = alid_obs::trace::span("peel.round");
+        round_span.count("width", seeds.len() as u64);
         let outcomes = params.exec.map_tasks(&seeds, |&s| detect_one(ds, params, index, s, cost));
         // Accept speculative results in seed order while each
         // detection's read set is untouched by this round's peels.
@@ -249,6 +306,10 @@ pub(crate) fn peel_pass(
         }
         next_seed = resume.unwrap_or_else(|| seeds.last().map(|&s| s + 1).unwrap_or(next_seed));
         width = spec.next_width(seeds.len(), round.wasted(), max_width);
+        round_span.count("accepted", round.accepted as u64);
+        round_span.count("absorbed", round.absorbed as u64);
+        round_span.count("rerun", round.rerun as u64);
+        drop(round_span);
         stats.record_round(round);
     }
     detections

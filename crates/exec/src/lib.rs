@@ -60,7 +60,7 @@ mod pool;
 pub mod tune;
 
 pub use pool::thread_count as pool_thread_count;
-pub use tune::{TuneSnapshot, TuneState};
+pub use tune::{export_tune, TuneSnapshot, TuneState};
 
 /// How a parallel phase should execute: on how many workers.
 ///

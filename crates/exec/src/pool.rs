@@ -38,6 +38,60 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+/// Write-only telemetry handles for the pool, registered once in the
+/// process-global `alid-obs` registry. Every accessor call site hoists
+/// the lookup *outside* any queue-lock region: the first call registers
+/// under the registry's own mutex, which must never nest inside ours.
+struct PoolMetrics {
+    jobs: Arc<alid_obs::Counter>,
+    steals: Arc<alid_obs::Counter>,
+    parks: Arc<alid_obs::Counter>,
+    phases: Arc<alid_obs::Counter>,
+    job_seconds: Arc<alid_obs::Histogram>,
+    phase_seconds: Arc<alid_obs::Histogram>,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = alid_obs::global();
+        r.gauge_fn(
+            "alid_exec_pool_threads",
+            "Persistent exec pool threads spawned so far",
+            &[],
+            || thread_count() as f64,
+        );
+        PoolMetrics {
+            jobs: r.counter("alid_exec_jobs_total", "Pool-side logical worker jobs run", &[]),
+            steals: r.counter(
+                "alid_exec_queue_help_steals_total",
+                "Own-phase jobs a waiting caller ran instead of a pool thread",
+                &[],
+            ),
+            parks: r.counter(
+                "alid_exec_parks_total",
+                "Times a pool worker parked on the idle condvar",
+                &[],
+            ),
+            phases: r.counter(
+                "alid_exec_phases_total",
+                "Parallel phases dispatched through the pool",
+                &[],
+            ),
+            job_seconds: r.histogram(
+                "alid_exec_job_seconds",
+                "Wall time of one pool-side logical worker job",
+                &[],
+            ),
+            phase_seconds: r.histogram(
+                "alid_exec_phase_seconds",
+                "Parallel phase wall time, dispatch to latch-zero",
+                &[],
+            ),
+        }
+    })
+}
+
 /// Ceiling on pool threads: far above any sane `ExecPolicy`, low
 /// enough that a pathological `workers(1_000_000)` cannot exhaust OS
 /// threads (excess logical workers just queue behind the cap).
@@ -53,6 +107,9 @@ struct Job {
 
 impl Job {
     fn run(self) {
+        let m = metrics();
+        m.jobs.inc();
+        let _job_timer = m.job_seconds.start_timer();
         // SAFETY: `PhaseWait` keeps `run_phase` from returning or
         // unwinding until `remaining` hits zero, i.e. until after
         // this dereference.
@@ -76,6 +133,14 @@ struct Shared {
 pub(crate) struct Pool {
     shared: Arc<Shared>,
     spawned: Mutex<usize>,
+    /// Lock-free mirror of `spawned` for diagnostics readers. The
+    /// `alid_exec_pool_threads` gauge closure runs under the obs
+    /// registry's render lock, and the spawn site (which holds the
+    /// `spawned` guard) can initialise that registry via `metrics()`;
+    /// reading the mutex from the gauge would order the two lock
+    /// classes both ways. The atomic keeps the exposition path off the
+    /// pool's mutex entirely.
+    spawned_count: AtomicUsize,
 }
 
 /// Lifetime-erased pointer to a phase body. Sound to send across
@@ -131,6 +196,7 @@ struct PhaseWait<'a>(&'a Phase);
 
 impl Drop for PhaseWait<'_> {
     fn drop(&mut self) {
+        let m = metrics();
         let shared = &self.0.shared;
         let mut queue = shared.queue.lock().expect("pool queue");
         while self.0.remaining.load(Ordering::Acquire) > 0 {
@@ -144,6 +210,7 @@ impl Drop for PhaseWait<'_> {
             match mine.and_then(|idx| queue.remove(idx)) {
                 Some(job) => {
                     drop(queue);
+                    m.steals.inc();
                     job.run();
                     queue = shared.queue.lock().expect("pool queue");
                 }
@@ -154,13 +221,17 @@ impl Drop for PhaseWait<'_> {
 }
 
 fn worker_loop(shared: Arc<Shared>) {
+    let m = metrics();
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("pool queue");
             loop {
                 match queue.pop_front() {
                     Some(job) => break job,
-                    None => queue = shared.signal.wait(queue).expect("pool queue"),
+                    None => {
+                        m.parks.inc();
+                        queue = shared.signal.wait(queue).expect("pool queue");
+                    }
                 }
             }
         };
@@ -173,13 +244,15 @@ pub(crate) fn global() -> &'static Pool {
     POOL.get_or_init(|| Pool {
         shared: Arc::new(Shared { queue: Mutex::new(VecDeque::new()), signal: Condvar::new() }),
         spawned: Mutex::new(0),
+        spawned_count: AtomicUsize::new(0),
     })
 }
 
 /// Number of persistent pool threads spawned so far in this process
-/// (diagnostics; 0 until the first parallel phase runs).
+/// (diagnostics; 0 until the first parallel phase runs). Reads the
+/// lock-free mirror, never the spawn mutex — see `Pool::spawned_count`.
 pub fn thread_count() -> usize {
-    *global().spawned.lock().expect("pool size")
+    global().spawned_count.load(Ordering::Relaxed)
 }
 
 impl Pool {
@@ -192,12 +265,13 @@ impl Pool {
                 .name(format!("alid-exec-{}", *spawned))
                 .spawn(move || worker_loop(shared));
             if let Err(e) = spawn {
-                // Release the counter before panicking so diagnostics
-                // readers (`thread_count`) never see a poisoned lock.
+                // Release the guard before panicking so later phases
+                // never see a poisoned spawn lock.
                 drop(spawned);
                 panic!("spawn exec pool worker: {e}");
             }
             *spawned += 1;
+            self.spawned_count.store(*spawned, Ordering::Relaxed);
         }
     }
 
@@ -207,6 +281,11 @@ impl Pool {
     /// only after every logical worker has finished.
     pub(crate) fn run_phase(&self, workers: usize, body: &(dyn Fn(usize) + Sync)) {
         debug_assert!(workers >= 2, "the sequential fast path is the caller's job");
+        let m = metrics();
+        m.phases.inc();
+        let _phase_timer = m.phase_seconds.start_timer();
+        let mut sp = alid_obs::trace::span("exec.phase");
+        sp.count("workers", workers as u64);
         let extra = workers - 1;
         self.ensure_threads(extra);
         // SAFETY: pure lifetime erasure on a fat reference; the latch

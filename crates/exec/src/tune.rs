@@ -149,6 +149,38 @@ impl Default for TuneState {
     }
 }
 
+/// Publishes a `static` [`TuneState`] into the process-global
+/// `alid-obs` registry as three gauges labelled by call site:
+/// `alid_tune_per_item_ns`, `alid_tune_last_chunk`,
+/// `alid_tune_samples`, each `{site="<site>"}`.
+///
+/// Call it from the tuned call site (idempotent — the registry keeps
+/// the first registration per series, so hot paths may call it on
+/// every phase). This is what makes tune handles observable at all:
+/// before the obs registry, `snapshot()` values were trapped in
+/// process-local statics unless a bench hand-plumbed them out.
+pub fn export_tune(site: &'static str, tune: &'static TuneState) {
+    let r = alid_obs::global();
+    r.gauge_fn(
+        "alid_tune_per_item_ns",
+        "Autotuner EMA of per-item cost in nanoseconds (0 = unsampled)",
+        &[("site", site)],
+        || tune.snapshot().per_item_ns,
+    );
+    r.gauge_fn(
+        "alid_tune_last_chunk",
+        "Chunk size the most recent tuned phase at this site ran with",
+        &[("site", site)],
+        || tune.snapshot().last_chunk as f64,
+    );
+    r.gauge_fn(
+        "alid_tune_samples",
+        "Phases that fed a timing sample back at this site",
+        &[("site", site)],
+        || tune.snapshot().samples as f64,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

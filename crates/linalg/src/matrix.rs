@@ -127,6 +127,7 @@ impl Mat {
             return self.matmul(other);
         }
         assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        alid_exec::tune::export_tune("matmul", &MATMUL_TUNE);
         let mut out = Mat::zeros(self.rows, other.cols);
         let cols = other.cols;
         {

@@ -1,0 +1,36 @@
+//! Seeded `no-metric-branching` violations: metric values read back in
+//! a result-affecting path, plus the shapes that must stay silent
+//! (write-only handles, tests, an annotated exposition helper).
+
+fn branch_on_counter(c: &Counter, work: &mut Vec<u64>) {
+    if c.metric_value() > 4 {
+        work.truncate(4);
+    }
+}
+
+fn leak_into_output(reg: &Registry) -> String {
+    let rows = reg.snapshot_samples();
+    let text = reg.render_prometheus();
+    format!("{}{}", rows.len(), text)
+}
+
+fn suppressed_read(reg: &Registry) -> usize {
+    // alid-lint: allow(no-metric-branching) -- feeds the debug endpoint, never outputs
+    reg.snapshot_samples().len()
+}
+
+fn writes_are_free(c: &Counter, g: &Gauge, h: &Histogram) {
+    c.inc();
+    g.set(2.0);
+    h.observe_ns(9);
+    let metric_value = 3; // a bare ident is not a read
+    let _ = metric_value;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reads_are_assertions_here() {
+        assert_eq!(super::COUNTER.metric_value(), 0);
+    }
+}

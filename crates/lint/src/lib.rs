@@ -7,7 +7,7 @@
 //! fixtures don't reach. This crate encodes the constraints those
 //! guarantees rest on as a static-analysis pass over the whole
 //! workspace — a real (hand-rolled, std-only) Rust lexer plus a
-//! lightweight item scanner feeding five per-file rules:
+//! lightweight item scanner feeding six per-file rules:
 //!
 //! * [`no-unordered-iteration`] — iterating a `HashMap`/`HashSet` in a
 //!   result-affecting crate leaks hash order into outputs;
@@ -18,6 +18,9 @@
 //! * [`no-raw-threads`] / [`no-raw-time`] — thread spawns and clock
 //!   reads only in allowlisted modules, so timing can never feed
 //!   output values;
+//! * [`no-metric-branching`] — observation is telemetry, never
+//!   control: a result-affecting crate may bump `alid-obs` metrics but
+//!   never read one back outside an exposition surface or a test;
 //!
 //! plus an **interprocedural lock-set analysis** (a workspace-wide
 //! call graph + effect fixpoint, `callgraph.rs` / `lockset.rs`) behind
@@ -59,12 +62,13 @@ pub use alid_exec::ExecPolicy;
 
 /// Rule identifiers, in severity-agnostic display order. `bad-allow`
 /// (malformed suppression) is a meta-rule: always on, not listed here.
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 10] = [
     "no-unordered-iteration",
     "no-fma",
     "unsafe-needs-safety",
     "no-raw-threads",
     "no-raw-time",
+    "no-metric-branching",
     "lock-cycle",
     "exec-under-lock",
     "panic-under-lock",
@@ -91,8 +95,11 @@ pub struct Config {
     /// Kernel crates: `no-fma` fires here.
     pub kernel: Vec<String>,
     /// Paths where thread spawns / clock reads are legitimate (the
-    /// exec pool and autotuner, benches, the HTTP front end). Timing
-    /// there feeds chunk sizes and reports, never output values.
+    /// exec pool and autotuner, the obs crate — the one sanctioned
+    /// clock owner — benches, the HTTP front end). Timing there feeds
+    /// chunk sizes and reports, never output values. Doubles as the
+    /// exposition allowlist for `no-metric-branching`: where a clock
+    /// may be read, a metric may be read back out for telemetry.
     pub timing_allow: Vec<String>,
     /// The lock-disciplined crates: guard regions are tracked and the
     /// four `*-under-lock` / `lock-cycle` rules fire here (effect
@@ -125,6 +132,7 @@ impl Config {
             timing_allow: v(&[
                 "crates/exec/",
                 "crates/bench/",
+                "crates/obs/",
                 "crates/service/src/http.rs",
                 "crates/shims/criterion/",
                 "examples/",
@@ -194,6 +202,7 @@ fn scan_file(rel: &str, src: &str, cfg: &Config) -> Scanned {
     rules::no_fma(&ctx, &mut local);
     rules::unsafe_needs_safety(&ctx, &mut local);
     rules::raw_threads_and_time(&ctx, &mut local);
+    rules::no_metric_branching(&ctx, &mut local);
     let (allows, bad) = parse_allows(rel, &unit.lx);
     Scanned { unit, local, allows, bad }
 }

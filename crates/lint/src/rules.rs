@@ -317,3 +317,101 @@ pub fn raw_threads_and_time(ctx: &Ctx, out: &mut Vec<Finding>) {
         }
     }
 }
+
+/// The metric-reading surface of `alid-obs`. These names are chosen to
+/// be distinctive precisely so this token-level rule can spot them:
+/// hot paths get write-only handles (`inc`/`add`/`set`/`observe_ns`),
+/// and anything that reads a value back carries one of these.
+const METRIC_READS: [&str; 3] = ["metric_value", "snapshot_samples", "render_prometheus"];
+
+/// `no-metric-branching`: observation is telemetry, never control. A
+/// result-affecting crate may *bump* metrics freely, but reading one
+/// back (`.metric_value()`, `.snapshot_samples()`,
+/// `.render_prometheus()`) outside an exposition surface is a channel
+/// through which timing could feed outputs — exactly the loop the
+/// determinism contract forbids. Reads are fine in the timing
+/// allowlist (the obs crate itself, the HTTP front end, benches) and
+/// in `#[cfg(test)]` modules, where a read is an assertion.
+pub fn no_metric_branching(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const RULE: &str = "no-metric-branching";
+    if !ctx.cfg.rule_on(RULE)
+        || !Config::in_any(&ctx.cfg.ordered, ctx.rel)
+        || Config::in_any(&ctx.cfg.timing_allow, ctx.rel)
+    {
+        return;
+    }
+    let t = &ctx.lx.toks;
+    let tests = test_mod_regions(t);
+    for (i, tok) in t.iter().enumerate() {
+        if tok.kind != Kind::Ident
+            || !METRIC_READS.contains(&tok.text.as_str())
+            || i == 0
+            || !scan::is(&t[i - 1], ".")
+            || !scan::is_at(t, i + 1, "(")
+        {
+            continue;
+        }
+        if tests.iter().any(|&(s, e)| s <= i && i < e) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            tok.line,
+            RULE,
+            format!(
+                "`.{}()` reads a metric in a result-affecting crate; observation is \
+                 telemetry, never control — move the read to an exposition surface, or \
+                 annotate with `// alid-lint: allow({RULE}) -- <reason>`",
+                tok.text
+            ),
+        );
+    }
+}
+
+/// Token ranges of `#[cfg(test)] mod … { … }` items.
+fn test_mod_regions(t: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for (i, tok) in t.iter().enumerate() {
+        if !(scan::is(tok, "mod")
+            && t.get(i + 1).is_some_and(|n| n.kind == Kind::Ident)
+            && scan::is_at(t, i + 2, "{"))
+        {
+            continue;
+        }
+        // Look back over the attribute tokens (`#[cfg(test)]`, possibly
+        // several attributes) for a `cfg` immediately followed by
+        // `(test)`; stop at the previous item boundary.
+        let mut gated = false;
+        let mut j = i;
+        while j > 0 && !matches!(t[j - 1].text.as_str(), ";" | "{" | "}") {
+            j -= 1;
+            if t[j].text == "cfg"
+                && scan::is_at(t, j + 1, "(")
+                && t.get(j + 2).is_some_and(|n| n.text == "test")
+            {
+                gated = true;
+            }
+        }
+        if !gated {
+            continue;
+        }
+        // Match the mod's braces to find where the region ends.
+        let mut depth = 0usize;
+        let mut end = t.len();
+        for (k, tk) in t.iter().enumerate().skip(i + 2) {
+            match tk.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        regions.push((i, end));
+    }
+    regions
+}

@@ -77,6 +77,17 @@ fn raw_threads_and_time_fire_and_suppress() {
     assert_eq!(lines(&f, "no-raw-threads").len(), 2, "sibling rule unaffected");
 }
 
+#[test]
+fn metric_branching_fires_and_suppresses() {
+    let (f, suppressed) = lint_fixture("metrics.rs", &Config::all_paths());
+    assert_eq!(lines(&f, "no-metric-branching"), vec![6, 12, 13]);
+    assert_eq!(f.len(), 3, "write-only handles and the test mod must stay silent: {f:?}");
+    assert_eq!(suppressed, 1, "the annotated snapshot_samples read");
+
+    let (f, _) = lint_fixture("metrics.rs", &without("no-metric-branching"));
+    assert!(f.is_empty(), "disabled rule must be silent: {f:?}");
+}
+
 /// The two-file lock-set corpus, linted as one workspace (the
 /// transitive cases need `helpers.rs` in the same call graph). Run
 /// under both feature sets: the analysis must not care.
@@ -198,6 +209,7 @@ fn parallel_scan_is_deterministic_across_worker_counts() {
         "fma.rs",
         "safety.rs",
         "timing.rs",
+        "metrics.rs",
         "allow_bad.rs",
         "lexer_edges.rs",
     ];
@@ -255,7 +267,7 @@ fn lexer_edge_tokens() {
     // while rules only see real keyword positions via statement shape.
 }
 
-/// The workspace itself must lint clean — with all nine rules, under
+/// The workspace itself must lint clean — with all ten rules, under
 /// the default feature set and with `simd-lanes` (which un-gates the
 /// AVX kernel file). This is the self-test behind the CI `--deny`
 /// gate; real sites the interprocedural rules flagged are each

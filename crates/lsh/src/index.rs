@@ -103,6 +103,7 @@ impl LshIndex {
         };
         // Phase 1 (parallel): the key of item `id` in table `t` depends
         // only on (id, t), so keys fan out over the items.
+        alid_exec::tune::export_tune("lsh_build", &LSH_BUILD_TUNE);
         let table_count = index.tables.len();
         let mut keys = vec![0u64; n * table_count];
         {

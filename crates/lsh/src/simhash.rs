@@ -112,6 +112,7 @@ impl SimHashIndex {
             alive_count: n,
             cost: Arc::clone(cost),
         };
+        alid_exec::tune::export_tune("simhash_build", &SIMHASH_BUILD_TUNE);
         let table_count = index.tables.len();
         let mut keys = vec![0u64; n * table_count];
         {

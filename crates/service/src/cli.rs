@@ -34,6 +34,9 @@ pub fn usage() -> &'static str {
                                default 8)\n\
        --merge-radius <r>      signature Hamming radius for merged-view\n\
                                candidate pairs (default 2, max 4)\n\
+       --trace-out <path>      enable phase tracing and append span events\n\
+                               to this file as JSONL (drained once per\n\
+                               second; telemetry only, outputs unchanged)\n\
      \n\
      detection (fresh start; a restored snapshot carries its own):\n\
        --dim <d>               feature dimensionality (required)\n\
@@ -71,6 +74,7 @@ struct ServeOptions {
     router_seed: u64,
     merge_sample: usize,
     merge_radius: u32,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse(args: &[String]) -> Result<ServeOptions, String> {
@@ -94,6 +98,7 @@ fn parse(args: &[String]) -> Result<ServeOptions, String> {
         router_seed: 0xa11d,
         merge_sample: 8,
         merge_radius: 2,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -147,6 +152,7 @@ fn parse(args: &[String]) -> Result<ServeOptions, String> {
                 }
                 o.merge_radius = r as u32;
             }
+            "--trace-out" => o.trace_out = Some(PathBuf::from(take("--trace-out")?)),
             other => return Err(format!("unknown option {other}\n\n{}", usage())),
         }
     }
@@ -244,6 +250,14 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
     // `--merge-sample`/`--merge-radius` are honoured after a restore
     // too.
     service.set_merge_knobs(o.merge_sample, o.merge_radius);
+    // Tracing is observation only: spans record phase timings, and the
+    // parity suite proves outputs are byte-identical with it on or off.
+    if let Some(path) = &o.trace_out {
+        alid_obs::trace::enable(alid_obs::trace::DEFAULT_CAPACITY);
+        alid_obs::trace::start_writer(path.clone(), std::time::Duration::from_secs(1))
+            .map_err(|e| format!("opening --trace-out {}: {e}", path.display()))?;
+        eprintln!("tracing spans to {}", path.display());
+    }
     let cfg = service.config();
     eprintln!(
         "alid-service: {} shards, dim {}, sweep period {}, queue bound {}, {} exec workers",
@@ -352,6 +366,14 @@ mod tests {
         assert!(parse(&args(&["--merge-radius", "4294967296"]))
             .unwrap_err()
             .contains("--merge-radius"));
+    }
+
+    #[test]
+    fn trace_out_parses_and_requires_a_value() {
+        let o = parse(&args(&["--trace-out", "/tmp/trace.jsonl"])).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("/tmp/trace.jsonl")));
+        assert!(parse(&args(&[])).unwrap().trace_out.is_none());
+        assert!(parse(&args(&["--trace-out"])).unwrap_err().contains("--trace-out needs a value"));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | `GET /clusters?k=N` | — | top-k densest shard-local clusters (the raw fragment ranking) |
 //! | `GET /clusters?view=merged&k=N` | — | top-k of the fully reduced view: cross-shard fragments joined by union re-detection (`Service::top_k_merged`), plus the reduction's cost telemetry |
 //! | `POST /snapshot` | — | drain, then write a binary snapshot to the server's configured `--snapshot` path (never a client-supplied one) |
+//! | `GET /metrics` | — | Prometheus text exposition (`text/plain`): the service's private registry, live per-shard depth gauges, and the process-global registry (exec pool, autotuners, peeler, tracer) |
 //!
 //! Keep-alive is honoured (`Connection: close` to opt out); malformed
 //! requests get `400`, unknown routes `404`, oversized bodies `413`.
@@ -61,6 +62,67 @@ const BODY_DEADLINE: Duration = Duration::from_secs(60);
 /// out under an absolute deadline) rather than a dead connection.
 fn stalled(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// The front end's write-side telemetry, registered into the served
+/// service's private registry so one `GET /metrics` covers both.
+struct HttpMetrics {
+    accepts: Arc<alid_obs::Counter>,
+    requests: Arc<alid_obs::Counter>,
+    keepalive_reuses: Arc<alid_obs::Counter>,
+    deadline_closes: Arc<alid_obs::Counter>,
+    /// Per-endpoint request latency, one series per known route.
+    by_path: Vec<(&'static str, Arc<alid_obs::Histogram>)>,
+    other_path: Arc<alid_obs::Histogram>,
+    snapshot_seconds: Arc<alid_obs::Histogram>,
+    snapshot_bytes: Arc<alid_obs::Gauge>,
+}
+
+impl HttpMetrics {
+    fn new(r: &alid_obs::Registry) -> Self {
+        const HELP: &str = "Request wall time from parsed head to written response";
+        const ROUTES: [&str; 6] =
+            ["/healthz", "/ingest", "/assign", "/clusters", "/snapshot", "/metrics"];
+        Self {
+            accepts: r.counter("alid_http_accepts_total", "Connections accepted", &[]),
+            requests: r.counter("alid_http_requests_total", "Requests served", &[]),
+            keepalive_reuses: r.counter(
+                "alid_http_keepalive_reuses_total",
+                "Requests served on an already-used keep-alive connection",
+                &[],
+            ),
+            deadline_closes: r.counter(
+                "alid_http_deadline_closes_total",
+                "Connections closed by the head/body deadlines (incl. idle keep-alive expiry)",
+                &[],
+            ),
+            by_path: ROUTES
+                .iter()
+                .map(|p| (*p, r.histogram("alid_http_request_seconds", HELP, &[("path", p)])))
+                .collect(),
+            other_path: r.histogram("alid_http_request_seconds", HELP, &[("path", "other")]),
+            snapshot_seconds: r.histogram(
+                "alid_service_snapshot_seconds",
+                "Wall time of one POST /snapshot (drain + serialize + rename)",
+                &[],
+            ),
+            snapshot_bytes: r.gauge(
+                "alid_service_snapshot_bytes",
+                "Size of the most recently written snapshot",
+                &[],
+            ),
+        }
+    }
+
+    /// A latency timer for the request's (normalized) route.
+    fn request_timer(&self, path: &str) -> alid_obs::Timer<'_> {
+        self.by_path
+            .iter()
+            .find(|(p, _)| *p == path)
+            .map(|(_, h)| h)
+            .unwrap_or(&self.other_path)
+            .start_timer()
+    }
 }
 
 /// Front-end options.
@@ -129,6 +191,7 @@ pub fn start(
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let connections = Arc::new(Connections::default());
+    let metrics = Arc::new(HttpMetrics::new(service.metrics_registry()));
     let workers = opts.http_workers.max(1);
     let mut handles = Vec::with_capacity(workers);
     for t in 0..workers {
@@ -136,11 +199,12 @@ pub fn start(
         let service = Arc::clone(&service);
         let stop = Arc::clone(&stop);
         let connections = Arc::clone(&connections);
+        let metrics = Arc::clone(&metrics);
         let opts = opts.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("alid-http-{t}"))
-                .spawn(move || acceptor_loop(listener, service, opts, stop, connections))
+                .spawn(move || acceptor_loop(listener, service, opts, stop, connections, metrics))
                 .expect("spawn http acceptor"),
         );
     }
@@ -185,6 +249,7 @@ fn acceptor_loop(
     opts: HttpOptions,
     stop: Arc<AtomicBool>,
     connections: Arc<Connections>,
+    metrics: Arc<HttpMetrics>,
 ) {
     loop {
         let conn = listener.accept();
@@ -193,10 +258,11 @@ fn acceptor_loop(
         }
         match conn {
             Ok((stream, _)) => {
+                metrics.accepts.inc();
                 let id = connections.register(&stream);
                 // Per-connection errors (resets, malformed requests)
                 // must never take the acceptor down.
-                let _ = handle_connection(stream, &service, &opts);
+                let _ = handle_connection(stream, &service, &opts, &metrics);
                 if let Some(id) = id {
                     connections.unregister(id);
                 }
@@ -235,13 +301,15 @@ fn handle_connection(
     stream: TcpStream,
     service: &Arc<Service>,
     opts: &HttpOptions,
+    m: &HttpMetrics,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    let mut served = 0u64;
     loop {
-        let request = match read_request(&mut reader, &mut writer) {
+        let request = match read_request(&mut reader, &mut writer, m) {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // clean EOF between requests
             Err(e) => {
@@ -249,8 +317,14 @@ fn handle_connection(
                 return Ok(());
             }
         };
+        m.requests.inc();
+        if served > 0 {
+            m.keepalive_reuses.inc();
+        }
+        served += 1;
+        let _request_timer = m.request_timer(&request.path);
         let keep_alive = request.keep_alive;
-        let (status, reply) = match dispatch(&request, service, opts) {
+        let (status, reply) = match dispatch(&request, service, opts, m) {
             Ok(reply) => (200, reply),
             Err(e) => (e.status, Reply::from(error_body(&e.message))),
         };
@@ -265,16 +339,23 @@ fn error_body(message: &str) -> Json {
     Json::object([("error", message.to_json())])
 }
 
-/// A handler's answer: the JSON body plus any extra response headers
+/// A response payload. Every route answers JSON except `GET /metrics`,
+/// whose Prometheus exposition is plain text by spec.
+enum Body {
+    Json(Json),
+    Text(String),
+}
+
+/// A handler's answer: the body plus any extra response headers
 /// (today only `Retry-After` on backpressured ingests).
 struct Reply {
-    body: Json,
+    body: Body,
     headers: Vec<(&'static str, String)>,
 }
 
 impl From<Json> for Reply {
     fn from(body: Json) -> Self {
-        Self { body, headers: Vec::new() }
+        Self { body: Body::Json(body), headers: Vec::new() }
     }
 }
 
@@ -296,12 +377,19 @@ fn write_response(
     reply: &Reply,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let rendered = serde_json::to_string(&reply.body).expect("shim serialization is total");
+    let (rendered, content_type): (std::borrow::Cow<str>, &str) = match &reply.body {
+        Body::Json(j) => (
+            serde_json::to_string(j).expect("shim serialization is total").into(),
+            "application/json",
+        ),
+        // version=0.0.4 is the Prometheus text exposition format tag.
+        Body::Text(t) => (t.as_str().into(), "text/plain; version=0.0.4"),
+    };
     // One buffer, one write: a head written separately would sit in
     // Nagle's queue waiting for the peer's delayed ACK (~40ms per
     // request) — the closed-loop latency killer.
     let mut response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_text(status),
         rendered.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -376,6 +464,7 @@ fn bounded_line(
 fn read_request(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
+    m: &HttpMetrics,
 ) -> Result<Option<Request>, HttpError> {
     // The whole head must arrive within this window — a slow-drip
     // client cannot hold the acceptor past it (each blocking read is
@@ -388,7 +477,14 @@ fn read_request(
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
             return Err(HttpError::new(400, "request head too large"))
         }
-        Err(_) => return Ok(None), // reset/timeout between requests
+        Err(e) => {
+            // Reset/timeout between requests; the timeout flavour is
+            // the head deadline reaping an idle keep-alive connection.
+            if e.kind() == io::ErrorKind::TimedOut {
+                m.deadline_closes.inc();
+            }
+            return Ok(None);
+        }
     }
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
@@ -410,7 +506,12 @@ fn read_request(
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 return Err(HttpError::new(400, "request head too large"))
             }
-            Err(_) => return Err(HttpError::new(400, "connection dropped mid-headers")),
+            Err(e) => {
+                if e.kind() == io::ErrorKind::TimedOut {
+                    m.deadline_closes.inc();
+                }
+                return Err(HttpError::new(400, "connection dropped mid-headers"));
+            }
         }
         head_bytes += header.len();
         if head_bytes > MAX_HEAD_BYTES {
@@ -461,6 +562,7 @@ fn read_request(
     let mut filled = 0usize;
     while filled < content_length {
         if Instant::now() > body_deadline {
+            m.deadline_closes.inc();
             return Err(HttpError::new(400, "request body deadline exceeded"));
         }
         match reader.read(&mut body[filled..]) {
@@ -502,17 +604,56 @@ fn parse_body(req: &Request) -> Result<Json, HttpError> {
     serde_json::from_str(text).map_err(|e| HttpError::new(400, format!("invalid JSON body: {e}")))
 }
 
-fn dispatch(req: &Request, service: &Arc<Service>, opts: &HttpOptions) -> Result<Reply, HttpError> {
+fn dispatch(
+    req: &Request,
+    service: &Arc<Service>,
+    opts: &HttpOptions,
+    m: &HttpMetrics,
+) -> Result<Reply, HttpError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Ok(healthz(service).into()),
+        ("GET", "/metrics") => Ok(metrics_text(service)),
         ("POST", "/ingest") => ingest(req, service),
         ("GET", "/assign") => assign_by_id(req, service).map(Reply::from),
         ("POST", "/assign") => assign_by_vector(req, service).map(Reply::from),
         ("GET", "/clusters") => clusters(req, service).map(Reply::from),
-        ("POST", "/snapshot") => snapshot(req, service, opts).map(Reply::from),
+        ("POST", "/snapshot") => snapshot(req, service, opts, m).map(Reply::from),
         ("GET" | "POST", _) => Err(HttpError::new(404, format!("no route {}", req.path))),
         _ => Err(HttpError::new(405, format!("method {} not allowed", req.method))),
     }
+}
+
+/// `GET /metrics`: the full Prometheus exposition, composed from three
+/// sources — this service's private registry (admission, drain, reduce
+/// and HTTP series), live per-shard depth gauges sampled at scrape
+/// time from one [`Service::depths`] call, and the process-global
+/// registry (exec pool, autotuners, peeler, tracer).
+fn metrics_text(service: &Service) -> Reply {
+    use alid_obs::expo;
+    // alid-lint: allow(no-metric-branching) -- this IS the exposition surface
+    let mut out = service.metrics_registry().render_prometheus();
+    let depths = service.depths();
+    type DepthPick = fn(&crate::service::ShardDepth) -> f64;
+    let gauges: [(&str, &str, DepthPick); 4] = [
+        ("alid_service_shard_queued", "Admitted-but-unapplied items per shard", |d| {
+            d.queued as f64
+        }),
+        ("alid_service_shard_pending", "Applied-but-unexplained items per shard", |d| {
+            d.pending as f64
+        }),
+        ("alid_service_shard_items", "Applied items per shard", |d| d.items as f64),
+        ("alid_service_shard_clusters", "Dominant clusters per shard", |d| d.clusters as f64),
+    ];
+    for (name, help, pick) in gauges {
+        expo::write_header(&mut out, name, help, "gauge");
+        for (s, d) in depths.iter().enumerate() {
+            let labels = [("shard".to_string(), s.to_string())];
+            expo::write_sample(&mut out, name, &labels, &format!("{}", pick(d)));
+        }
+    }
+    // alid-lint: allow(no-metric-branching) -- this IS the exposition surface
+    out.push_str(&alid_obs::global().render_prometheus());
+    Reply { body: Body::Text(out), headers: Vec::new() }
 }
 
 fn healthz(service: &Service) -> Json {
@@ -581,7 +722,7 @@ fn ingest(req: &Request, service: &Arc<Service>) -> Result<Reply, HttpError> {
         // hint never undercuts itself.
         headers.push(("Retry-After", ms.div_ceil(1000).max(1).to_string()));
     }
-    Ok(Reply { body: Json::object(fields), headers })
+    Ok(Reply { body: Body::Json(Json::object(fields)), headers })
 }
 
 fn assign_by_id(req: &Request, service: &Service) -> Result<Json, HttpError> {
@@ -651,7 +792,12 @@ fn clusters(req: &Request, service: &Service) -> Result<Json, HttpError> {
     }
 }
 
-fn snapshot(req: &Request, service: &Arc<Service>, opts: &HttpOptions) -> Result<Json, HttpError> {
+fn snapshot(
+    req: &Request,
+    service: &Arc<Service>,
+    opts: &HttpOptions,
+    m: &HttpMetrics,
+) -> Result<Json, HttpError> {
     // The target path is fixed at server start (`--snapshot` /
     // `HttpOptions::snapshot_path`) and never taken from the request:
     // honouring a client-supplied path would hand every network peer
@@ -662,8 +808,10 @@ fn snapshot(req: &Request, service: &Arc<Service>, opts: &HttpOptions) -> Result
     })?;
     // Quiesce the queues so the snapshot captures applied state, then
     // serialize.
+    let _snapshot_timer = m.snapshot_seconds.start_timer();
     service.drain();
     let bytes = snapshot_bytes(service);
+    m.snapshot_bytes.set(bytes.len() as f64);
     // Write-then-rename so the target is always a complete snapshot:
     // a crash mid-write (or a concurrent request) must never leave
     // the only snapshot torn — that is the durability the feature
@@ -726,7 +874,27 @@ impl Client {
         self.read_response()
     }
 
+    /// Sends one bodyless request and returns the raw response text —
+    /// for the non-JSON endpoint (`GET /metrics`).
+    pub fn request_text(&mut self, method: &str, path: &str) -> io::Result<(u16, String)> {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: alid\r\nContent-Length: 0\r\nConnection: keep-alive\r\n\r\n",
+        );
+        let w = self.stream.get_mut();
+        w.write_all(request.as_bytes())?;
+        w.flush()?;
+        self.read_raw()
+    }
+
     fn read_response(&mut self) -> io::Result<(u16, Json)> {
+        let (status, text) = self.read_raw()?;
+        let json = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON body: {e}"))
+        })?;
+        Ok((status, json))
+    }
+
+    fn read_raw(&mut self) -> io::Result<(u16, String)> {
         let mut line = String::new();
         self.stream.read_line(&mut line)?;
         let status: u16 =
@@ -753,10 +921,7 @@ impl Client {
         self.stream.read_exact(&mut body)?;
         let text = String::from_utf8(body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-        let json = serde_json::from_str(&text).map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON body: {e}"))
-        })?;
-        Ok((status, json))
+        Ok((status, text))
     }
 }
 
@@ -1004,6 +1169,59 @@ mod tests {
             .expect("snapshot restores");
         assert_eq!(restored.len(), 12);
         let _ = std::fs::remove_file(&path);
+        server.shutdown();
+    }
+
+    /// The `/metrics` scrape: plain-text exposition with `HELP`/`TYPE`
+    /// metadata, series from the HTTP and service layers, per-shard
+    /// depth gauges, and cumulative (monotone) histogram buckets
+    /// ending at `le="+Inf"`.
+    #[test]
+    fn metrics_scrape_is_valid_exposition() {
+        let (server, addr) = start_test_server();
+        let mut client = Client::connect(&addr).unwrap();
+        let items: Vec<Json> =
+            (0..16).map(|i| Json::Arr(vec![Json::Num(i as f64 * 0.01)])).collect();
+        let body = Json::object([("items", Json::Arr(items))]);
+        let (status, _) = client.request("POST", "/ingest", Some(&body)).unwrap();
+        assert_eq!(status, 200);
+        let (status, text) = client.request_text("GET", "/metrics").unwrap();
+        assert_eq!(status, 200);
+        for series in [
+            "alid_http_accepts_total",
+            "alid_http_requests_total",
+            "alid_service_admitted_total 16",
+            "alid_service_drains_total 1",
+            "alid_service_shard_queued{shard=\"0\"} 0",
+            "alid_service_shard_items{shard=\"1\"}",
+        ] {
+            assert!(text.contains(series), "missing `{series}` in scrape:\n{text}");
+        }
+        assert!(text.contains("# TYPE alid_http_requests_total counter"), "{text}");
+        assert!(text.contains("# TYPE alid_service_shard_queued gauge"), "{text}");
+        assert!(text.contains("# TYPE alid_http_request_seconds histogram"), "{text}");
+        // The ingest served above is in its per-endpoint latency series.
+        assert!(text.contains("alid_http_request_seconds_count{path=\"/ingest\"} 1"), "{text}");
+        // Histogram buckets are cumulative (monotone nondecreasing) and
+        // the family terminates at the +Inf bucket == _count.
+        let prefix = "alid_http_request_seconds_bucket{path=\"/ingest\"";
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with(prefix))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.len() > 8, "expected a full bucket ladder:\n{text}");
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "non-cumulative buckets: {buckets:?}");
+        let inf = text
+            .lines()
+            .find(|l| l.starts_with(prefix) && l.contains("le=\"+Inf\""))
+            .expect("+Inf bucket present");
+        assert!(inf.ends_with(" 1"), "{inf}");
+        // Every non-comment line parses as `series value`.
+        for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample shape");
+            assert!(!series.is_empty() && value.parse::<f64>().is_ok(), "bad sample: {line}");
+        }
         server.shutdown();
     }
 

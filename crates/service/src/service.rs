@@ -260,11 +260,100 @@ impl Serialize for ClusterSummary {
 }
 
 /// One shard: the streaming detector plus its bounded ingest queue.
+/// (Busy-refusal telemetry lives in [`ServiceMetrics`], not here —
+/// the shard holds state, the registry holds observations.)
 pub(crate) struct Shard {
     pub(crate) stream: StreamingAlid,
     pub(crate) queue: VecDeque<Vec<f64>>,
-    /// Admissions refused with `Busy` (telemetry; never snapshotted).
-    pub(crate) busy: u64,
+}
+
+/// Per-service observability: a private `alid-obs` registry plus the
+/// write-side handles the service's own paths bump.
+///
+/// Private rather than process-global on purpose: tests run many
+/// services in one process, and a shared registry would bleed one
+/// service's busy counts into another's `/healthz`. Everything that
+/// *is* process-global (exec pool, autotuners, peeler, tracer) lives
+/// in `alid_obs::global()`; the HTTP front end renders both at
+/// `GET /metrics` and registers its own series into this registry via
+/// [`Service::metrics_registry`].
+pub(crate) struct ServiceMetrics {
+    registry: alid_obs::Registry,
+    /// Admissions refused with [`Admission::Busy`], one counter per
+    /// shard (telemetry, not state: snapshots do not persist it and a
+    /// restore starts the count afresh).
+    busy: Vec<Arc<alid_obs::Counter>>,
+    admitted: Arc<alid_obs::Counter>,
+    drains: Arc<alid_obs::Counter>,
+    drain_applied: Arc<alid_obs::Counter>,
+    drain_seconds: Arc<alid_obs::Histogram>,
+    sweeps: Arc<alid_obs::Counter>,
+    reduce_hits: Arc<alid_obs::Counter>,
+    reduce_misses: Arc<alid_obs::Counter>,
+    reduce_seconds: Arc<alid_obs::Histogram>,
+    reduce_pairs_tested: Arc<alid_obs::Counter>,
+    reduce_pairs_linked: Arc<alid_obs::Counter>,
+}
+
+impl ServiceMetrics {
+    fn new(shards: usize) -> Self {
+        let r = alid_obs::Registry::new();
+        let busy = (0..shards)
+            .map(|s| {
+                r.counter(
+                    "alid_service_busy_total",
+                    "Admissions refused with Busy since the process started",
+                    &[("shard", &s.to_string())],
+                )
+            })
+            .collect();
+        ServiceMetrics {
+            busy,
+            admitted: r.counter(
+                "alid_service_admitted_total",
+                "Items admitted with an id and a queue slot",
+                &[],
+            ),
+            drains: r.counter("alid_service_drains_total", "Drain calls", &[]),
+            drain_applied: r.counter(
+                "alid_service_drain_applied_total",
+                "Queued items applied to their shards by drains",
+                &[],
+            ),
+            drain_seconds: r.histogram(
+                "alid_service_drain_seconds",
+                "Wall time of one drain call across all shards",
+                &[],
+            ),
+            sweeps: r.counter("alid_service_sweeps_total", "Forced detection sweeps", &[]),
+            reduce_hits: r.counter(
+                "alid_service_reduce_cache_hits_total",
+                "Merged-view queries served from the epoch-keyed cache",
+                &[],
+            ),
+            reduce_misses: r.counter(
+                "alid_service_reduce_cache_misses_total",
+                "Merged-view queries that re-ran the PALID reduce",
+                &[],
+            ),
+            reduce_seconds: r.histogram(
+                "alid_service_reduce_seconds",
+                "Wall time of one full cross-shard reduce (cut + merge)",
+                &[],
+            ),
+            reduce_pairs_tested: r.counter(
+                "alid_service_reduce_pairs_tested_total",
+                "Candidate fragment pairs affinity-tested by reduces",
+                &[],
+            ),
+            reduce_pairs_linked: r.counter(
+                "alid_service_reduce_pairs_linked_total",
+                "Candidate fragment pairs that cleared the join threshold",
+                &[],
+            ),
+            registry: r,
+        }
+    }
 }
 
 /// The sharded online detection service. Thread-safe: admission,
@@ -289,6 +378,8 @@ pub struct Service {
     epoch: AtomicU64,
     /// The cached merged view with the epoch it was computed at.
     merged: Mutex<Option<(u64, Arc<MergedView>)>>,
+    /// Write-side telemetry handles plus the per-service registry.
+    obs: ServiceMetrics,
 }
 
 impl std::fmt::Debug for Service {
@@ -306,15 +397,15 @@ impl Service {
     pub fn new(cfg: ServiceConfig) -> Self {
         let router = ShardRouter::new(cfg.dim, cfg.router_bits, cfg.router_seed);
         let cost = CostModel::shared();
-        let shards = (0..cfg.shards)
+        let shards: Vec<_> = (0..cfg.shards)
             .map(|_| {
                 Mutex::new(Shard {
                     stream: StreamingAlid::new(cfg.dim, cfg.params, cfg.batch, Arc::clone(&cost)),
                     queue: VecDeque::new(),
-                    busy: 0,
                 })
             })
             .collect();
+        let obs = ServiceMetrics::new(shards.len());
         Self {
             cfg,
             router,
@@ -323,6 +414,7 @@ impl Service {
             cost,
             epoch: AtomicU64::new(0),
             merged: Mutex::new(None),
+            obs,
         }
     }
 
@@ -335,6 +427,7 @@ impl Service {
         cost: Arc<CostModel>,
     ) -> Self {
         let router = ShardRouter::new(cfg.dim, cfg.router_bits, cfg.router_seed);
+        let obs = ServiceMetrics::new(shards.len());
         Self {
             cfg,
             router,
@@ -343,7 +436,16 @@ impl Service {
             cost,
             epoch: AtomicU64::new(0),
             merged: Mutex::new(None),
+            obs,
         }
+    }
+
+    /// The per-service metrics registry — the exposition surface
+    /// `GET /metrics` renders and the HTTP front end registers its own
+    /// series into. Write handles stay private to the paths that bump
+    /// them.
+    pub fn metrics_registry(&self) -> &alid_obs::Registry {
+        &self.obs.registry
     }
 
     /// The service configuration.
@@ -445,9 +547,10 @@ impl Service {
         let s = self.route(v);
         let mut shard = self.shard(s);
         if shard.queue.len() >= self.cfg.queue_capacity {
-            shard.busy += 1;
+            self.obs.busy[s].inc();
             return Admission::Busy { shard: s as u32, depth: shard.queue.len() };
         }
+        self.obs.admitted.inc();
         let local = (shard.stream.len() + shard.queue.len()) as u32;
         shard.queue.push_back(v.to_vec());
         let depth = shard.queue.len();
@@ -479,6 +582,8 @@ impl Service {
     /// application is strictly FIFO, so the outcome is byte-identical
     /// for any worker count.
     pub fn drain(&self) -> DrainReport {
+        self.obs.drains.inc();
+        let _drain_timer = self.obs.drain_seconds.start_timer();
         let reports = self.cfg.exec.map_indexed(self.shards.len(), |s| {
             let mut shard = self.shard(s);
             let mut report = DrainReport::default();
@@ -500,6 +605,7 @@ impl Service {
             total.buffered += r.buffered;
             total.promoted += r.promoted;
         }
+        self.obs.drain_applied.add(total.applied as u64);
         if total.applied > 0 {
             // After the mutations: a merged view cut mid-drain tags
             // itself with the pre-bump epoch and is invalidated here.
@@ -511,6 +617,7 @@ impl Service {
     /// Forces a detection sweep on every shard (tail flush — the
     /// stream analogue of "run detection on what's left").
     pub fn sweep(&self) -> usize {
+        self.obs.sweeps.inc();
         let promoted = self
             .cfg
             .exec
@@ -575,7 +682,8 @@ impl Service {
                     pending: shard.stream.pending().len(),
                     items: shard.stream.len(),
                     clusters: shard.stream.clusters().len(),
-                    busy: shard.busy,
+                    // alid-lint: allow(no-metric-branching) -- /healthz telemetry read-out; the value feeds load reporting, never clustering outputs
+                    busy: self.obs.busy[s].metric_value(),
                 }
             })
             .collect()
@@ -684,10 +792,15 @@ impl Service {
         let hint = self.epoch.load(Ordering::SeqCst);
         if let Some((tag, view)) = self.merged.lock().expect("merged cache").as_ref() {
             if *tag == hint {
+                self.obs.reduce_hits.inc();
                 return Arc::clone(view);
             }
         }
+        self.obs.reduce_misses.inc();
+        let _reduce_timer = self.obs.reduce_seconds.start_timer();
         let cut = self.reduce_cut();
+        self.obs.reduce_pairs_tested.add(cut.pairs_tested as u64);
+        self.obs.reduce_pairs_linked.add(cut.pairs_linked as u64);
         let view = Arc::new(reduce::merge(cut, &self.cfg.params, &self.cost));
         *self.merged.lock().expect("merged cache") = Some((view.epoch, Arc::clone(&view)));
         view
@@ -985,6 +1098,16 @@ mod tests {
         assert_eq!(svc.depths()[0].busy, 4, "four of six admissions refused");
         svc.drain();
         assert_eq!(svc.depths()[0].busy, 4, "draining never clears the telemetry");
+        // `/healthz` and `/metrics` are the same counter now: the
+        // registry must render exactly what `depths()` reports.
+        let text = svc.metrics_registry().render_prometheus();
+        assert!(
+            text.contains("alid_service_busy_total{shard=\"0\"} 4"),
+            "registry and depths() must agree: {text}"
+        );
+        // Per-service registries must not bleed into one another.
+        let other = Service::new(ServiceConfig::new(2, 1, test_params()).with_queue_capacity(2));
+        assert_eq!(other.depths()[0].busy, 0, "fresh service, fresh counters");
     }
 
     /// On one shard no cross-shard pair exists, so the merged view is

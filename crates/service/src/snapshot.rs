@@ -351,7 +351,7 @@ fn shard_from_json(
     );
     // Busy counts are process-lifetime telemetry, not state: a
     // restored service starts refusing from zero.
-    Ok(Shard { stream, queue, busy: 0 })
+    Ok(Shard { stream, queue })
 }
 
 /// Restores a service from [`snapshot_bytes`] output. `exec` becomes

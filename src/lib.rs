@@ -58,6 +58,7 @@ pub use alid_data as data;
 pub use alid_exec as exec;
 pub use alid_linalg as linalg;
 pub use alid_lsh as lsh;
+pub use alid_obs as obs;
 pub use alid_service as service;
 
 /// The items most programs need.

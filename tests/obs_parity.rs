@@ -1,0 +1,74 @@
+//! Observability parity: instrumentation is telemetry, never control.
+//!
+//! The whole `alid-obs` design rests on one invariant — no
+//! deterministic code path branches on a metric or a span, so turning
+//! tracing on must leave every output byte-for-bit identical at every
+//! worker count. This suite proves it end to end: the same workload
+//! is clustered with tracing off and with tracing on (spans recording
+//! into the ring buffer the whole time), at workers {1, 2, 4, 8}, and
+//! the clusterings are compared bit-for-bit.
+//!
+//! The suite lives in its own test binary because the tracer is
+//! process-global: sharing a process with unrelated tests would let
+//! their spans interleave with (and obscure) the ones asserted here.
+
+use alid::affinity::clustering::Clustering;
+use alid::data::sift::{sift, SiftConfig};
+use alid::prelude::*;
+
+fn workload() -> (alid::data::LabeledDataset, AlidParams) {
+    let ds = sift(&SiftConfig { words: 4, word_size: 25, noise: 100, seed: 23 });
+    let kernel = ds.suggested_kernel(0.9, 0.35);
+    let mut params = AlidParams::new(kernel);
+    params.first_roi_radius = kernel.distance_at(0.5);
+    (ds, params)
+}
+
+fn detect(ds: &Dataset, params: AlidParams, workers: usize) -> Clustering {
+    let p = params.with_exec(ExecPolicy::workers(workers));
+    Peeler::new(ds, p, CostModel::shared()).detect_all()
+}
+
+fn assert_bit_identical(a: &Clustering, b: &Clustering, tag: &str) {
+    assert_eq!(a.n, b.n, "{tag}");
+    assert_eq!(a.clusters.len(), b.clusters.len(), "{tag}: cluster count diverged");
+    for (x, y) in a.clusters.iter().zip(&b.clusters) {
+        assert_eq!(x.members, y.members, "{tag}: members diverged");
+        let xw: Vec<u64> = x.weights.iter().map(|w| w.to_bits()).collect();
+        let yw: Vec<u64> = y.weights.iter().map(|w| w.to_bits()).collect();
+        assert_eq!(xw, yw, "{tag}: weights diverged");
+        assert_eq!(x.density.to_bits(), y.density.to_bits(), "{tag}: density diverged");
+    }
+}
+
+#[test]
+fn tracing_on_and_off_are_byte_identical_at_every_worker_count() {
+    let (ds, params) = workload();
+
+    // Baselines first, with the tracer off.
+    assert!(!alid::obs::trace::enabled(), "tracer must start disabled");
+    let quiet: Vec<(usize, Clustering)> =
+        [1usize, 2, 4, 8].iter().map(|&w| (w, detect(&ds.data, params, w))).collect();
+
+    // Same runs with tracing live; a small ring forces eviction so
+    // the overflow path runs inside the measured region too.
+    alid::obs::trace::enable(512);
+    for (workers, baseline) in &quiet {
+        let traced = detect(&ds.data, params, *workers);
+        assert_bit_identical(baseline, &traced, &format!("tracing on, {workers} workers"));
+    }
+    let events = alid::obs::trace::drain();
+    assert!(!events.is_empty(), "traced runs must have recorded spans");
+    assert!(
+        events.iter().any(|e| e.name == "peel.round" || e.name == "exec.phase"),
+        "expected peel/exec spans, got: {:?}",
+        events.iter().map(|e| e.name).collect::<Vec<_>>()
+    );
+    alid::obs::trace::disable();
+
+    // And once more after disabling: state left behind by the traced
+    // runs must not leak into later results either.
+    let after = detect(&ds.data, params, 4);
+    let baseline = &quiet.iter().find(|(w, _)| *w == 4).expect("4-worker baseline").1;
+    assert_bit_identical(baseline, &after, "tracing re-disabled, 4 workers");
+}

@@ -93,10 +93,22 @@ impl CostModel {
         debug_assert!(before >= n, "freed {n} entries but only {before} were allocated");
     }
 
-    /// Records auxiliary bytes (monotonic; index structures are built once).
+    /// Records auxiliary bytes. Growth-only except for explicit bucket
+    /// compaction, which returns bytes via [`Self::release_aux_bytes`].
     #[inline]
     pub fn record_aux_bytes(&self, n: u64) {
         self.aux_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records that `n` auxiliary bytes were physically freed (tombstone
+    /// compaction dropping retired ids from index buckets). Saturating,
+    /// so a caller overshooting its own accounting clamps to zero rather
+    /// than wrapping the memory plots to 2^64.
+    #[inline]
+    pub fn release_aux_bytes(&self, n: u64) {
+        let _ = self
+            .aux_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| Some(cur.saturating_sub(n)));
     }
 
     /// Copies the counters.
@@ -149,6 +161,16 @@ mod tests {
         c.alloc_entries(4);
         c.record_aux_bytes(100);
         assert_eq!(c.snapshot().peak_bytes(), 4 * 8 + 100);
+    }
+
+    #[test]
+    fn release_aux_bytes_subtracts_and_saturates() {
+        let c = CostModel::new();
+        c.record_aux_bytes(100);
+        c.release_aux_bytes(40);
+        assert_eq!(c.snapshot().aux_bytes, 60);
+        c.release_aux_bytes(1000);
+        assert_eq!(c.snapshot().aux_bytes, 0);
     }
 
     #[test]

@@ -303,6 +303,12 @@ fn drive(addr: &str, items: &[Vec<f64>], req_batch: usize) -> (Cell, Json) {
     let (status, snap) = client.request("POST", "/snapshot", None).expect("snapshot");
     assert_eq!(status, 200, "{snap:?}");
     let snapshot_bytes = snap.get("bytes").and_then(Json::as_u64).unwrap_or(0) as usize;
+    // The compaction-trigger contract: the response must carry the
+    // write latency and the journal bytes freed (0 without a journal).
+    snap.get("duration_ms").and_then(Json::as_f64).expect("snapshot duration_ms");
+    snap.get("journal_truncated_bytes")
+        .and_then(Json::as_u64)
+        .expect("snapshot journal_truncated_bytes");
 
     let cell = Cell {
         shards,

@@ -223,6 +223,16 @@ fn obs_metrics() -> &'static PeelMetrics {
 /// index over a batch) and `StreamingAlid::sweep` (the streaming index
 /// with attached items tombstoned), so all drivers ride the same
 /// speculative path.
+///
+/// `compact` controls whether the pass may *permanently* compact
+/// peeled items out of the index's bucket lists once dead entries
+/// dominate ([`LshIndex::should_compact`]): batch drivers own their
+/// index and never resurrect peeled items, so they pass `true` and
+/// reclaim the aux bytes; the streaming sweep's tombstones are
+/// transient (`restore_all` revives assigned items for future
+/// attachment), so it must pass `false`. Compaction is invisible to
+/// queries, so the detected clusters are identical either way.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn peel_pass(
     ds: &Dataset,
     params: &AlidParams,
@@ -231,6 +241,7 @@ pub(crate) fn peel_pass(
     from: u32,
     limit: Option<usize>,
     stats: &mut PeelStats,
+    compact: bool,
 ) -> Vec<(u32, DetectedCluster)> {
     let n = ds.len() as u32;
     let limit = limit.unwrap_or(usize::MAX);
@@ -245,6 +256,9 @@ pub(crate) fn peel_pass(
                 index.remove(m);
             }
             detections.push((seed, out.cluster));
+            if compact && index.should_compact() {
+                index.compact_tombstones();
+            }
         }
         stats.record_sequential(detections.len() as u64);
         return detections;
@@ -311,6 +325,9 @@ pub(crate) fn peel_pass(
         round_span.count("rerun", round.rerun as u64);
         drop(round_span);
         stats.record_round(round);
+        if compact && index.should_compact() {
+            index.compact_tombstones();
+        }
     }
     detections
 }
@@ -359,7 +376,7 @@ pub fn detect_on_subset(
     let sub = ds.subset(&rows);
     let mut index = LshIndex::build(&sub, params.lsh, cost);
     let mut stats = PeelStats::default();
-    let detections = peel_pass(&sub, params, &mut index, cost, 0, None, &mut stats);
+    let detections = peel_pass(&sub, params, &mut index, cost, 0, None, &mut stats, true);
     detections
         .into_iter()
         .map(|(_seed, mut cluster)| {
@@ -445,6 +462,11 @@ impl<'a> Peeler<'a> {
         for &m in &out.cluster.members {
             self.index.remove(m);
         }
+        // The Peeler owns its index and never resurrects peeled items,
+        // so dead bucket entries can be reclaimed once they dominate.
+        if self.index.should_compact() {
+            self.index.compact_tombstones();
+        }
         Some(out.cluster)
     }
 
@@ -491,6 +513,7 @@ impl<'a> Peeler<'a> {
             self.next_seed,
             Some(max_clusters),
             &mut stats,
+            true,
         );
         clustering.clusters.extend(detections.into_iter().map(|(_seed, cluster)| cluster));
         (clustering, stats)

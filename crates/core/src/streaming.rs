@@ -136,6 +136,16 @@ impl StreamingAlid {
         &self.pending
     }
 
+    /// Auxiliary bytes the LSH index's tombstone compaction has
+    /// returned over this stream's lifetime. Zero today — the streaming
+    /// sweep's tombstones are transient (assigned items must stay
+    /// queryable for future attachment), so it never compacts — but the
+    /// service's sweep journal records the per-sweep delta, reserving
+    /// the frame field for the eviction work of ROADMAP item 4.
+    pub fn aux_freed_total(&self) -> u64 {
+        self.index.freed_bytes_total()
+    }
+
     // --- Persistence surface -------------------------------------------
     //
     // The accessors below, together with [`Self::from_state`], are the
@@ -440,6 +450,10 @@ impl StreamingAlid {
             0,
             None,
             &mut self.stats,
+            // Never compact here: these tombstones are transient —
+            // restore_all below revives assigned items so future
+            // attachment queries can still find them.
+            false,
         );
         // The stream is unbounded; keep the per-round history a
         // bounded window (totals keep accumulating forever).

@@ -96,10 +96,11 @@ pub struct Config {
     pub kernel: Vec<String>,
     /// Paths where thread spawns / clock reads are legitimate (the
     /// exec pool and autotuner, the obs crate — the one sanctioned
-    /// clock owner — benches, the HTTP front end). Timing there feeds
-    /// chunk sizes and reports, never output values. Doubles as the
-    /// exposition allowlist for `no-metric-branching`: where a clock
-    /// may be read, a metric may be read back out for telemetry.
+    /// clock owner — benches, the HTTP front end, the journal's
+    /// group-commit writer thread). Timing there feeds chunk sizes,
+    /// reports, and fsync batching, never output values. Doubles as
+    /// the exposition allowlist for `no-metric-branching`: where a
+    /// clock may be read, a metric may be read back out for telemetry.
     pub timing_allow: Vec<String>,
     /// The lock-disciplined crates: guard regions are tracked and the
     /// four `*-under-lock` / `lock-cycle` rules fire here (effect
@@ -134,6 +135,7 @@ impl Config {
                 "crates/bench/",
                 "crates/obs/",
                 "crates/service/src/http.rs",
+                "crates/service/src/journal.rs",
                 "crates/shims/criterion/",
                 "examples/",
             ]),

@@ -74,6 +74,12 @@ pub struct SimHashIndex {
     tables: Vec<Table>,
     alive: Vec<bool>,
     alive_count: usize,
+    /// Permanently retired ids, dropped from the bucket lists by
+    /// [`Self::compact_tombstones`].
+    retired: Vec<bool>,
+    retired_count: usize,
+    /// Aux bytes returned to the cost model by compaction so far.
+    freed_bytes: u64,
     /// Shared cost model: build records the O(n*l) bucket memory and
     /// every streaming insert records its own growth (Section 4.3).
     cost: Arc<CostModel>,
@@ -110,6 +116,9 @@ impl SimHashIndex {
             tables,
             alive: vec![true; n],
             alive_count: n,
+            retired: vec![false; n],
+            retired_count: 0,
+            freed_bytes: 0,
             cost: Arc::clone(cost),
         };
         alid_exec::tune::export_tune("simhash_build", &SIMHASH_BUILD_TUNE);
@@ -160,6 +169,7 @@ impl SimHashIndex {
         self.n += 1;
         self.alive.push(true);
         self.alive_count += 1;
+        self.retired.push(false);
         self.cost.record_aux_bytes((self.params.tables * 4 + 1) as u64);
         id
     }
@@ -179,13 +189,66 @@ impl SimHashIndex {
         self.alive_count
     }
 
-    /// Tombstones an item (idempotent).
+    /// Tombstones an item (idempotent). Frees no aux bytes until a
+    /// caller with *permanent* tombstones runs
+    /// [`Self::compact_tombstones`].
     pub fn remove(&mut self, id: u32) {
         let slot = &mut self.alive[id as usize];
         if *slot {
             *slot = false;
             self.alive_count -= 1;
         }
+    }
+
+    /// Whether at least half of the bucket entries still held belong to
+    /// tombstoned items (see [`crate::index::LshIndex::should_compact`]).
+    pub fn should_compact(&self) -> bool {
+        let held = self.n - self.retired_count;
+        let dead = held - self.alive_count;
+        dead > 0 && dead * 2 >= held
+    }
+
+    /// Promotes every current tombstone to permanent retirement and
+    /// physically drops those ids from the bucket lists, releasing the
+    /// freed bytes (4 per dropped entry) from the shared cost model —
+    /// the SimHash mirror of
+    /// [`crate::index::LshIndex::compact_tombstones`], with the same
+    /// permanence caveat. Queries see no difference: they already
+    /// filtered dead ids, and survivor order within a bucket is kept.
+    pub fn compact_tombstones(&mut self) -> u64 {
+        let mut newly = 0u64;
+        for (r, &a) in self.retired.iter_mut().zip(&self.alive) {
+            if !a && !*r {
+                *r = true;
+                newly += 1;
+            }
+        }
+        if newly == 0 {
+            return 0;
+        }
+        self.retired_count += newly as usize;
+        let retired = std::mem::take(&mut self.retired);
+        let mut dropped = 0u64;
+        for table in &mut self.tables {
+            // alid-lint: allow(no-unordered-iteration) -- per-bucket filtering is order-independent: each bucket is filtered in place (survivor order preserved) and no output is derived from the map's visit order
+            table.buckets.retain(|_, bucket| {
+                let before = bucket.len();
+                bucket.retain(|&id| !retired[id as usize]);
+                dropped += (before - bucket.len()) as u64;
+                !bucket.is_empty()
+            });
+        }
+        self.retired = retired;
+        let freed = dropped * 4;
+        self.cost.release_aux_bytes(freed);
+        self.freed_bytes += freed;
+        freed
+    }
+
+    /// Total auxiliary bytes compaction has returned over this index's
+    /// lifetime.
+    pub fn freed_bytes_total(&self) -> u64 {
+        self.freed_bytes
     }
 
     fn key(&self, t: usize, v: &[f64]) -> u64 {
@@ -307,6 +370,34 @@ mod tests {
         // Tombstoning frees nothing (the id stays in the buckets).
         idx.remove(id);
         assert_eq!(cost.snapshot().aux_bytes, base + (10 * 4 + 1) as u64);
+    }
+
+    #[test]
+    fn compact_tombstones_frees_aux_bytes_without_changing_queries() {
+        let ds = sphere_dataset();
+        let cost = CostModel::shared();
+        let mut idx = SimHashIndex::build(&ds, SimHashParams::new(10, 10, 3), &cost);
+        let mut plain = SimHashIndex::build(&ds, SimHashParams::new(10, 10, 3), &cost);
+        let base = cost.snapshot().aux_bytes;
+        // Tombstone cone A in both; compact only one of them.
+        for id in 0..15 {
+            idx.remove(id);
+            plain.remove(id);
+        }
+        let freed = idx.compact_tombstones();
+        assert_eq!(freed, 15 * 10 * 4, "4 bytes per (retired id, table)");
+        assert_eq!(idx.freed_bytes_total(), freed);
+        assert_eq!(cost.snapshot().aux_bytes, base - freed);
+        for probe in 0..ds.len() {
+            assert_eq!(
+                idx.query(ds.get(probe)),
+                plain.query(ds.get(probe)),
+                "query {probe} diverged after compaction"
+            );
+        }
+        // No new tombstones: compaction is a no-op.
+        assert!(!idx.should_compact());
+        assert_eq!(idx.compact_tombstones(), 0);
     }
 
     #[test]

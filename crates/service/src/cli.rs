@@ -29,6 +29,15 @@ pub fn usage() -> &'static str {
                                byte-identical for any count)\n\
        --snapshot <path>       restore from this snapshot if it exists; also\n\
                                the default target of POST /snapshot\n\
+       --journal <dir>         durable append-only journal of applied\n\
+                               mutations: replayed on top of the snapshot at\n\
+                               start, appended to (group commit) while\n\
+                               serving — recovery is bit-identical to an\n\
+                               uninterrupted run\n\
+       --compact-every <bytes> rotate journal segments at this size and fold\n\
+                               them into the snapshot once they accumulate\n\
+                               (default 8388608 = 8 MiB; 0 disables both,\n\
+                               POST /snapshot still compacts explicitly)\n\
        --merge-sample <n>      support-sample bound of the merged view's\n\
                                affinity test (GET /clusters?view=merged;\n\
                                default 8)\n\
@@ -62,6 +71,8 @@ struct ServeOptions {
     http_workers: usize,
     workers: Option<usize>,
     snapshot: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    compact_every: u64,
     dim: Option<usize>,
     scale: Option<f64>,
     k: Option<f64>,
@@ -86,6 +97,8 @@ fn parse(args: &[String]) -> Result<ServeOptions, String> {
         http_workers: 4,
         workers: None,
         snapshot: None,
+        journal: None,
+        compact_every: 8 << 20,
         dim: None,
         scale: None,
         k: None,
@@ -128,6 +141,12 @@ fn parse(args: &[String]) -> Result<ServeOptions, String> {
                 o.workers = Some(w);
             }
             "--snapshot" => o.snapshot = Some(PathBuf::from(take("--snapshot")?)),
+            "--journal" => o.journal = Some(PathBuf::from(take("--journal")?)),
+            "--compact-every" => {
+                let v = take("--compact-every")?;
+                o.compact_every =
+                    v.parse().map_err(|e| format!("--compact-every: {e}\n\n{}", usage()))?;
+            }
             "--dim" => o.dim = Some(parse_usize("--dim", take("--dim")?)?),
             "--scale" => o.scale = Some(parse_f64("--scale", take("--scale")?)?),
             "--k" => o.k = Some(parse_f64("--k", take("--k")?)?),
@@ -229,11 +248,11 @@ fn fresh_service(o: &ServeOptions, exec: ExecPolicy) -> Result<Service, String> 
 pub fn serve_main(args: &[String]) -> Result<(), String> {
     let o = parse(args)?;
     let exec = ExecPolicy::auto_or(o.workers);
-    let mut service = match &o.snapshot {
+    let (mut service, snap_meta) = match &o.snapshot {
         Some(path) if path.exists() => {
             let bytes =
                 std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-            let svc = snapshot::restore(&bytes, exec)
+            let (svc, meta) = snapshot::restore_with_meta(&bytes, exec)
                 .map_err(|e| format!("restoring {}: {e}", path.display()))?;
             eprintln!(
                 "restored {} items / {} shards from {}",
@@ -241,15 +260,32 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                 svc.shard_count(),
                 path.display()
             );
-            svc
+            (svc, meta)
         }
-        _ => fresh_service(&o, exec)?,
+        _ => (fresh_service(&o, exec)?, snapshot::SnapshotMeta::default()),
     };
     // Like `exec`, the merge knobs are runtime choices a snapshot
     // does not carry — apply the flags on both paths so
     // `--merge-sample`/`--merge-radius` are honoured after a restore
     // too.
     service.set_merge_knobs(o.merge_sample, o.merge_radius);
+    if let Some(dir) = &o.journal {
+        // Replay any frames past the snapshot's cut through the
+        // deterministic insert path, then attach the live journal so
+        // every mutation from here on is appended. Replay runs before
+        // the attach — the service must not re-journal its own replay.
+        let cfg =
+            crate::journal::JournalConfig { dir: dir.clone(), compact_every: o.compact_every };
+        let journal = crate::journal::recover_and_open(cfg, &service, snap_meta.journal_pos)
+            .map_err(|e| format!("recovering journal {}: {e}", dir.display()))?;
+        eprintln!(
+            "journal {} replayed to position {} ({} items live)",
+            dir.display(),
+            journal.appended(),
+            service.len()
+        );
+        service.set_journal(journal);
+    }
     // Tracing is observation only: spans record phase timings, and the
     // parity suite proves outputs are byte-identical with it on or off.
     if let Some(path) = &o.trace_out {
@@ -366,6 +402,20 @@ mod tests {
         assert!(parse(&args(&["--merge-radius", "4294967296"]))
             .unwrap_err()
             .contains("--merge-radius"));
+    }
+
+    #[test]
+    fn journal_flags_parse() {
+        let o = parse(&args(&["--journal", "/tmp/j", "--compact-every", "1024"])).unwrap();
+        assert_eq!(o.journal.as_deref(), Some(std::path::Path::new("/tmp/j")));
+        assert_eq!(o.compact_every, 1024);
+        let o = parse(&args(&[])).unwrap();
+        assert!(o.journal.is_none());
+        assert_eq!(o.compact_every, 8 << 20, "default is 8 MiB");
+        assert!(parse(&args(&["--journal"])).unwrap_err().contains("--journal needs a value"));
+        assert!(parse(&args(&["--compact-every", "lots"]))
+            .unwrap_err()
+            .contains("--compact-every"));
     }
 
     #[test]

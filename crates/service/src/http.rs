@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 use serde::{Json, Serialize};
 
 use crate::service::Service;
-use crate::snapshot::snapshot_bytes;
+use crate::snapshot::snapshot_bytes_with_meta;
 
 /// Upper bound on request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 64 * 1024;
@@ -76,6 +76,10 @@ struct HttpMetrics {
     other_path: Arc<alid_obs::Histogram>,
     snapshot_seconds: Arc<alid_obs::Histogram>,
     snapshot_bytes: Arc<alid_obs::Gauge>,
+    /// Guards journal-triggered auto-compaction: at most one snapshot
+    /// fold runs per server at a time; overlapping triggers are
+    /// dropped (the journal simply keeps growing until the next one).
+    compaction_guard: std::sync::atomic::AtomicBool,
 }
 
 impl HttpMetrics {
@@ -111,6 +115,7 @@ impl HttpMetrics {
                 "Size of the most recently written snapshot",
                 &[],
             ),
+            compaction_guard: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -613,7 +618,7 @@ fn dispatch(
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Ok(healthz(service).into()),
         ("GET", "/metrics") => Ok(metrics_text(service)),
-        ("POST", "/ingest") => ingest(req, service),
+        ("POST", "/ingest") => ingest(req, service, opts, m),
         ("GET", "/assign") => assign_by_id(req, service).map(Reply::from),
         ("POST", "/assign") => assign_by_vector(req, service).map(Reply::from),
         ("GET", "/clusters") => clusters(req, service).map(Reply::from),
@@ -660,7 +665,7 @@ fn healthz(service: &Service) -> Json {
     let depths = service.depths();
     let clusters: usize = depths.iter().map(|d| d.clusters).sum();
     let busy: u64 = depths.iter().map(|d| d.busy).sum();
-    Json::object([
+    let mut fields = vec![
         ("status", "ok".to_json()),
         ("schema", "alid-service/1".to_json()),
         ("shards", service.shard_count().to_json()),
@@ -668,7 +673,18 @@ fn healthz(service: &Service) -> Json {
         ("clusters", clusters.to_json()),
         ("busy_total", busy.to_json()),
         ("depths", depths.to_json()),
-    ])
+    ];
+    if let Some(j) = service.journal() {
+        fields.push((
+            "journal",
+            Json::object([
+                ("appended", j.appended().to_json()),
+                ("durable", j.durable().to_json()),
+                ("lag", j.lag().to_json()),
+            ]),
+        ));
+    }
+    Json::object(fields)
 }
 
 fn vector_from_json(j: &Json, dim: usize) -> Result<Vec<f64>, HttpError> {
@@ -684,7 +700,12 @@ fn vector_from_json(j: &Json, dim: usize) -> Result<Vec<f64>, HttpError> {
         .collect()
 }
 
-fn ingest(req: &Request, service: &Arc<Service>) -> Result<Reply, HttpError> {
+fn ingest(
+    req: &Request,
+    service: &Arc<Service>,
+    opts: &HttpOptions,
+    m: &HttpMetrics,
+) -> Result<Reply, HttpError> {
     let body = parse_body(req)?;
     let items = body
         .get("items")
@@ -698,6 +719,14 @@ fn ingest(req: &Request, service: &Arc<Service>) -> Result<Reply, HttpError> {
     let results = service.ingest_batch(vectors.iter().map(Vec::as_slice));
     let apply = body.get("apply").and_then(Json::as_bool).unwrap_or(true);
     let report = if apply { service.drain() } else { crate::service::DrainReport::default() };
+    if let Some(j) = service.journal() {
+        // Group commit: acknowledge only once this request's frames are
+        // on disk. Concurrent requests waiting here share one fsync.
+        j.barrier();
+        if j.needs_compaction() {
+            maybe_compact(service, opts, m);
+        }
+    }
     // Backpressure hint: the deepest refusing queue sets the backoff
     // (ROADMAP overload item (a), first slice). Clients that ignore
     // the header still see the per-item `busy` verdicts.
@@ -792,6 +821,73 @@ fn clusters(req: &Request, service: &Service) -> Result<Json, HttpError> {
     }
 }
 
+/// Serialises the service, durably writes the snapshot to `path`
+/// (write-then-fsync-then-rename), and folds the journal: after the
+/// snapshot is on disk, closed segments holding only frames the
+/// snapshot already reflects are truncated. Returns
+/// `(snapshot_bytes, journal_bytes_truncated)`.
+fn write_snapshot_file(
+    service: &Service,
+    path: &std::path::Path,
+    m: &HttpMetrics,
+) -> std::io::Result<(usize, u64)> {
+    let (bytes, cut) = snapshot_bytes_with_meta(service);
+    m.snapshot_bytes.set(bytes.len() as f64);
+    // Write-then-rename so the target is always a complete snapshot:
+    // a crash mid-write (or a concurrent request) must never leave
+    // the only snapshot torn — that is the durability the feature
+    // exists for. The temp name is unique per request so concurrent
+    // snapshots each rename a complete file (last one wins). The fsync
+    // before the rename matters doubly now: journal segments are
+    // truncated on the strength of this snapshot, so it must be
+    // durable before any frame it replaces is dropped.
+    static SNAP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        SNAP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, &bytes)?;
+        f.sync_all()
+    };
+    if let Err(e) = write().and_then(|()| std::fs::rename(&tmp, path)) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    let truncated = match service.journal() {
+        Some(j) => {
+            // The barrier guarantees the writer has processed the
+            // rotation the snapshot requested, so the pre-snapshot
+            // segments are closed and eligible.
+            j.barrier();
+            j.truncate_below(cut)
+        }
+        None => 0,
+    };
+    Ok((bytes.len(), truncated))
+}
+
+/// Journal-growth-triggered compaction: folds the journal into the
+/// snapshot exactly like `POST /snapshot`, but fired from the ingest
+/// path once the journal has grown `--compact-every` bytes since the
+/// last fold. At most one fold runs per server at a time; a failed
+/// write is dropped (the journal keeps everything, so durability is
+/// unaffected — the next trigger retries).
+fn maybe_compact(service: &Arc<Service>, opts: &HttpOptions, m: &HttpMetrics) {
+    let Some(path) = opts.snapshot_path.as_deref() else { return };
+    if m.compaction_guard
+        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+        .is_err()
+    {
+        return;
+    }
+    let _snapshot_timer = m.snapshot_seconds.start_timer();
+    let _ = write_snapshot_file(service, path, m);
+    m.compaction_guard.store(false, Ordering::Release);
+}
+
 fn snapshot(
     req: &Request,
     service: &Arc<Service>,
@@ -807,32 +903,17 @@ fn snapshot(
         HttpError::new(400, "snapshots disabled: server started without --snapshot")
     })?;
     // Quiesce the queues so the snapshot captures applied state, then
-    // serialize.
+    // serialize and fold the journal.
     let _snapshot_timer = m.snapshot_seconds.start_timer();
+    let started = std::time::Instant::now();
     service.drain();
-    let bytes = snapshot_bytes(service);
-    m.snapshot_bytes.set(bytes.len() as f64);
-    // Write-then-rename so the target is always a complete snapshot:
-    // a crash mid-write (or a concurrent request) must never leave
-    // the only snapshot torn — that is the durability the feature
-    // exists for. The temp name is unique per request so concurrent
-    // snapshots each rename a complete file (last one wins).
-    static SNAP_SEQ: AtomicU64 = AtomicU64::new(0);
-    let tmp = path.with_extension(format!(
-        "tmp.{}.{}",
-        std::process::id(),
-        SNAP_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let write_err =
-        |e: std::io::Error| HttpError::new(500, format!("writing {}: {e}", path.display()));
-    std::fs::write(&tmp, &bytes).map_err(write_err)?;
-    if let Err(e) = std::fs::rename(&tmp, &path) {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(write_err(e));
-    }
+    let (bytes, truncated) = write_snapshot_file(service, &path, m)
+        .map_err(|e| HttpError::new(500, format!("writing {}: {e}", path.display())))?;
     Ok(Json::object([
         ("path", path.display().to_string().to_json()),
-        ("bytes", bytes.len().to_json()),
+        ("bytes", bytes.to_json()),
+        ("duration_ms", (started.elapsed().as_millis() as u64).to_json()),
+        ("journal_truncated_bytes", truncated.to_json()),
     ]))
 }
 
@@ -1165,6 +1246,10 @@ mod tests {
         );
         let bytes = std::fs::read(&path).unwrap();
         assert_eq!(bytes.len() as u64, resp.get("bytes").and_then(Json::as_u64).unwrap());
+        assert!(resp.get("duration_ms").and_then(Json::as_u64).is_some(), "{resp:?}");
+        // No journal attached: nothing to truncate, but the field is
+        // always present so clients can rely on the shape.
+        assert_eq!(resp.get("journal_truncated_bytes").and_then(Json::as_u64), Some(0));
         let restored = crate::snapshot::restore(&bytes, alid_exec::ExecPolicy::sequential())
             .expect("snapshot restores");
         assert_eq!(restored.len(), 12);

@@ -26,7 +26,11 @@
 //! * **persistence** — a versioned binary [`snapshot`] of the whole
 //!   service (datasets, clusters, density state, pending buffers,
 //!   unapplied queues, placements) that restores to an instance which
-//!   continues *bit-for-bit* identically to one that never stopped;
+//!   continues *bit-for-bit* identically to one that never stopped,
+//!   plus an O(delta) append-only [`journal`] of applied mutations
+//!   with group commit, segment rotation, and snapshot-folding
+//!   compaction, so steady-state durability costs are proportional to
+//!   the *new* data rather than everything ever ingested;
 //! * **a std-only HTTP/1.1 front end** ([`http`]) — `TcpListener`
 //!   acceptors over the shared exec pool's compute phases, no
 //!   dependencies beyond the workspace shims — exposing `/ingest`,
@@ -40,12 +44,17 @@
 
 pub mod cli;
 pub mod http;
+pub mod journal;
 pub mod reduce;
 pub mod service;
 pub mod snapshot;
 
+pub use journal::{recover_and_open, Journal, JournalConfig, JournalError};
 pub use reduce::{MergedCluster, MergedView, ReduceStats};
 pub use service::{
     Admission, ClusterRef, ClusterSummary, DrainReport, Service, ServiceConfig, ShardDepth,
 };
-pub use snapshot::{restore, snapshot_bytes, SnapshotError};
+pub use snapshot::{
+    restore, restore_with_meta, snapshot_bytes, snapshot_bytes_with_meta, SnapshotError,
+    SnapshotMeta,
+};

@@ -380,6 +380,11 @@ pub struct Service {
     merged: Mutex<Option<(u64, Arc<MergedView>)>>,
     /// Write-side telemetry handles plus the per-service registry.
     obs: ServiceMetrics,
+    /// Durable mutation journal, attached by [`Self::set_journal`]
+    /// after recovery. Appends happen *after* each mutation commits
+    /// and while its lock is still held, so the journal order is a
+    /// legal commit order; `None` means persistence is snapshot-only.
+    journal: Option<crate::journal::Journal>,
 }
 
 impl std::fmt::Debug for Service {
@@ -415,6 +420,7 @@ impl Service {
             epoch: AtomicU64::new(0),
             merged: Mutex::new(None),
             obs,
+            journal: None,
         }
     }
 
@@ -437,6 +443,7 @@ impl Service {
             epoch: AtomicU64::new(0),
             merged: Mutex::new(None),
             obs,
+            journal: None,
         }
     }
 
@@ -469,6 +476,20 @@ impl Service {
         self.cfg.merge_sample = merge_sample;
         self.cfg.merge_radius = merge_radius;
         self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Attaches the durability journal. Call *after*
+    /// [`crate::journal::recover_and_open`] has replayed history into
+    /// this service — replayed mutations must not re-journal
+    /// themselves — and before the service starts taking traffic.
+    pub fn set_journal(&mut self, journal: crate::journal::Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any (the HTTP front end barriers and
+    /// compacts through this; the snapshot codec captures its cut).
+    pub fn journal(&self) -> Option<&crate::journal::Journal> {
+        self.journal.as_ref()
     }
 
     /// The shared cost model all shards account into.
@@ -559,6 +580,11 @@ impl Service {
         let mut placements = self.placements.lock().expect("placements");
         let id = placements.len() as u64;
         placements.push(Placement { shard: s as u32, local });
+        if let Some(journal) = &self.journal {
+            // Both commit locks still held: the journal's channel
+            // order agrees with the admission order.
+            journal.append_admit(id, s as u32, v);
+        }
         // No epoch bump: admission only touches the queue and the
         // placement registry, both invisible to the merged view until
         // a drain applies the item (the reduce's reverse map skips
@@ -596,6 +622,14 @@ impl Service {
                     StreamUpdate::SweptNewClusters(k) => report.promoted += k,
                 }
             }
+            if report.applied > 0 {
+                if let Some(journal) = &self.journal {
+                    // Shard lock still held: the frame records the
+                    // shard-local item count this drain reached, the
+                    // anchor replay validates against.
+                    journal.append_apply(s as u32, shard.stream.len() as u64);
+                }
+            }
             report
         });
         let mut total = DrainReport::default();
@@ -621,14 +655,80 @@ impl Service {
         let promoted = self
             .cfg
             .exec
-            // alid-lint: allow(panic-under-lock) -- sweep's asserts are internal invariants over ingest-validated data; a failure means corrupted shard state, where fail-fast poisoning beats serving wrong clusters
-            .map_indexed(self.shards.len(), |s| self.shard(s).stream.sweep())
+            .map_indexed(self.shards.len(), |s| {
+                let mut shard = self.shard(s);
+                let freed_before = shard.stream.aux_freed_total();
+                // alid-lint: allow(panic-under-lock) -- sweep's asserts are internal invariants over ingest-validated data; a failure means corrupted shard state, where fail-fast poisoning beats serving wrong clusters
+                let promoted = shard.stream.sweep();
+                if let Some(journal) = &self.journal {
+                    // Shard lock still held; `freed` records this
+                    // sweep's tombstone-compaction savings (replay
+                    // re-derives the compaction deterministically).
+                    journal.append_sweep(
+                        s as u32,
+                        shard.stream.len() as u64,
+                        shard.stream.aux_freed_total() - freed_before,
+                    );
+                }
+                promoted
+            })
             .into_iter()
             .sum();
         // A sweep can attach pending items even when it promotes
         // nothing, so the merged-view cache is always invalidated.
         self.epoch.fetch_add(1, Ordering::SeqCst);
         promoted
+    }
+
+    /// Journal-replay form of one shard's slice of [`Self::drain`]:
+    /// applies queued items in FIFO order until the shard holds
+    /// exactly `upto` items, erroring if the journal and the shard
+    /// disagree (already past `upto`, or the queue runs dry first).
+    /// Single-threaded on purpose — recovery replays frames in
+    /// journal order, one at a time.
+    pub(crate) fn replay_apply(&self, s: usize, upto: u64) -> Result<usize, String> {
+        let mut shard = self.shard(s);
+        if shard.stream.len() as u64 > upto {
+            return Err(format!(
+                "shard {s} already holds {} items, drain frame says {upto}",
+                shard.stream.len()
+            ));
+        }
+        let mut applied = 0usize;
+        while (shard.stream.len() as u64) < upto {
+            let Some(v) = shard.queue.pop_front() else {
+                return Err(format!(
+                    "shard {s} queue ran dry at {} items replaying a drain to {upto}",
+                    shard.stream.len()
+                ));
+            };
+            applied += 1;
+            // alid-lint: allow(panic-under-lock) -- replayed vectors were dim-checked when their admit frame decoded; push's dim assert cannot fire here
+            let _ = shard.stream.push(&v);
+        }
+        drop(shard);
+        if applied > 0 {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(applied)
+    }
+
+    /// Journal-replay form of one shard's slice of [`Self::sweep`],
+    /// validated against the item count the live sweep ran at — a
+    /// mismatch means the journal belongs to a different history.
+    pub(crate) fn replay_sweep(&self, s: usize, upto: u64) -> Result<usize, String> {
+        let mut shard = self.shard(s);
+        if shard.stream.len() as u64 != upto {
+            return Err(format!(
+                "shard {s} holds {} items, sweep frame ran at {upto}",
+                shard.stream.len()
+            ));
+        }
+        // alid-lint: allow(panic-under-lock) -- same internal-invariant asserts as the live sweep path above
+        let promoted = shard.stream.sweep();
+        drop(shard);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(promoted)
     }
 
     /// The current cluster assignment of admitted item `id`: `None`
@@ -938,7 +1038,7 @@ impl Ord for Ranked {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use alid_affinity::kernel::LaplacianKernel;
 

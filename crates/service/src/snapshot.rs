@@ -4,7 +4,9 @@
 //! version, then one [`serde::bin`]-encoded value holding the full
 //! state — config, detection parameters, placements, and per shard
 //! the dataset, assignments, clusters, incremental density sums,
-//! pending buffer, unapplied ingest queue and sweep phase. Every
+//! pending buffer, unapplied ingest queue and sweep phase — plus the
+//! *logical journal position* the snapshot reflects, so journal
+//! replay ([`crate::journal`]) knows where to cut. Every
 //! float travels as raw IEEE-754 bits, so restore is *exact*: a
 //! restored service continues bit-for-bit identically to one that was
 //! never persisted (`tests/service.rs` proves it end to end).
@@ -43,8 +45,11 @@ use crate::service::{Placement, Service, ServiceConfig, Shard};
 
 /// Leading bytes of every snapshot.
 pub const MAGIC: &[u8; 8] = b"ALIDSNAP";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 added `journal_pos` (the logical
+/// journal frame count folded into this snapshot, so recovery knows
+/// which journal frames are already reflected) and the packed-f64
+/// array encoding in the `serde::bin` codec.
+pub const VERSION: u32 = 2;
 
 /// Why a snapshot failed to restore.
 #[derive(Debug)]
@@ -157,8 +162,28 @@ fn shard_json(shard: &Shard) -> Json {
 /// race where a vector is captured in a shard queue while its
 /// placement entry is not.
 pub fn snapshot_bytes(service: &Service) -> Vec<u8> {
+    snapshot_bytes_with_meta(service).0
+}
+
+/// [`snapshot_bytes`] plus the logical journal position folded into the
+/// snapshot — the number of journal frames whose effects the snapshot
+/// body reflects. Frames below that position are redundant with the
+/// snapshot; [`crate::journal::Journal::truncate_below`] may drop the
+/// segments that hold only such frames once the snapshot is durably on
+/// disk.
+///
+/// The position is read inside the same all-locks window as the state
+/// itself (every journaled mutation enqueues its frame while still
+/// holding its commit locks, so with all locks held the appended count
+/// is exactly the number of frames whose effects are visible), and it
+/// is *logical* — a pure function of the mutation history, so two
+/// services with identical histories stamp identical snapshots
+/// regardless of how their journals were segmented. Without a journal
+/// attached the position is 0.
+pub fn snapshot_bytes_with_meta(service: &Service) -> (Vec<u8>, u64) {
     let cfg = service.config();
     let (shard_guards, placement_guard) = service.lock_all();
+    let journal_pos = service.journal().map(|j| j.rotate_for_cut()).unwrap_or(0);
     let placements: Vec<u64> =
         placement_guard.iter().map(|p| ((p.shard as u64) << 32) | p.local as u64).collect();
     let shard_states: Vec<Json> = shard_guards.iter().map(|g| shard_json(g)).collect();
@@ -173,6 +198,7 @@ pub fn snapshot_bytes(service: &Service) -> Vec<u8> {
         ("queue_capacity", cfg.queue_capacity.to_json()),
         ("router_bits", cfg.router_bits.to_json()),
         ("router_seed", cfg.router_seed.to_json()),
+        ("journal_pos", journal_pos.to_json()),
         ("params", params_json(&cfg.params)),
         ("placements", placements.to_json()),
         ("shard_states", Json::Arr(shard_states)),
@@ -181,7 +207,7 @@ pub fn snapshot_bytes(service: &Service) -> Vec<u8> {
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     bin::encode_into(&body, &mut out);
-    out
+    (out, journal_pos)
 }
 
 // --- decode ------------------------------------------------------------
@@ -354,11 +380,31 @@ fn shard_from_json(
     Ok(Shard { stream, queue })
 }
 
+/// Snapshot-level facts a restorer needs beyond the [`Service`] itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Logical journal position folded into the snapshot: journal
+    /// frames below this position are already reflected in the
+    /// restored state and must be skipped during replay
+    /// ([`crate::journal::recover_and_open`] does so). 0 when the
+    /// snapshot was taken without a journal.
+    pub journal_pos: u64,
+}
+
 /// Restores a service from [`snapshot_bytes`] output. `exec` becomes
 /// both the service-level fan-out policy and the shards' detection
 /// policy — a runtime choice, since any worker count produces the
 /// same bytes.
 pub fn restore(bytes: &[u8], exec: ExecPolicy) -> Result<Service, SnapshotError> {
+    restore_with_meta(bytes, exec).map(|(svc, _)| svc)
+}
+
+/// [`restore`] plus the [`SnapshotMeta`] needed to resume a journal
+/// (the replay cut point).
+pub fn restore_with_meta(
+    bytes: &[u8],
+    exec: ExecPolicy,
+) -> Result<(Service, SnapshotMeta), SnapshotError> {
     if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
@@ -435,7 +481,11 @@ pub fn restore(bytes: &[u8], exec: ExecPolicy) -> Result<Service, SnapshotError>
             placements.len()
         )));
     }
-    Ok(Service::from_parts(cfg, shard_vec, placements, cost))
+    // Absent (pre-journal writer, still version 2) reads as 0: replay
+    // from the journal's first frame.
+    let journal_pos = body.get("journal_pos").and_then(Json::as_u64).unwrap_or(0);
+    let meta = SnapshotMeta { journal_pos };
+    Ok((Service::from_parts(cfg, shard_vec, placements, cost), meta))
 }
 
 #[cfg(test)]
@@ -581,6 +631,15 @@ mod tests {
         }
         writer.join().expect("writer thread");
         assert!(taken > 0, "at least one snapshot raced the writer");
+    }
+
+    #[test]
+    fn journal_pos_defaults_to_zero_without_a_journal() {
+        let svc = populated_service();
+        let (bytes, pos) = snapshot_bytes_with_meta(&svc);
+        assert_eq!(pos, 0);
+        let (_, meta) = restore_with_meta(&bytes, ExecPolicy::sequential()).expect("restore");
+        assert_eq!(meta, SnapshotMeta { journal_pos: 0 });
     }
 
     #[test]

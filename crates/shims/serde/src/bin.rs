@@ -21,6 +21,15 @@
 //! | `5` | `u64` byte length + UTF-8 bytes |
 //! | `6` | `u64` element count + encoded elements |
 //! | `7` | `u64` field count + (string key, value) pairs |
+//! | `8` | `u64` element count + packed `f64::to_bits` words |
+//!
+//! Tag `8` is the packed form of a non-empty all-`Num` array — the
+//! shape every dataset row, weight vector and pair-sum list takes in
+//! the snapshot and journal payloads. The encoder picks it
+//! automatically; decode yields an ordinary `Json::Arr` of `Num`, so
+//! the two forms are indistinguishable to readers (mixed and empty
+//! arrays keep tag `6`). One word per float instead of a tagged value
+//! per element: 8 bytes, not 9, and no per-element dispatch.
 //!
 //! Lengths are validated against the remaining input before any
 //! allocation, so a truncated or corrupt buffer fails with a positioned
@@ -74,10 +83,22 @@ pub fn encode_into(value: &Json, out: &mut Vec<u8>) {
             out.extend_from_slice(s.as_bytes());
         }
         Json::Arr(items) => {
-            out.push(6);
-            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
-            for item in items {
-                encode_into(item, out);
+            // Non-empty all-Num arrays take the packed form (tag 8);
+            // anything else stays element-wise (tag 6).
+            if !items.is_empty() && items.iter().all(|i| matches!(i, Json::Num(_))) {
+                out.push(8);
+                out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+                for item in items {
+                    if let Json::Num(n) = item {
+                        out.extend_from_slice(&n.to_bits().to_le_bytes());
+                    }
+                }
+            } else {
+                out.push(6);
+                out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+                for item in items {
+                    encode_into(item, out);
+                }
             }
         }
         Json::Obj(fields) => {
@@ -195,6 +216,27 @@ impl Cursor<'_> {
                 self.depth -= 1;
                 Ok(Json::Obj(fields))
             }
+            8 => {
+                // Packed floats: each element is exactly 8 bytes, so
+                // the length check is against count * 8, failing on
+                // corrupt counts before any allocation.
+                let n = self.u64()?;
+                let need = n.checked_mul(8).filter(|&b| b <= (self.bytes.len() - self.pos) as u64);
+                let n = match need {
+                    Some(_) => n as usize,
+                    None => {
+                        return Err(self.err(format!(
+                            "packed float count {n} exceeds the {} remaining bytes",
+                            self.bytes.len() - self.pos
+                        )))
+                    }
+                };
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(Json::Num(f64::from_bits(self.u64()?)));
+                }
+                Ok(Json::Arr(items))
+            }
             tag => {
                 self.pos -= 1;
                 Err(self.err(format!("unknown tag {tag}")))
@@ -286,6 +328,41 @@ mod tests {
         // Sibling containers at shallow depth are unaffected.
         let wide = Json::Arr((0..1000).map(|_| Json::Arr(vec![Json::Null])).collect());
         assert_eq!(decode(&encode(&wide)).unwrap(), wide);
+    }
+
+    #[test]
+    fn packed_float_arrays_round_trip_and_shrink() {
+        let xs = Json::Arr((0..64).map(|i| Json::Num(i as f64 * 0.5)).collect());
+        let bytes = encode(&xs);
+        assert_eq!(bytes[0], 8, "all-Num arrays take the packed tag");
+        assert_eq!(bytes.len(), 1 + 8 + 64 * 8, "one word per float, no per-element tags");
+        assert_eq!(decode(&bytes).unwrap(), xs);
+        // Bit-exactness holds through the packed path too.
+        let weird = Json::Arr(vec![Json::Num(-0.0), Json::Num(f64::NAN), Json::Num(f64::MIN)]);
+        match decode(&encode(&weird)).unwrap() {
+            Json::Arr(items) => {
+                for (a, b) in items.iter().zip(weird.as_arr().unwrap()) {
+                    assert_eq!(a.as_f64().unwrap().to_bits(), b.as_f64().unwrap().to_bits());
+                }
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // Mixed and empty arrays keep the element-wise tag.
+        assert_eq!(encode(&Json::Arr(vec![]))[0], 6);
+        assert_eq!(encode(&Json::Arr(vec![Json::Num(1.0), Json::UInt(1)]))[0], 6);
+    }
+
+    #[test]
+    fn packed_float_count_fails_before_allocating() {
+        // Packed array claiming u64::MAX/8 elements in a 9-byte buffer.
+        let mut bytes = vec![8u8];
+        bytes.extend_from_slice(&(u64::MAX / 8).to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.reason.contains("exceeds"), "{err}");
+        // And a count whose byte size overflows u64 is caught too.
+        let mut bytes = vec![8u8];
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode(&bytes).unwrap_err().reason.contains("exceeds"));
     }
 
     #[test]

@@ -148,6 +148,71 @@ fn snapshot_restore_continue_equals_uninterrupted() {
     }
 }
 
+/// (2b) Snapshot + journal replay ≡ uninterrupted run, bit for bit,
+/// at workers {1, 4, 8}. The journaled run is "killed" after its last
+/// ingest (dropped without a final snapshot), recovered from the
+/// mid-stream snapshot plus the journal tail, and its snapshot bytes
+/// must equal those of a run that never stopped. The comparator is
+/// journaled too (same mutation history ⇒ same logical journal
+/// position), so the equality covers the full snapshot including the
+/// position stamp.
+#[test]
+fn snapshot_plus_journal_recovery_is_bit_identical() {
+    use alid::service::{
+        recover_and_open, restore_with_meta, snapshot_bytes_with_meta, JournalConfig,
+    };
+    let items = stream_items(140);
+    let mut dirs = Vec::new();
+    let tmp = |tag: &str| {
+        let d = std::env::temp_dir().join(format!("alid_it_journal_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    };
+    for workers in [1usize, 4, 8] {
+        // Uninterrupted journaled run: the ground truth.
+        let full_dir = tmp(&format!("full_{workers}"));
+        let mut full = build_service(3, workers);
+        let j =
+            recover_and_open(JournalConfig { dir: full_dir.clone(), compact_every: 0 }, &full, 0)
+                .expect("open ground-truth journal");
+        full.set_journal(j);
+        ingest_all(&full, &items);
+        let want = snapshot_bytes(&full);
+
+        // Journaled run, killed mid-stream after a snapshot at item 90.
+        let dir = tmp(&format!("crash_{workers}"));
+        let mut live = build_service(3, workers);
+        let j = recover_and_open(JournalConfig { dir: dir.clone(), compact_every: 0 }, &live, 0)
+            .expect("open journal");
+        live.set_journal(j);
+        ingest_all(&live, &items[..90]);
+        let (snap, _) = snapshot_bytes_with_meta(&live);
+        ingest_all(&live, &items[90..]);
+        drop(live); // crash: the post-snapshot tail lives only in the journal
+
+        let (mut resumed, meta) =
+            restore_with_meta(&snap, ExecPolicy::workers(workers)).expect("restore");
+        let j = recover_and_open(
+            JournalConfig { dir: dir.clone(), compact_every: 0 },
+            &resumed,
+            meta.journal_pos,
+        )
+        .expect("replay");
+        resumed.set_journal(j);
+        assert_eq!(
+            snapshot_bytes(&resumed),
+            want,
+            "recovered run diverged from uninterrupted at {workers} workers"
+        );
+        assert_services_identical(&full, &resumed, &format!("journal recovery, {workers} workers"));
+        dirs.push(full_dir);
+        dirs.push(dir);
+    }
+    for d in dirs {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
 /// (3) On shard-separable data the cross-shard top-k merge agrees
 /// with a single-shard run: the same dominant clusters (compared as
 /// global member sets) at the same densities, with the strictly
